@@ -1,0 +1,85 @@
+"""Ablation A6 (extension): average-vs-peak thermal DC variants.
+
+The paper's DC term is the *average* block temperature.  In a linear RC
+model the average is a fixed linear functional of power, so it cannot
+penalise concentration on an already-hot PE; the *peak* can.  This bench
+compares the paper's policy against the peak and hybrid variants on the
+platform suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.thermal_loop import thermal_scheduler
+from repro.analysis.metrics import evaluate_schedule
+from repro.experiments.workloads import WORKLOAD_NAMES, workload
+from repro.extensions.policies import EXTENDED_POLICY_NAMES, extended_policy_by_name
+from repro.floorplan.platform import platform_floorplan
+from repro.library.presets import default_platform
+
+from conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def variant_rows():
+    rows = []
+    platform = default_platform()
+    plan = platform_floorplan(platform)
+    for name in WORKLOAD_NAMES:
+        graph, library = workload(name)
+        scheduler = thermal_scheduler(graph, platform, library, floorplan=plan)
+        for variant in EXTENDED_POLICY_NAMES:
+            schedule = scheduler.run(extended_policy_by_name(variant))
+            evaluation = evaluate_schedule(schedule, floorplan=plan)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "variant": variant,
+                    "max_temp": round(evaluation.max_temperature, 2),
+                    "avg_temp": round(evaluation.avg_temperature, 2),
+                    "spread": round(
+                        max(evaluation.pe_temperatures.values())
+                        - min(evaluation.pe_temperatures.values()),
+                        2,
+                    ),
+                    "makespan": round(evaluation.makespan, 1),
+                    "meets_deadline": evaluation.meets_deadline,
+                }
+            )
+    print_report(
+        "Ablation A6 — thermal DC variants (avg vs peak vs hybrid)",
+        format_table(rows),
+    )
+    return rows
+
+
+def test_all_variants_meet_deadlines(variant_rows):
+    assert all(r["meets_deadline"] for r in variant_rows)
+
+
+def test_peak_variant_tightens_spread_on_average(variant_rows):
+    """The peak-aware variants should not widen the PE temperature spread."""
+    avg_spread = {}
+    for variant in EXTENDED_POLICY_NAMES:
+        rows = [r for r in variant_rows if r["variant"] == variant]
+        avg_spread[variant] = sum(r["spread"] for r in rows) / len(rows)
+    assert avg_spread["thermal-peak"] <= avg_spread["thermal"] + 0.5
+
+
+def test_variants_comparable_on_avg_metric(variant_rows):
+    """No variant should catastrophically regress the average metric."""
+    for name in WORKLOAD_NAMES:
+        rows = {r["variant"]: r for r in variant_rows if r["benchmark"] == name}
+        reference = rows["thermal"]["avg_temp"]
+        for variant in ("thermal-peak", "thermal-hybrid"):
+            assert rows[variant]["avg_temp"] <= reference + 6.0
+
+
+def test_benchmark_peak_variant(benchmark, variant_rows):
+    graph, library = workload("Bm1")
+    platform = default_platform()
+    scheduler = thermal_scheduler(graph, platform, library)
+    policy = extended_policy_by_name("thermal-peak")
+    benchmark(scheduler.run, policy)

@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Table 2 (power- vs thermal-aware co-synthesis).
+
+Paper rows: for each benchmark, (total power, max temp, avg temp) of the
+power-aware (heuristic 3) and thermal-aware customized architectures.
+
+Expected shape: the thermal-aware flow reduces both the maximal and the
+average temperature on (essentially) every benchmark; the paper quotes
+average reductions of 10.9 °C max / 6.95 °C avg (its own rows average to
+13.2 / 8.8 — see EXPERIMENTS.md).  Run with ``-s`` for the full table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import (
+    format_table2,
+    run_table2,
+    table2_reductions,
+)
+
+from conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    rows = run_table2()
+    print_report("Table 2 (measured vs paper)", format_table2(rows))
+    return rows
+
+
+def test_table2_all_designs_meet_deadlines(table2_rows):
+    assert all(r["meets_deadline"] for r in table2_rows)
+
+
+def test_table2_thermal_reduces_both_metrics_on_average(table2_rows):
+    reductions = table2_reductions(table2_rows)
+    assert reductions["max_temp_reduction"] > 0.0
+    assert reductions["avg_temp_reduction"] > 0.0
+
+
+def test_table2_thermal_cooler_per_benchmark(table2_rows):
+    by_bm = {}
+    for row in table2_rows:
+        by_bm.setdefault(row["benchmark"], {})[row["approach"]] = row
+    cooler = sum(
+        1
+        for pair in by_bm.values()
+        if pair["thermal_aware"]["avg_temp"] <= pair["power_aware"]["avg_temp"]
+    )
+    assert cooler >= 3  # paper: 4/4; we require at least 3/4
+
+
+def test_table2_reduction_magnitude_in_paper_band(table2_rows):
+    """Reductions land in the paper's few-to-ten °C band, not micro-°C."""
+    reductions = table2_reductions(table2_rows)
+    assert 0.5 <= reductions["avg_temp_reduction"] <= 20.0
+
+
+def test_benchmark_table2(benchmark, table2_rows):
+    """Time one Table-2 regeneration (Bm1, both flows)."""
+    benchmark(run_table2, benchmarks=["Bm1"])

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the power-temperature Pareto front.
+
+Evaluates every type-feasible PE allocation (up to 3 instances) for
+benchmark Bm1 under heuristic-3 scheduling, extracts the non-dominated
+(power, peak temperature, cost) set, and draws a text scatter plot of the
+space with the front highlighted — the trade-off curve on which the
+paper's power-aware and thermal-aware winners are two individual points.
+
+Run:  python examples/pareto_explorer.py
+"""
+
+from repro import (
+    benchmark,
+    explore_allocations,
+    format_table,
+    library_for_graph,
+    pareto_front,
+)
+from repro.floorplan.genetic import GeneticConfig
+
+
+def scatter(points, front, width=64, height=18):
+    """Text scatter: x = total power, y = peak temperature."""
+    xs = [p.total_power for p in points]
+    ys = [p.max_temperature for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    canvas = [[" "] * width for _ in range(height)]
+    front_set = {p.architecture_name for p in front}
+
+    def cell(p):
+        col = int((p.total_power - x_lo) / max(1e-9, x_hi - x_lo) * (width - 1))
+        row = int((p.max_temperature - y_lo) / max(1e-9, y_hi - y_lo) * (height - 1))
+        return height - 1 - row, col
+
+    for p in points:
+        r, c = cell(p)
+        if canvas[r][c] == " ":
+            canvas[r][c] = "."
+    for p in front:
+        r, c = cell(p)
+        canvas[r][c] = "O"
+    lines = [f"  {y_hi:6.1f}C |" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append("          |" + "".join(row))
+    lines.append(f"  {y_lo:6.1f}C |" + "".join(canvas[-1]))
+    lines.append("           " + "-" * width)
+    lines.append(f"           {x_lo:.1f} W{'':<{width - 16}}{x_hi:.1f} W")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    graph = benchmark("Bm1")
+    library = library_for_graph(graph)
+    print(f"exploring allocations for {graph} ...")
+    points = explore_allocations(
+        graph,
+        library,
+        max_pes=3,
+        genetic_config=GeneticConfig(population_size=10, generations=8),
+    )
+    front = pareto_front(points)
+    print(f"{len(points)} feasible designs, {len(front)} on the Pareto front\n")
+    print(scatter(points, front))
+    print("\n'O' = Pareto-optimal (power, peak temp, cost); '.' = dominated\n")
+    print(format_table([p.as_row() for p in front], title="The front:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Transient temperature profile of a finished schedule.
+
+Takes the thermal-aware schedule of Bm1 on the platform, converts it to a
+time-resolved power trace (1 schedule unit = 1 ms), replays five periodic
+iterations through the RC network from a warm start, and plots each PE's
+temperature over time as text sparklines — the dynamic view behind the
+steady-state numbers in the paper's tables.
+
+Run:  python examples/transient_profile.py
+"""
+
+import numpy as np
+
+from repro import (
+    HotSpotModel,
+    TaskEnergyPolicy,
+    ThermalPolicy,
+    benchmark,
+    library_for_graph,
+    platform_flow,
+)
+
+TICKS = "▁▂▃▄▅▆▇█"
+TIME_SCALE = 1e-3  # one schedule unit = 1 ms
+CYCLES = 5
+
+
+def sparkline(series, lo, hi, width=72):
+    idx = np.linspace(0, len(series) - 1, width).astype(int)
+    span = max(1e-9, hi - lo)
+    return "".join(
+        TICKS[min(len(TICKS) - 1, int((series[i] - lo) / span * (len(TICKS) - 1)))]
+        for i in idx
+    )
+
+
+def profile(policy):
+    graph = benchmark("Bm1")
+    library = library_for_graph(graph)
+    result = platform_flow(graph, library, policy)
+    model = HotSpotModel(result.floorplan)
+    trace = result.schedule.power_trace()
+    warm = model.temperatures(result.schedule.average_powers())
+    segments = trace.segments(time_scale=TIME_SCALE) * CYCLES
+    sim = model.transient(segments, dt=0.002, initial=warm)
+    return result, model, sim
+
+
+def main() -> None:
+    runs = [profile(TaskEnergyPolicy()), profile(ThermalPolicy())]
+    lo = min(run[2].temperatures.min() for run in runs)
+    hi = max(run[2].temperatures.max() for run in runs)
+
+    for result, model, sim in runs:
+        name = result.schedule.policy_name
+        print(f"== {name} ==  ({CYCLES} periods of "
+              f"{result.schedule.makespan:.0f} ms, warm start)")
+        for pe in model.block_names:
+            series = sim.node_series(pe)
+            print(
+                f"  {pe}: {sparkline(series, lo, hi)} "
+                f"[{series.min():.1f}..{series.max():.1f} C]"
+            )
+        peak = sim.peak_of(model.block_names)
+        print(f"  transient peak over all PEs: {peak:.2f} C\n")
+
+    print(f"scale: {lo:.1f} C (low) .. {hi:.1f} C (high)")
+    print("\nThe thermal-aware schedule's ripples are flatter and its peak")
+    print("lower — the steady-state proxy the scheduler optimises ranks the")
+    print("policies the same way the transient replay does (ablation A2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+offline environments without the `wheel` package (where PEP 660 editable
+installs cannot build) can still `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

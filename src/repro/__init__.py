@@ -1,0 +1,237 @@
+"""repro — thermal-aware task allocation and scheduling for embedded systems.
+
+A complete, from-scratch reproduction of
+
+    W.-L. Hung, Y. Xie, N. Vijaykrishnan, M. Kandemir, M. J. Irwin,
+    "Thermal-Aware Task Allocation and Scheduling for Embedded Systems",
+    DATE 2005,
+
+including every substrate the paper depends on: TGFF-style task graphs,
+technology libraries, a HotSpot-style compact thermal model, genetic /
+annealing slicing floorplanners, the list-scheduling ASP with the paper's
+power and thermal dynamic-criticality policies, and the co-synthesis /
+platform design flows.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import benchmark, library_for_graph, default_platform
+    from repro import platform_flow, ThermalPolicy
+
+    graph = benchmark("Bm1")
+    library = library_for_graph(graph)
+    result = platform_flow(graph, library, ThermalPolicy())
+    print(result.evaluation.as_row())
+"""
+
+from .errors import (
+    CoSynthesisError,
+    CycleError,
+    DeadlineMissError,
+    ExperimentError,
+    FloorplanError,
+    InfeasibleAllocationError,
+    LibraryError,
+    ReproError,
+    SchedulingError,
+    SingularNetworkError,
+    SlicingError,
+    TaskGraphError,
+    ThermalError,
+    UnknownPETypeError,
+    UnknownTaskTypeError,
+)
+from .taskgraph import (
+    BENCHMARK_NAMES,
+    Edge,
+    GraphSpec,
+    Task,
+    TaskGraph,
+    benchmark,
+    benchmark_suite,
+    generate_task_graph,
+)
+from .library import (
+    PLATFORM_PE,
+    Architecture,
+    PEInstance,
+    PEType,
+    TechnologyLibrary,
+    default_catalogue,
+    default_platform,
+    generate_technology_library,
+    library_for_graph,
+)
+from .power import PowerAccumulator, PowerTrace
+from .floorplan import (
+    Block,
+    Floorplan,
+    PolishExpression,
+    Rect,
+    anneal_floorplan,
+    evolve_floorplan,
+    platform_floorplan,
+)
+from .thermal import (
+    GridModel,
+    HotSpotModel,
+    PackageConfig,
+    ThermalNetwork,
+    TransientSimulator,
+    default_package,
+)
+from .core import (
+    POLICY_NAMES,
+    Assignment,
+    BaselinePolicy,
+    CumulativePowerPolicy,
+    ListScheduler,
+    Schedule,
+    TaskEnergyPolicy,
+    TaskPowerPolicy,
+    ThermalPolicy,
+    policy_by_name,
+    schedule_graph,
+    static_criticality,
+    thermal_scheduler,
+)
+from .cosynth import (
+    CoSynthesisConfig,
+    CoSynthesisFramework,
+    CoSynthesisResult,
+    PlatformResult,
+    platform_flow,
+    power_aware_cosynthesis,
+    thermal_aware_cosynthesis,
+)
+from .analysis import (
+    ScheduleEvaluation,
+    evaluate_schedule,
+    format_table,
+    render_floorplan,
+    render_gantt,
+    render_utilisation,
+)
+from .cosynth import DesignPoint, explore_allocations, pareto_front
+from .library import Bus, CommunicationModel, shared_bus_comm, zero_cost_comm
+from .taskgraph import Condition, ConditionalTaskGraph
+from .core import ConditionalEvaluation, schedule_conditional
+from .thermal import LeakageModel, solve_with_leakage
+from .analysis import reliability_report
+from .extensions import (
+    DEFAULT_LEVELS,
+    DVFSLevel,
+    DVFSResult,
+    HybridThermalPolicy,
+    ThermalPeakPolicy,
+    reclaim_slack,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TaskGraphError",
+    "CycleError",
+    "LibraryError",
+    "UnknownTaskTypeError",
+    "UnknownPETypeError",
+    "FloorplanError",
+    "SlicingError",
+    "ThermalError",
+    "SingularNetworkError",
+    "SchedulingError",
+    "DeadlineMissError",
+    "InfeasibleAllocationError",
+    "CoSynthesisError",
+    "ExperimentError",
+    # task graphs
+    "Task",
+    "Edge",
+    "TaskGraph",
+    "GraphSpec",
+    "generate_task_graph",
+    "benchmark",
+    "benchmark_suite",
+    "BENCHMARK_NAMES",
+    # library
+    "PEType",
+    "PEInstance",
+    "Architecture",
+    "TechnologyLibrary",
+    "PLATFORM_PE",
+    "default_catalogue",
+    "default_platform",
+    "generate_technology_library",
+    "library_for_graph",
+    # power
+    "PowerAccumulator",
+    "PowerTrace",
+    # floorplan
+    "Rect",
+    "Block",
+    "Floorplan",
+    "PolishExpression",
+    "anneal_floorplan",
+    "evolve_floorplan",
+    "platform_floorplan",
+    # thermal
+    "PackageConfig",
+    "default_package",
+    "ThermalNetwork",
+    "HotSpotModel",
+    "GridModel",
+    "TransientSimulator",
+    # core
+    "static_criticality",
+    "BaselinePolicy",
+    "TaskPowerPolicy",
+    "CumulativePowerPolicy",
+    "TaskEnergyPolicy",
+    "ThermalPolicy",
+    "policy_by_name",
+    "POLICY_NAMES",
+    "Assignment",
+    "Schedule",
+    "ListScheduler",
+    "schedule_graph",
+    "thermal_scheduler",
+    # cosynth
+    "CoSynthesisConfig",
+    "CoSynthesisFramework",
+    "CoSynthesisResult",
+    "PlatformResult",
+    "platform_flow",
+    "power_aware_cosynthesis",
+    "thermal_aware_cosynthesis",
+    # analysis
+    "ScheduleEvaluation",
+    "evaluate_schedule",
+    "format_table",
+    "render_gantt",
+    "render_floorplan",
+    "render_utilisation",
+    # pareto & extensions
+    "DesignPoint",
+    "explore_allocations",
+    "pareto_front",
+    "DVFSLevel",
+    "DEFAULT_LEVELS",
+    "DVFSResult",
+    "reclaim_slack",
+    "ThermalPeakPolicy",
+    "HybridThermalPolicy",
+    "Bus",
+    "CommunicationModel",
+    "zero_cost_comm",
+    "shared_bus_comm",
+    "LeakageModel",
+    "solve_with_leakage",
+    "reliability_report",
+    "Condition",
+    "ConditionalTaskGraph",
+    "ConditionalEvaluation",
+    "schedule_conditional",
+]

@@ -1,0 +1,15 @@
+"""Command-line entry point: regenerate the paper's artefacts.
+
+Usage::
+
+    python -m repro                # run every experiment (tables 1-3, fig 1)
+    python -m repro table3         # one artefact
+    python -m repro table1 table2  # several
+
+See ``repro.experiments.runner`` for the registry.
+"""
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

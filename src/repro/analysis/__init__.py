@@ -1,0 +1,35 @@
+"""Analysis & reporting (S8): schedule metrics, tables, shape comparison."""
+
+from .metrics import ScheduleEvaluation, evaluate_schedule
+from .report import format_comparison, format_table
+from .gantt import render_floorplan, render_gantt, render_utilisation
+from .reliability import (
+    ReliabilityReport,
+    arrhenius_acceleration,
+    electromigration_mttf_factor,
+    reliability_report,
+)
+from .compare import (
+    average_delta,
+    fraction_improved,
+    ordering_agreement,
+    spearman_rank_correlation,
+)
+
+__all__ = [
+    "ScheduleEvaluation",
+    "evaluate_schedule",
+    "format_table",
+    "format_comparison",
+    "average_delta",
+    "fraction_improved",
+    "spearman_rank_correlation",
+    "ordering_agreement",
+    "render_gantt",
+    "render_floorplan",
+    "render_utilisation",
+    "ReliabilityReport",
+    "arrhenius_acceleration",
+    "electromigration_mttf_factor",
+    "reliability_report",
+]

@@ -1,0 +1,117 @@
+"""Shape comparison between the paper's numbers and measured numbers.
+
+Absolute temperatures depend on the authors' unpublished benchmarks,
+library and thermal constants, so the reproduction checks the *shape* of
+each result instead (see DESIGN.md §4):
+
+* orderings — e.g. thermal-aware max-temp ≤ power-aware max-temp;
+* average deltas — e.g. "thermal-aware reduces average temperature by
+  ~6.95 °C on co-synthesis architectures";
+* rank agreement between two metric vectors (Spearman).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "average_delta",
+    "fraction_improved",
+    "spearman_rank_correlation",
+    "ordering_agreement",
+]
+
+
+def _check_same_length(a: Sequence[float], b: Sequence[float]) -> None:
+    if len(a) != len(b):
+        raise ExperimentError(f"length mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        raise ExperimentError("empty metric vectors")
+
+
+def average_delta(before: Sequence[float], after: Sequence[float]) -> float:
+    """Mean of ``before[i] − after[i]`` — positive means *after* improved.
+
+    This is how the paper reports its headline numbers ("reduce … by
+    10.9 °C and 6.95 °C for the maximal and the average").
+    """
+    _check_same_length(before, after)
+    return float(np.mean(np.asarray(before) - np.asarray(after)))
+
+
+def fraction_improved(before: Sequence[float], after: Sequence[float]) -> float:
+    """Fraction of entries where *after* is strictly lower than *before*."""
+    _check_same_length(before, after)
+    before_arr, after_arr = np.asarray(before), np.asarray(after)
+    return float(np.mean(after_arr < before_arr))
+
+
+def spearman_rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation between two metric vectors, in [-1, 1].
+
+    Implemented directly (ranks + Pearson) to avoid importing the whole of
+    :mod:`scipy.stats` for one statistic; average ranks are used for ties.
+    """
+    _check_same_length(a, b)
+    if len(a) < 2:
+        raise ExperimentError("rank correlation needs at least two entries")
+
+    def ranks(values: Sequence[float]) -> np.ndarray:
+        array = np.asarray(values, dtype=float)
+        order = np.argsort(array, kind="stable")
+        ranked = np.empty(len(array), dtype=float)
+        position = 0
+        while position < len(array):
+            tail = position
+            while (
+                tail + 1 < len(array)
+                and array[order[tail + 1]] == array[order[position]]
+            ):
+                tail += 1
+            average_rank = (position + tail) / 2.0
+            for index in range(position, tail + 1):
+                ranked[order[index]] = average_rank
+            position = tail + 1
+        return ranked
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = float(np.sqrt((ra**2).sum() * (rb**2).sum()))
+    if denom == 0.0:
+        return 1.0 if np.allclose(ra, rb) else 0.0
+    return float((ra * rb).sum() / denom)
+
+
+def ordering_agreement(
+    paper: Mapping[str, float], measured: Mapping[str, float]
+) -> float:
+    """Fraction of ordered pairs on which two labelled metric maps agree.
+
+    E.g. ``paper = {"baseline": 118, "h3": 113}`` agrees with any measured
+    map where baseline is also hotter than h3.  Returns 1.0 for perfect
+    order agreement; ties in either map count as half agreement.
+    """
+    keys = sorted(paper)
+    if set(keys) != set(measured):
+        raise ExperimentError(
+            f"label mismatch: {sorted(paper)} vs {sorted(measured)}"
+        )
+    if len(keys) < 2:
+        raise ExperimentError("ordering needs at least two labels")
+    agree = 0.0
+    total = 0
+    for i, key_a in enumerate(keys):
+        for key_b in keys[i + 1 :]:
+            total += 1
+            paper_sign = np.sign(paper[key_a] - paper[key_b])
+            measured_sign = np.sign(measured[key_a] - measured[key_b])
+            if paper_sign == measured_sign:
+                agree += 1.0
+            elif paper_sign == 0.0 or measured_sign == 0.0:
+                agree += 0.5
+    return agree / total

@@ -1,0 +1,101 @@
+"""Text rendering of schedules and floorplans.
+
+Terminal-friendly views used by the examples and handy in notebooks:
+
+* :func:`render_gantt` — per-PE timeline of a schedule;
+* :func:`render_floorplan` — a floorplan as a character grid;
+* :func:`render_utilisation` — per-PE busy/power summary bars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.schedule import Schedule
+from ..errors import ReproError
+from ..floorplan.geometry import Floorplan
+
+__all__ = ["render_gantt", "render_floorplan", "render_utilisation"]
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render *schedule* as a text Gantt chart.
+
+    Each PE is one row; task names are embedded in their busy spans, which
+    are drawn with ``#``.  A deadline marker ``!`` is drawn when the
+    deadline falls inside the rendered span.
+    """
+    if width < 16:
+        raise ReproError(f"gantt width must be >= 16, got {width}")
+    span = max(schedule.makespan, schedule.graph.deadline)
+    if span <= 0.0:
+        return "(empty schedule)"
+
+    def column(time: float) -> int:
+        return min(width - 1, int(time / span * (width - 1)))
+
+    lines: List[str] = []
+    for pe in schedule.architecture:
+        row = ["."] * width
+        for assignment in schedule.pe_assignments(pe.name):
+            lo = column(assignment.start)
+            hi = max(lo + 1, column(assignment.end))
+            for offset in range(lo, hi):
+                row[offset] = "#"
+            label = assignment.task[: hi - lo]
+            row[lo : lo + len(label)] = label
+        lines.append(f"{pe.name:>10} |{''.join(row)}|")
+    marker = [" "] * width
+    marker[column(schedule.graph.deadline)] = "!"
+    lines.append(f"{'deadline':>10}  {''.join(marker)}")
+    lines.append(
+        f"{'':>10}  0 .. {span:.1f} time units  "
+        f"(makespan {schedule.makespan:.1f}, deadline {schedule.graph.deadline:g})"
+    )
+    return "\n".join(lines)
+
+
+def render_floorplan(plan: Floorplan, scale_mm: float = 2.0) -> str:
+    """Render *plan* as a character grid (one char ≈ ``scale_mm`` mm)."""
+    if scale_mm <= 0.0:
+        raise ReproError(f"scale must be positive, got {scale_mm}")
+    if len(plan) == 0:
+        return "(empty floorplan)"
+    box = plan.bounding_box()
+    cols = max(1, int(box.w / scale_mm)) + 1
+    rows = max(1, int(box.h / scale_mm)) + 1
+    canvas = [[" "] * cols for _ in range(rows)]
+    marks = {}
+    for index, block in enumerate(plan):
+        mark = chr(ord("A") + index % 26)
+        marks[mark] = block.name
+        c1 = int((block.rect.x - box.x) / scale_mm)
+        c2 = max(c1 + 1, int((block.rect.x2 - box.x) / scale_mm))
+        r1 = int((block.rect.y - box.y) / scale_mm)
+        r2 = max(r1 + 1, int((block.rect.y2 - box.y) / scale_mm))
+        for row in range(r1, min(rows, r2)):
+            for col in range(c1, min(cols, c2)):
+                canvas[row][col] = mark
+    art = "\n".join("  " + "".join(row) for row in reversed(canvas))
+    legend = ", ".join(f"{mark}={name}" for mark, name in marks.items())
+    return f"{art}\n  [{legend}]  die {box.w:.1f} x {box.h:.1f} mm"
+
+
+def render_utilisation(schedule: Schedule, width: int = 40) -> str:
+    """Render per-PE utilisation bars with average power annotations."""
+    if width < 8:
+        raise ReproError(f"bar width must be >= 8, got {width}")
+    if schedule.makespan <= 0.0:
+        return "(empty schedule)"
+    busy = schedule.pe_busy_time()
+    powers = schedule.average_powers()
+    lines = []
+    for pe in schedule.architecture:
+        fraction = min(1.0, busy[pe.name] / schedule.makespan)
+        filled = int(round(fraction * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(
+            f"{pe.name:>10} |{bar}| {fraction * 100:5.1f}% busy, "
+            f"{powers[pe.name]:5.2f} W avg"
+        )
+    return "\n".join(lines)

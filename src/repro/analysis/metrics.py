@@ -1,0 +1,110 @@
+"""Evaluation of finished schedules — the numbers in the paper's tables.
+
+Every table row in the paper reports, for one (benchmark, architecture,
+policy) combination:
+
+* **Total Pow.** — the architecture's total average power (W): committed
+  energy averaged over the schedule makespan, plus idle power;
+* **Max Temp.** — the hottest PE's steady-state temperature (°C) under the
+  per-PE average powers;
+* **Avg Temp.** — the mean PE temperature (°C) under the same powers.
+
+:func:`evaluate_schedule` computes all three (plus makespan/slack/balance
+diagnostics) from a schedule and a floorplan, using the same HotSpot facade
+the thermal-aware scheduler queries — so the scheduler is scored by exactly
+the model it optimised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.schedule import Schedule
+from ..errors import ReproError
+from ..floorplan.geometry import Floorplan
+from ..thermal.hotspot import HotSpotModel
+from ..thermal.package import PackageConfig
+
+__all__ = ["ScheduleEvaluation", "evaluate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """All reported metrics of one scheduled workload."""
+
+    benchmark: str
+    architecture: str
+    policy: str
+    total_power: float
+    max_temperature: float
+    avg_temperature: float
+    makespan: float
+    deadline: float
+    load_balance: float
+    pe_temperatures: Dict[str, float]
+    pe_powers: Dict[str, float]
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the schedule fit its deadline."""
+        return self.makespan <= self.deadline + 1e-9
+
+    @property
+    def slack(self) -> float:
+        """Deadline minus makespan."""
+        return self.deadline - self.makespan
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports (paper column names)."""
+        return {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "policy": self.policy,
+            "total_pow": round(self.total_power, 2),
+            "max_temp": round(self.max_temperature, 2),
+            "avg_temp": round(self.avg_temperature, 2),
+            "makespan": round(self.makespan, 1),
+            "deadline": self.deadline,
+            "meets_deadline": self.meets_deadline,
+        }
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    floorplan: Optional[Floorplan] = None,
+    hotspot: Optional[HotSpotModel] = None,
+    package: Optional[PackageConfig] = None,
+    pe_to_block: Optional[Mapping[str, str]] = None,
+) -> ScheduleEvaluation:
+    """Score *schedule* thermally and electrically.
+
+    Exactly one of *floorplan* / *hotspot* must identify the thermal model
+    (passing a prebuilt :class:`HotSpotModel` re-uses its cached
+    factorisation across many evaluations of the same floorplan).
+    """
+    if (floorplan is None) == (hotspot is None):
+        raise ReproError("pass exactly one of floorplan= or hotspot=")
+    if hotspot is None:
+        hotspot = HotSpotModel(floorplan, package)
+    mapping = dict(pe_to_block) if pe_to_block else {}
+
+    powers = schedule.average_powers()
+    power_by_block = {mapping.get(pe, pe): watts for pe, watts in powers.items()}
+    temps = hotspot.block_temperatures(power_by_block)
+    pe_temps = {
+        pe: temps[mapping.get(pe, pe)] for pe in powers
+    }
+    return ScheduleEvaluation(
+        benchmark=schedule.graph.name,
+        architecture=schedule.architecture.name,
+        policy=schedule.policy_name,
+        total_power=sum(powers.values()),
+        max_temperature=max(pe_temps.values()),
+        avg_temperature=sum(pe_temps.values()) / len(pe_temps),
+        makespan=schedule.makespan,
+        deadline=schedule.graph.deadline,
+        load_balance=schedule.load_balance(),
+        pe_temperatures=pe_temps,
+        pe_powers=powers,
+    )

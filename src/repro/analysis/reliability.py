@@ -1,0 +1,112 @@
+"""Temperature-driven reliability metrics.
+
+The paper's first motivation: *"At sufficiently high temperatures, many
+failure mechanisms (such as electromigration and stress migration) are
+significantly accelerated, resulting in reduced system reliability."*
+This module quantifies that claim for evaluated schedules using the two
+standard compact models:
+
+* **Electromigration MTTF** (Black's equation):
+  ``MTTF ∝ J⁻ⁿ · exp(Ea / (k·T))`` — we report the *acceleration factor*
+  relative to a reference temperature, holding current density fixed;
+* **Arrhenius acceleration** for general thermally-activated mechanisms.
+
+Both operate on absolute block temperatures (°C in, Kelvin internally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import math
+
+from ..errors import ReproError
+from ..units import celsius_to_kelvin
+
+__all__ = [
+    "BOLTZMANN_EV",
+    "arrhenius_acceleration",
+    "electromigration_mttf_factor",
+    "ReliabilityReport",
+    "reliability_report",
+]
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Default electromigration activation energy (eV), aluminium/copper
+#: interconnect practice.
+DEFAULT_EA_EV = 0.7
+
+
+def arrhenius_acceleration(
+    temp_c: float, ref_temp_c: float, activation_energy_ev: float = DEFAULT_EA_EV
+) -> float:
+    """Failure-rate acceleration of ``temp_c`` relative to ``ref_temp_c``.
+
+    Values > 1 mean the mechanism is accelerated (device fails sooner).
+    """
+    if activation_energy_ev <= 0.0:
+        raise ReproError("activation energy must be positive")
+    t = celsius_to_kelvin(temp_c)
+    t_ref = celsius_to_kelvin(ref_temp_c)
+    if t <= 0.0 or t_ref <= 0.0:
+        raise ReproError("temperatures must be above absolute zero")
+    return math.exp(
+        activation_energy_ev / BOLTZMANN_EV * (1.0 / t_ref - 1.0 / t)
+    )
+
+
+def electromigration_mttf_factor(
+    temp_c: float, ref_temp_c: float = 65.0, activation_energy_ev: float = DEFAULT_EA_EV
+) -> float:
+    """MTTF multiplier vs. the reference temperature (Black's equation).
+
+    Holding current density constant, ``MTTF(T)/MTTF(T_ref) =
+    exp(Ea/k · (1/T − 1/T_ref))``.  Values < 1 mean shorter lifetime.
+    """
+    return 1.0 / arrhenius_acceleration(temp_c, ref_temp_c, activation_energy_ev)
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Per-PE and system reliability factors for one temperature map."""
+
+    ref_temp_c: float
+    pe_mttf_factors: Dict[str, float]
+    system_mttf_factor: float  # series system: limited by the worst PE
+    worst_pe: str
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "ref_temp_C": self.ref_temp_c,
+            "system_mttf_factor": round(self.system_mttf_factor, 3),
+            "worst_pe": self.worst_pe,
+        }
+
+
+def reliability_report(
+    pe_temperatures: Mapping[str, float],
+    ref_temp_c: float = 65.0,
+    activation_energy_ev: float = DEFAULT_EA_EV,
+) -> ReliabilityReport:
+    """MTTF factors for a map of PE temperatures.
+
+    The system factor takes the series-system view (any PE failing fails
+    the system): the minimum per-PE factor.
+    """
+    if not pe_temperatures:
+        raise ReproError("need at least one PE temperature")
+    factors = {
+        pe: electromigration_mttf_factor(temp, ref_temp_c, activation_energy_ev)
+        for pe, temp in pe_temperatures.items()
+    }
+    worst_pe = min(factors, key=factors.get)
+    return ReliabilityReport(
+        ref_temp_c=ref_temp_c,
+        pe_mttf_factors=factors,
+        system_mttf_factor=factors[worst_pe],
+        worst_pe=worst_pe,
+    )

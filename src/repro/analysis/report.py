@@ -1,0 +1,79 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints the same rows the paper's tables report;
+:func:`format_table` renders lists of dict rows with aligned columns, and
+:func:`format_comparison` renders paper-vs-measured pairs with deltas.
+No third-party tabulation dependency — output must be stable for diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* as an aligned ASCII table.
+
+    Columns default to the keys of the first row, in order.  Missing cells
+    render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        table.append([_fmt(row.get(c, "-")) for c in cols])
+    widths = [max(len(line[i]) for line in table) for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = table
+    lines.append("  ".join(cell.ljust(w) for cell, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Sequence[Mapping[str, object]],
+    pairs: Sequence[Sequence[str]],
+    key_columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render paper-vs-measured rows with per-pair deltas.
+
+    *pairs* lists ``(paper_column, measured_column)`` names; a ``Δ`` column
+    is appended after each pair.
+    """
+    augmented: List[Dict[str, object]] = []
+    columns: List[str] = list(key_columns)
+    for paper_col, measured_col in pairs:
+        columns.extend([paper_col, measured_col, f"d({measured_col})"])
+    for row in rows:
+        new_row: Dict[str, object] = {k: row.get(k, "-") for k in key_columns}
+        for paper_col, measured_col in pairs:
+            paper = row.get(paper_col)
+            measured = row.get(measured_col)
+            new_row[paper_col] = paper
+            new_row[measured_col] = measured
+            if isinstance(paper, (int, float)) and isinstance(measured, (int, float)):
+                new_row[f"d({measured_col})"] = round(measured - paper, 2)
+            else:
+                new_row[f"d({measured_col})"] = "-"
+        augmented.append(new_row)
+    return format_table(augmented, columns, title)

@@ -1,0 +1,35 @@
+"""Static criticality (SC).
+
+The paper: *"The static criticality (SC) for each task is calculated as the
+maximum distance from current task to the end task in a task graph.  This is
+similar to the priority ordering in some list schedulers."*
+
+The distance metric needs a node cost; since SC must be independent of the
+eventual PE choice, we use each task's **mean WCET across the PE types that
+support it** (the usual choice in heterogeneous list scheduling, cf. HEFT's
+upward rank).  A ``node_cost`` override is accepted for experimentation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..library.technology import TechnologyLibrary
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.task import Task
+
+__all__ = ["static_criticality"]
+
+
+def static_criticality(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    node_cost: Optional[Callable[[Task], float]] = None,
+) -> Dict[str, float]:
+    """SC of every task: longest mean-WCET path from the task to a sink.
+
+    The value includes the task's own cost, so SC of a sink equals its own
+    mean WCET and SC of a source equals the critical-path length through it.
+    """
+    cost = node_cost if node_cost is not None else library.mean_wcet
+    return graph.longest_path_to_sink(cost)

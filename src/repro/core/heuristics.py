@@ -1,0 +1,244 @@
+"""Dynamic-criticality (DC) policies: the pluggable ``Pow`` term.
+
+The paper defines
+
+```
+DC(task_i, PE_j) = SC(task_i) − WCET(task_i, PE_j)
+                   − max(avail(PE_j), ready(task_i)) − Pow
+```
+
+and interprets the last term five ways:
+
+* **baseline** — no term (the traditional, performance-only ASP);
+* **heuristic 1** — power of the current task on the candidate PE;
+* **heuristic 2** — cumulative average power of the candidate PE (with the
+  candidate task included);
+* **heuristic 3** — energy of the current task on the candidate PE;
+* **thermal** — ``Avg_Temp``: average block temperature returned by HotSpot
+  for the cumulative per-PE powers plus the candidate task's power.
+
+Each policy carries a ``weight`` that scales its term into the time-unit
+range of the other DC components (the paper leaves these scale factors
+implicit; DESIGN.md §5 and ablation A1 discuss the choice).  A weight of
+zero turns any policy into the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, TYPE_CHECKING
+
+from ..errors import SchedulingError
+from ..power.model import PowerAccumulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..thermal.hotspot import HotSpotModel
+
+__all__ = [
+    "DCContext",
+    "DCPolicy",
+    "BaselinePolicy",
+    "TaskPowerPolicy",
+    "CumulativePowerPolicy",
+    "TaskEnergyPolicy",
+    "ThermalPolicy",
+    "policy_by_name",
+    "POLICY_NAMES",
+]
+
+
+@dataclass
+class DCContext:
+    """Everything a DC policy may inspect about one (task, PE) candidate.
+
+    Fields
+    ------
+    task_name, pe_name:
+        The candidate pairing.
+    wcet, power, energy:
+        Library characteristics of the pairing (energy = wcet × power).
+    ready_time:
+        Latest finish time of the task's predecessors.
+    start, finish:
+        Tentative start (``max(avail, ready)``) and finish times.
+    accumulator:
+        Running per-PE power/energy bookkeeping for the partial schedule.
+    horizon:
+        Time span over which cumulative averages are taken — the tentative
+        schedule length if this candidate were committed.
+    thermal:
+        The HotSpot facade, present only when the scheduler was built with
+        one (required by :class:`ThermalPolicy`).
+    pe_to_block:
+        Maps PE names to thermal-model block names (identity for the
+        standard flows, but kept explicit so schedules can target floorplans
+        whose block names differ).
+    """
+
+    task_name: str
+    pe_name: str
+    wcet: float
+    power: float
+    energy: float
+    ready_time: float
+    start: float
+    finish: float
+    accumulator: PowerAccumulator
+    horizon: float
+    thermal: Optional["HotSpotModel"] = None
+    pe_to_block: Optional[Mapping[str, str]] = None
+
+
+class DCPolicy:
+    """Base class: a named, weighted penalty term subtracted from DC."""
+
+    #: Registry name (overridden by subclasses).
+    name = "abstract"
+    #: Whether the scheduler must supply a thermal model.
+    requires_thermal = False
+
+    def __init__(self, weight: float = 1.0):
+        if weight < 0.0:
+            raise SchedulingError(f"policy weight must be >= 0, got {weight}")
+        self.weight = weight
+
+    def penalty(self, ctx: DCContext) -> float:
+        """The ``Pow`` value (already scaled by ``weight``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(weight={self.weight})"
+
+
+class BaselinePolicy(DCPolicy):
+    """The traditional ASP: no power/thermal term at all."""
+
+    name = "baseline"
+
+    def __init__(self, weight: float = 0.0):
+        super().__init__(weight)
+
+    def penalty(self, ctx: DCContext) -> float:
+        return 0.0
+
+
+class TaskPowerPolicy(DCPolicy):
+    """Heuristic 1: minimise the power of the current task.
+
+    The default weight maps the catalogue's 2–25 W candidate powers into
+    the same few-tens-of-time-units range as the WCET term, so power can
+    actually flip decisions without drowning criticality.
+    """
+
+    name = "heuristic1"
+
+    def __init__(self, weight: float = 4.0):
+        super().__init__(weight)
+
+    def penalty(self, ctx: DCContext) -> float:
+        return self.weight * ctx.power
+
+
+class CumulativePowerPolicy(DCPolicy):
+    """Heuristic 2: minimise the cumulative average power of the PE.
+
+    The candidate task's energy is included before averaging, so the term
+    reflects what the PE's average power *becomes* if the candidate is
+    committed — this is what lets the policy balance power across PEs.
+    """
+
+    name = "heuristic2"
+
+    def __init__(self, weight: float = 4.0):
+        super().__init__(weight)
+
+    def penalty(self, ctx: DCContext) -> float:
+        averages = ctx.accumulator.average_powers(
+            ctx.horizon, extra={ctx.pe_name: ctx.energy}
+        )
+        return self.weight * averages[ctx.pe_name]
+
+
+class TaskEnergyPolicy(DCPolicy):
+    """Heuristic 3: minimise the energy of the current task.
+
+    Energy spans roughly 50–2000 J-equivalents in the preset libraries, two
+    orders larger than WCETs, hence the small default weight.
+    """
+
+    name = "heuristic3"
+
+    def __init__(self, weight: float = 0.10):
+        super().__init__(weight)
+
+    def penalty(self, ctx: DCContext) -> float:
+        return self.weight * ctx.energy
+
+
+class ThermalPolicy(DCPolicy):
+    """Thermal-aware ASP: minimise the average temperature (``Avg_Temp``).
+
+    Implements the paper's Section 2.2 verbatim: the per-PE cumulative
+    average powers, plus the candidate task's power on the candidate PE,
+    are handed to HotSpot; the returned block temperatures are averaged and
+    the average is the penalty.
+
+    Temperature *levels* (60–125 °C) dwarf inter-candidate temperature
+    *differences* (tenths of a °C to a few °C), so the default weight is
+    large; since the level component is nearly identical across candidates
+    it cancels in the argmax and only the differences steer decisions.
+    """
+
+    name = "thermal"
+    requires_thermal = True
+
+    def __init__(self, weight: float = 20.0):
+        super().__init__(weight)
+
+    def penalty(self, ctx: DCContext) -> float:
+        if ctx.thermal is None:
+            raise SchedulingError(
+                "ThermalPolicy needs a thermal model; build the scheduler "
+                "with a floorplan/HotSpotModel"
+            )
+        averages = ctx.accumulator.average_powers(
+            ctx.horizon, extra={ctx.pe_name: ctx.energy}
+        )
+        mapping = ctx.pe_to_block or {}
+        power_by_block = {
+            mapping.get(pe, pe): watts for pe, watts in averages.items()
+        }
+        avg_temp = ctx.thermal.average_temperature(power_by_block)
+        return self.weight * avg_temp
+
+
+#: Name → policy class registry, in the paper's presentation order.
+_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        BaselinePolicy,
+        TaskPowerPolicy,
+        CumulativePowerPolicy,
+        TaskEnergyPolicy,
+        ThermalPolicy,
+    )
+}
+
+#: All registered policy names.
+POLICY_NAMES = tuple(_REGISTRY)
+
+
+def policy_by_name(name: str, weight: Optional[float] = None) -> DCPolicy:
+    """Instantiate a policy from its registry name.
+
+    ``weight=None`` keeps each policy's calibrated default.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown DC policy {name!r}; available: {POLICY_NAMES}"
+        )
+    if weight is None:
+        return cls()
+    return cls(weight)

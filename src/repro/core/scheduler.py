@@ -1,0 +1,235 @@
+"""The Allocation and Scheduling Procedure (ASP).
+
+A list scheduler in the style of Xie & Wolf's co-synthesis inner loop
+(ref [1] of the paper), extended with the pluggable ``Pow``/``Avg_Temp``
+dynamic-criticality term of Hung et al.:
+
+1. compute every task's static criticality (SC);
+2. repeatedly, over all *ready* tasks × supporting PEs, evaluate
+
+   ``DC = SC − WCET − max(avail(PE), ready(task)) − policy.penalty(...)``
+
+   and commit the candidate with the highest DC (deterministic
+   tie-breaking: earliest finish, then graph order, then PE order);
+3. stop when every task is placed.
+
+The procedure always produces a complete schedule; deadline satisfaction is
+checked afterwards (``check_deadline=True`` raises
+:class:`~repro.errors.DeadlineMissError`, the co-synthesis loop instead
+inspects :attr:`Schedule.meets_deadline` and iterates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..errors import DeadlineMissError, InfeasibleAllocationError
+from ..library.bus import CommunicationModel, zero_cost_comm
+from ..library.pe import Architecture
+from ..library.technology import TechnologyLibrary
+from ..power.model import PowerAccumulator
+from ..taskgraph.graph import TaskGraph
+from ..thermal.hotspot import HotSpotModel
+from .criticality import static_criticality
+from .heuristics import BaselinePolicy, DCContext, DCPolicy
+from .schedule import Assignment, Schedule
+
+__all__ = ["ListScheduler", "schedule_graph"]
+
+
+class ListScheduler:
+    """Reusable ASP engine bound to one (graph, architecture, library).
+
+    Parameters
+    ----------
+    graph, architecture, library:
+        The workload, the PE set, and the WCET/WCPC store.
+    thermal:
+        HotSpot facade over the architecture's floorplan; required by
+        thermal policies, ignored by the others.
+    pe_to_block:
+        Optional PE-name → thermal-block-name mapping; defaults to the
+        identity (floorplans built from architectures use PE names).
+    comm:
+        Communication-cost model.  Defaults to the paper's configuration
+        (communication is free); pass
+        :func:`repro.library.bus.shared_bus_comm` to charge cross-PE edges
+        one bus transfer each.
+    deadline_guard:
+        Weight of the real-time guard term ``max(0, finish − deadline)``
+        subtracted from DC.  The power/thermal penalties reward slower,
+        cooler placements; the guard keeps that trade *inside* the deadline
+        by making past-deadline finishes steeply unattractive whenever an
+        in-deadline alternative exists.  Set to 0.0 to disable (pure paper
+        equation).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        architecture: Architecture,
+        library: TechnologyLibrary,
+        thermal: Optional[HotSpotModel] = None,
+        pe_to_block: Optional[Mapping[str, str]] = None,
+        deadline_guard: float = 10.0,
+        comm: Optional[CommunicationModel] = None,
+    ):
+        if deadline_guard < 0.0:
+            raise InfeasibleAllocationError(
+                f"deadline_guard must be >= 0, got {deadline_guard}"
+            )
+        library.check_graph(graph, architecture)  # fail fast on infeasibility
+        self.graph = graph
+        self.architecture = architecture
+        self.library = library
+        self.thermal = thermal
+        self.pe_to_block = dict(pe_to_block) if pe_to_block else None
+        self.deadline_guard = float(deadline_guard)
+        self.comm = comm if comm is not None else zero_cost_comm()
+        self._sc = static_criticality(graph, library)
+        # remaining critical path *after* each task (mean-WCET estimate),
+        # used by the deadline guard: a candidate finishing at time t leaves
+        # at least _downstream[task] units of successor work to run
+        self._downstream = {
+            name: self._sc[name] - library.mean_wcet(graph.task(name))
+            for name in graph.task_names()
+        }
+        self._graph_order = {name: i for i, name in enumerate(graph.task_names())}
+        self._pe_order = {pe.name: i for i, pe in enumerate(architecture)}
+        # pre-resolve per-task candidate PE lists (architecture order)
+        self._candidates: Dict[str, List[str]] = {}
+        for task in graph:
+            pes = [
+                pe.name for pe in architecture if library.supports(task, pe)
+            ]
+            if not pes:
+                raise InfeasibleAllocationError(
+                    f"task {task.name!r} has no supporting PE in "
+                    f"{architecture.name!r}"
+                )
+            self._candidates[task.name] = pes
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        policy: Optional[DCPolicy] = None,
+        check_deadline: bool = False,
+    ) -> Schedule:
+        """Execute the ASP under *policy* (default: baseline)."""
+        policy = policy if policy is not None else BaselinePolicy()
+        if policy.requires_thermal and self.thermal is None:
+            raise InfeasibleAllocationError(
+                f"policy {policy.name!r} requires a thermal model; pass "
+                f"`thermal=` when building the scheduler"
+            )
+        graph = self.graph
+        avail: Dict[str, float] = {pe.name: 0.0 for pe in self.architecture}
+        finish: Dict[str, float] = {}
+        unscheduled_preds: Dict[str, int] = {
+            name: graph.in_degree(name) for name in graph.task_names()
+        }
+        ready: Set[str] = {n for n, d in unscheduled_preds.items() if d == 0}
+        pe_of: Dict[str, str] = {}  # committed task -> its PE (for comm delays)
+        accumulator = PowerAccumulator(
+            avail.keys(),
+            idle_power={
+                pe.name: pe.pe_type.idle_power for pe in self.architecture
+            },
+        )
+        assignments: List[Assignment] = []
+        current_makespan = 0.0
+
+        while ready:
+            best = None  # (dc, -finish, -orders) comparison via explicit loop
+            best_key = None
+            comm_free = self.comm.is_free
+            for task_name in ready:
+                task = graph.task(task_name)
+                sc = self._sc[task_name]
+                base_ready = max(
+                    (finish[p] for p in graph.predecessors(task_name)),
+                    default=0.0,
+                )
+                for pe_name in self._candidates[task_name]:
+                    if comm_free:
+                        ready_time = base_ready
+                    else:
+                        # data from predecessors on other PEs arrives late
+                        ready_time = 0.0
+                        for pred in graph.predecessors(task_name):
+                            arrival = finish[pred] + self.comm.delay(
+                                pe_of[pred], pe_name, graph.edge(pred, task_name).data
+                            )
+                            ready_time = max(ready_time, arrival)
+                    pe = self.architecture.pe(pe_name)
+                    wcet = self.library.wcet(task, pe)
+                    power = self.library.power(task, pe)
+                    start = max(avail[pe_name], ready_time)
+                    end = start + wcet
+                    ctx = DCContext(
+                        task_name=task_name,
+                        pe_name=pe_name,
+                        wcet=wcet,
+                        power=power,
+                        energy=wcet * power,
+                        ready_time=ready_time,
+                        start=start,
+                        finish=end,
+                        accumulator=accumulator,
+                        horizon=max(current_makespan, end),
+                        thermal=self.thermal,
+                        pe_to_block=self.pe_to_block,
+                    )
+                    dc = sc - wcet - start - policy.penalty(ctx)
+                    if self.deadline_guard:
+                        # estimated graph completion if this candidate is
+                        # committed: its finish plus the remaining critical
+                        # path through it
+                        completion = end + self._downstream[task_name]
+                        overrun = completion - graph.deadline
+                        if overrun > 0.0:
+                            dc -= self.deadline_guard * overrun
+                    # maximise dc; break ties toward earlier finish, then
+                    # graph insertion order, then architecture order
+                    key = (
+                        -dc,
+                        end,
+                        self._graph_order[task_name],
+                        self._pe_order[pe_name],
+                    )
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = (task_name, pe_name, start, end, power, wcet)
+
+            task_name, pe_name, start, end, power, wcet = best
+            assignments.append(Assignment(task_name, pe_name, start, end, power))
+            avail[pe_name] = end
+            finish[task_name] = end
+            pe_of[task_name] = pe_name
+            current_makespan = max(current_makespan, end)
+            accumulator.record(pe_name, power, wcet)
+            ready.discard(task_name)
+            for successor in graph.successors(task_name):
+                unscheduled_preds[successor] -= 1
+                if unscheduled_preds[successor] == 0:
+                    ready.add(successor)
+
+        schedule = Schedule(graph, self.architecture, assignments, policy.name)
+        if check_deadline and not schedule.meets_deadline:
+            raise DeadlineMissError(schedule.makespan, graph.deadline)
+        return schedule
+
+
+def schedule_graph(
+    graph: TaskGraph,
+    architecture: Architecture,
+    library: TechnologyLibrary,
+    policy: Optional[DCPolicy] = None,
+    thermal: Optional[HotSpotModel] = None,
+    check_deadline: bool = False,
+    comm: Optional[CommunicationModel] = None,
+) -> Schedule:
+    """One-shot convenience wrapper around :class:`ListScheduler`."""
+    scheduler = ListScheduler(graph, architecture, library, thermal, comm=comm)
+    return scheduler.run(policy, check_deadline=check_deadline)

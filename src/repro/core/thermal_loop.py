@@ -1,0 +1,62 @@
+"""HotSpot-in-the-loop scheduler construction.
+
+Wires together the pieces of the paper's Figure 1b (platform-based flow):
+fixed architecture → fixed floorplan → HotSpot model → ASP with thermal
+inquiries.  The co-synthesis flow (Figure 1a) builds the same scheduler but
+gets its floorplan from the thermal-aware floorplanner — see
+:mod:`repro.cosynth.framework`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ThermalError
+from ..floorplan.geometry import Floorplan
+from ..floorplan.platform import platform_floorplan
+from ..library.pe import Architecture
+from ..library.technology import TechnologyLibrary
+from ..taskgraph.graph import TaskGraph
+from ..thermal.hotspot import HotSpotModel
+from ..thermal.package import PackageConfig
+from .scheduler import ListScheduler
+
+__all__ = ["thermal_scheduler", "hotspot_for"]
+
+
+def hotspot_for(
+    architecture: Architecture,
+    floorplan: Optional[Floorplan] = None,
+    package: Optional[PackageConfig] = None,
+) -> HotSpotModel:
+    """Build a :class:`HotSpotModel` for *architecture*.
+
+    When *floorplan* is omitted the canonical platform layout is used.  The
+    floorplan's block names must cover every PE of the architecture (block
+    names are PE instance names in all standard flows).
+    """
+    plan = floorplan if floorplan is not None else platform_floorplan(architecture)
+    missing = [pe.name for pe in architecture if pe.name not in plan]
+    if missing:
+        raise ThermalError(
+            f"floorplan lacks blocks for PEs {missing}; floorplan blocks: "
+            f"{plan.block_names()}"
+        )
+    return HotSpotModel(plan, package)
+
+
+def thermal_scheduler(
+    graph: TaskGraph,
+    architecture: Architecture,
+    library: TechnologyLibrary,
+    floorplan: Optional[Floorplan] = None,
+    package: Optional[PackageConfig] = None,
+) -> ListScheduler:
+    """A :class:`ListScheduler` with a thermal model attached.
+
+    The returned scheduler can run *any* policy; attaching the model merely
+    enables thermal ones.  This is the entry point for the paper's
+    platform-based thermal-aware design flow.
+    """
+    model = hotspot_for(architecture, floorplan, package)
+    return ListScheduler(graph, architecture, library, thermal=model)

@@ -1,0 +1,91 @@
+"""PE-allocation enumeration for co-synthesis.
+
+For the small PE catalogues of embedded co-synthesis (the preset has five
+types) and small instance budgets (≤ 4–5 PEs), the space of candidate
+allocations — multisets of PE types — is tiny (≈ 125 for 5 types × ≤ 4
+instances), so the allocator enumerates it exhaustively and lets a cheap
+screening pass prune before expensive thermal evaluation.  This replaces
+the heuristic allocation steps of Xie–Wolf co-synthesis with a method that
+is deterministic and strictly at least as good for these sizes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CoSynthesisError
+from ..library.pe import Architecture, PEType
+from ..library.technology import TechnologyLibrary
+from ..taskgraph.graph import TaskGraph
+
+__all__ = ["enumerate_allocations", "feasible_allocations", "make_architecture"]
+
+
+def make_architecture(
+    pe_types: Sequence[PEType], name: Optional[str] = None
+) -> Architecture:
+    """Instantiate an architecture from a multiset of PE types.
+
+    Instance names are ``pe0..peN`` in the given order; the architecture
+    name defaults to the sorted type multiset (e.g. ``"dsp+emb-risc x2"``).
+    """
+    if not pe_types:
+        raise CoSynthesisError("an allocation needs at least one PE type")
+    if name is None:
+        counts: Dict[str, int] = {}
+        for pe_type in pe_types:
+            counts[pe_type.name] = counts.get(pe_type.name, 0) + 1
+        name = "+".join(
+            f"{type_name}x{count}" if count > 1 else type_name
+            for type_name, count in sorted(counts.items())
+        )
+    architecture = Architecture(name)
+    for pe_type in pe_types:
+        architecture.add_instance(pe_type)
+    return architecture
+
+
+def enumerate_allocations(
+    catalogue: Sequence[PEType],
+    max_pes: int = 4,
+    min_pes: int = 1,
+) -> Iterator[Tuple[PEType, ...]]:
+    """Yield every multiset of catalogue types with ``min_pes..max_pes``
+    instances, in a deterministic order (size, then catalogue order)."""
+    if not catalogue:
+        raise CoSynthesisError("catalogue must be non-empty")
+    if not (1 <= min_pes <= max_pes):
+        raise CoSynthesisError(
+            f"need 1 <= min_pes <= max_pes, got [{min_pes}, {max_pes}]"
+        )
+    for size in range(min_pes, max_pes + 1):
+        yield from combinations_with_replacement(catalogue, size)
+
+
+def feasible_allocations(
+    graph: TaskGraph,
+    library: TechnologyLibrary,
+    catalogue: Sequence[PEType],
+    max_pes: int = 4,
+    min_pes: int = 1,
+) -> List[Architecture]:
+    """All enumerated allocations whose type set can execute every task.
+
+    Only the *type coverage* check runs here (cheap); deadline feasibility
+    requires scheduling and is the framework's screening phase.
+    """
+    results: List[Architecture] = []
+    needed: List[Set[str]] = [
+        set(library.supported_pe_types(task)) for task in graph
+    ]
+    for pe_types in enumerate_allocations(catalogue, max_pes, min_pes):
+        available = {pe_type.name for pe_type in pe_types}
+        if all(avail & available for avail in needed):
+            results.append(make_architecture(pe_types))
+    if not results:
+        raise CoSynthesisError(
+            f"no allocation of <= {max_pes} PEs from the catalogue can "
+            f"execute workload {graph.name!r}"
+        )
+    return results

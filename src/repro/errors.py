@@ -1,0 +1,99 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TaskGraphError",
+    "CycleError",
+    "LibraryError",
+    "UnknownTaskTypeError",
+    "UnknownPETypeError",
+    "FloorplanError",
+    "SlicingError",
+    "ThermalError",
+    "SingularNetworkError",
+    "SchedulingError",
+    "DeadlineMissError",
+    "InfeasibleAllocationError",
+    "CoSynthesisError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TaskGraphError(ReproError):
+    """Structural problem in a task graph (bad node, bad edge, bad field)."""
+
+
+class CycleError(TaskGraphError):
+    """The task graph contains a directed cycle and therefore is not a DAG."""
+
+
+class LibraryError(ReproError):
+    """Problem with a technology library (missing or inconsistent entries)."""
+
+
+class UnknownTaskTypeError(LibraryError):
+    """A task references a task type absent from the technology library."""
+
+
+class UnknownPETypeError(LibraryError):
+    """An architecture references a PE type absent from the catalogue."""
+
+
+class FloorplanError(ReproError):
+    """Geometric problem in a floorplan (overlap, bad dimensions...)."""
+
+
+class SlicingError(FloorplanError):
+    """Malformed slicing tree / Polish expression."""
+
+
+class ThermalError(ReproError):
+    """Problem while building or solving a thermal network."""
+
+
+class SingularNetworkError(ThermalError):
+    """The thermal conductance matrix is singular (network not grounded)."""
+
+
+class SchedulingError(ReproError):
+    """The ASP could not produce a valid schedule."""
+
+
+class DeadlineMissError(SchedulingError):
+    """A produced schedule violates the task-graph deadline.
+
+    Carries the achieved makespan and the deadline so callers (e.g. the
+    co-synthesis loop) can reason about how far off the attempt was.
+    """
+
+    def __init__(self, makespan: float, deadline: float, message: str = ""):
+        self.makespan = float(makespan)
+        self.deadline = float(deadline)
+        text = message or (
+            f"schedule makespan {self.makespan:.3f} exceeds "
+            f"deadline {self.deadline:.3f}"
+        )
+        super().__init__(text)
+
+
+class InfeasibleAllocationError(SchedulingError):
+    """No PE in the current allocation can execute some task type."""
+
+
+class CoSynthesisError(ReproError):
+    """The co-synthesis outer loop failed to find a feasible architecture."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is inconsistent or failed to run."""

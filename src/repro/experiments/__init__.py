@@ -1,0 +1,46 @@
+"""Experiment definitions (S9): the paper's tables and figure as code."""
+
+from .paper_data import (
+    PAPER_ROWS,
+    TABLE1_COSYNTHESIS,
+    TABLE1_PLATFORM,
+    TABLE2,
+    TABLE3,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from .workloads import WORKLOAD_NAMES, all_workloads, workload
+from .table1 import TABLE1_POLICIES, format_table1, run_table1
+from .table2 import format_table2, run_table2, table2_reductions
+from .table3 import format_table3, run_table3, table3_reductions
+from .figure1 import FlowTrace, format_figure1, run_figure1
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "PAPER_ROWS",
+    "TABLE1_COSYNTHESIS",
+    "TABLE1_PLATFORM",
+    "TABLE2",
+    "TABLE3",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "WORKLOAD_NAMES",
+    "workload",
+    "all_workloads",
+    "TABLE1_POLICIES",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "table2_reductions",
+    "run_table3",
+    "format_table3",
+    "table3_reductions",
+    "FlowTrace",
+    "run_figure1",
+    "format_figure1",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,165 @@
+"""The paper's published numbers (Tables 1–3), transcribed verbatim.
+
+Used by the benchmark harness to print paper-vs-measured rows and by the
+shape checks (orderings, deltas) in tests.  Units: W for power, °C for
+temperatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "TABLE1_COSYNTHESIS",
+    "TABLE1_PLATFORM",
+    "TABLE2",
+    "TABLE3",
+    "PAPER_ROWS",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]
+
+#: (total_pow, max_temp, avg_temp) triples.
+Triple = Tuple[float, float, float]
+
+#: Table 1, co-synthesis architecture columns.
+#: benchmark -> policy -> (total power, max temp, avg temp)
+TABLE1_COSYNTHESIS: Dict[str, Dict[str, Triple]] = {
+    "Bm1": {
+        "baseline": (16.60, 118.18, 106.32),
+        "heuristic1": (16.14, 121.70, 109.29),
+        "heuristic2": (16.60, 118.18, 106.32),
+        "heuristic3": (15.56, 113.29, 104.49),
+    },
+    "Bm2": {
+        "baseline": (29.47, 121.44, 110.22),
+        "heuristic1": (28.55, 115.21, 107.55),
+        "heuristic2": (29.47, 121.44, 110.22),
+        "heuristic3": (28.27, 112.82, 105.42),
+    },
+    "Bm3": {
+        "baseline": (28.84, 113.58, 101.76),
+        "heuristic1": (27.75, 110.33, 100.46),
+        "heuristic2": (29.35, 110.49, 100.60),
+        "heuristic3": (28.20, 109.96, 100.15),
+    },
+    "Bm4": {
+        "baseline": (44.99, 122.09, 111.14),
+        "heuristic1": (46.99, 122.28, 111.53),
+        "heuristic2": (44.99, 117.86, 111.13),
+        "heuristic3": (43.34, 118.68, 109.87),
+    },
+}
+
+#: Table 1, platform-based architecture columns.
+TABLE1_PLATFORM: Dict[str, Dict[str, Triple]] = {
+    "Bm1": {
+        "baseline": (11.91, 100.59, 81.03),
+        "heuristic1": (10.40, 85.88, 75.58),
+        "heuristic2": (12.60, 107.16, 82.78),
+        "heuristic3": (10.40, 85.88, 75.58),
+    },
+    "Bm2": {
+        "baseline": (24.48, 114.33, 101.04),
+        "heuristic1": (23.36, 107.63, 98.21),
+        "heuristic2": (24.90, 113.31, 99.96),
+        "heuristic3": (24.09, 106.63, 97.40),
+    },
+    "Bm3": {
+        "baseline": (26.88, 113.81, 98.47),
+        "heuristic1": (26.10, 106.63, 96.74),
+        "heuristic2": (26.88, 113.81, 98.47),
+        "heuristic3": (25.20, 103.95, 94.69),
+    },
+    "Bm4": {
+        "baseline": (42.35, 106.54, 97.05),
+        "heuristic1": (40.33, 100.61, 89.74),
+        "heuristic2": (42.35, 106.54, 91.62),
+        "heuristic3": (41.64, 100.42, 89.24),
+    },
+}
+
+#: Table 2: power-aware (H3) vs thermal-aware, co-synthesis architecture.
+TABLE2: Dict[str, Dict[str, Triple]] = {
+    "Bm1": {
+        "power_aware": (15.56, 113.29, 104.49),
+        "thermal_aware": (12.48, 87.11, 86.13),
+    },
+    "Bm2": {
+        "power_aware": (28.27, 112.82, 105.42),
+        "thermal_aware": (24.64, 106.38, 99.84),
+    },
+    "Bm3": {
+        "power_aware": (28.20, 109.96, 100.15),
+        "thermal_aware": (26.51, 102.08, 96.28),
+    },
+    "Bm4": {
+        "power_aware": (43.34, 118.68, 109.87),
+        "thermal_aware": (42.41, 106.32, 102.48),
+    },
+}
+
+#: Table 3: power-aware (H3) vs thermal-aware, platform architecture.
+TABLE3: Dict[str, Dict[str, Triple]] = {
+    "Bm1": {
+        "power_aware": (10.40, 85.88, 75.58),
+        "thermal_aware": (6.37, 65.71, 61.16),
+    },
+    "Bm2": {
+        "power_aware": (24.09, 106.63, 97.40),
+        "thermal_aware": (22.37, 96.33, 93.47),
+    },
+    "Bm3": {
+        "power_aware": (25.20, 103.95, 94.69),
+        "thermal_aware": (24.98, 103.03, 94.59),
+    },
+    "Bm4": {
+        "power_aware": (41.64, 100.42, 89.24),
+        "thermal_aware": (38.54, 94.85, 85.76),
+    },
+}
+
+#: Headline reductions the paper reports (°C): thermal-aware vs power-aware.
+PAPER_ROWS = {
+    "table2_max_temp_reduction": 10.9,
+    "table2_avg_temp_reduction": 6.95,
+    "table3_max_temp_reduction": 9.75,
+    "table3_avg_temp_reduction": 5.02,
+}
+
+
+def _rows_from(
+    data: Dict[str, Dict[str, Triple]], architecture_label: str
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for benchmark, by_policy in data.items():
+        for policy, (power, max_temp, avg_temp) in by_policy.items():
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "architecture": architecture_label,
+                    "policy": policy,
+                    "paper_total_pow": power,
+                    "paper_max_temp": max_temp,
+                    "paper_avg_temp": avg_temp,
+                }
+            )
+    return rows
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Table 1 as flat rows (both architecture groups)."""
+    return _rows_from(TABLE1_COSYNTHESIS, "co-synthesis") + _rows_from(
+        TABLE1_PLATFORM, "platform"
+    )
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """Table 2 as flat rows."""
+    return _rows_from(TABLE2, "co-synthesis")
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    """Table 3 as flat rows."""
+    return _rows_from(TABLE3, "platform")

@@ -1,0 +1,55 @@
+"""Experiment registry and runner.
+
+Maps experiment ids (``table1`` … ``figure1``) to their run/format pairs so
+examples, benchmarks and the command line can regenerate any published
+artefact uniformly::
+
+    python -m repro.experiments.runner table3
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .figure1 import format_figure1, run_figure1
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+from .table3 import format_table3, run_table3
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: id -> (runner, formatter) registry.
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1": (run_table1, format_table1),
+    "table2": (run_table2, format_table2),
+    "table3": (run_table3, format_table3),
+    "figure1": (run_figure1, format_figure1),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> str:
+    """Run one experiment by id and return its formatted report."""
+    try:
+        runner, formatter = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return formatter(runner(**kwargs))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run the named experiments (default: all)."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    targets = args or sorted(EXPERIMENTS)
+    for target in targets:
+        print(run_experiment(target))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Benchmark workloads: graph + technology library pairs.
+
+One benchmark = one TGFF-style graph (Bm1–Bm4, exact paper shape) plus its
+generated technology library over the full PE catalogue.  Pairs are cached
+module-wide: the graphs and libraries are deterministic, and sharing them
+across experiments keeps every table evaluated on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..library.presets import library_for_graph
+from ..library.technology import TechnologyLibrary
+from ..taskgraph.benchmarks import BENCHMARK_NAMES, benchmark
+from ..taskgraph.graph import TaskGraph
+
+__all__ = ["workload", "all_workloads", "WORKLOAD_NAMES"]
+
+#: Benchmark names in the paper's order.
+WORKLOAD_NAMES: List[str] = list(BENCHMARK_NAMES)
+
+_cache: Dict[str, Tuple[TaskGraph, TechnologyLibrary]] = {}
+
+
+def workload(name: str) -> Tuple[TaskGraph, TechnologyLibrary]:
+    """The (graph, library) pair for one benchmark (cached)."""
+    if name not in _cache:
+        graph = benchmark(name)
+        _cache[name] = (graph, library_for_graph(graph))
+    return _cache[name]
+
+
+def all_workloads() -> List[Tuple[TaskGraph, TechnologyLibrary]]:
+    """All four benchmarks, in the paper's order."""
+    return [workload(name) for name in WORKLOAD_NAMES]

@@ -1,0 +1,257 @@
+"""Dynamic voltage/frequency scaling (DVFS) slack reclamation.
+
+A natural extension of the paper's approach (and the dominant follow-up
+direction in thermal-aware scheduling after 2005): once the ASP has fixed
+the mapping and ordering, any slack between the makespan and the deadline
+can be *reclaimed* by running tasks at lower voltage/frequency levels —
+cutting energy quadratically in voltage and therefore lowering steady-state
+temperatures further, without changing the mapping.
+
+Model
+-----
+A :class:`DVFSLevel` scales a task's execution time by ``1/frequency`` and
+its power by ``frequency × voltage²`` (the classic ``P ∝ C·V²·f`` model),
+so energy scales by ``voltage²``.
+
+Algorithm
+---------
+:func:`reclaim_slack` is a greedy level-lowering pass: repeatedly pick the
+assignment with the highest energy *saving* available from dropping one
+level, apply it, and recompute the schedule's timing (same mapping, same
+per-PE order, same precedences); revert if the deadline breaks.  This is
+the standard list-schedule slack-reclamation shape (cf. Zhang et al.,
+DAC'02) and is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import Assignment, Schedule
+from ..errors import SchedulingError
+
+__all__ = ["DVFSLevel", "DEFAULT_LEVELS", "DVFSResult", "reclaim_slack",
+           "retime_schedule"]
+
+
+@dataclass(frozen=True)
+class DVFSLevel:
+    """One operating point of a PE.
+
+    ``frequency`` and ``voltage`` are fractions of the nominal point (the
+    level the technology library's WCET/WCPC were characterised at).
+    """
+
+    name: str
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.frequency <= 1.0):
+            raise SchedulingError(
+                f"level {self.name!r}: frequency must be in (0, 1], got "
+                f"{self.frequency}"
+            )
+        if not (0.0 < self.voltage <= 1.0):
+            raise SchedulingError(
+                f"level {self.name!r}: voltage must be in (0, 1], got "
+                f"{self.voltage}"
+            )
+
+    @property
+    def time_scale(self) -> float:
+        """Execution-time multiplier (≥ 1)."""
+        return 1.0 / self.frequency
+
+    @property
+    def power_scale(self) -> float:
+        """Dynamic-power multiplier: ``f · v²`` (≤ 1)."""
+        return self.frequency * self.voltage**2
+
+    @property
+    def energy_scale(self) -> float:
+        """Energy multiplier: ``v²`` (≤ 1)."""
+        return self.voltage**2
+
+
+#: Nominal + two scaled points, voltage tracking frequency (typical
+#: embedded DVFS ladder).
+DEFAULT_LEVELS: Tuple[DVFSLevel, ...] = (
+    DVFSLevel("nominal", frequency=1.0, voltage=1.0),
+    DVFSLevel("medium", frequency=0.8, voltage=0.85),
+    DVFSLevel("slow", frequency=0.6, voltage=0.72),
+)
+
+
+@dataclass
+class DVFSResult:
+    """Outcome of a slack-reclamation pass."""
+
+    schedule: Schedule
+    levels: Dict[str, DVFSLevel]  # task -> chosen level
+    energy_before: float
+    energy_after: float
+    makespan_before: float
+    makespan_after: float
+    lowered_tasks: int
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Fraction of dynamic energy removed, in [0, 1)."""
+        if self.energy_before <= 0.0:
+            return 0.0
+        return 1.0 - self.energy_after / self.energy_before
+
+
+def retime_schedule(
+    schedule: Schedule,
+    durations: Dict[str, float],
+    powers: Dict[str, float],
+) -> Schedule:
+    """Recompute start/end times with new per-task durations and powers.
+
+    The mapping (task → PE) and the per-PE execution *order* of *schedule*
+    are preserved; each task starts as early as its predecessors (graph
+    edges) and its PE predecessor (previous task on the same PE) allow.
+    """
+    graph = schedule.graph
+    order_on_pe: Dict[str, List[str]] = {
+        pe.name: [a.task for a in schedule.pe_assignments(pe.name)]
+        for pe in schedule.architecture
+    }
+    pe_of = {a.task: a.pe for a in schedule}
+    position: Dict[str, int] = {}
+    for tasks in order_on_pe.values():
+        for index, task in enumerate(tasks):
+            position[task] = index
+
+    finish: Dict[str, float] = {}
+    new_assignments: Dict[str, Assignment] = {}
+    pending = set(graph.task_names())
+    # iterate until every task is placed; each round places tasks whose
+    # graph predecessors and PE predecessor are both done (this always
+    # progresses because the original schedule induces an acyclic order)
+    while pending:
+        placed_any = False
+        for task_name in list(pending):
+            preds_done = all(
+                p in finish for p in graph.predecessors(task_name)
+            )
+            pe = pe_of[task_name]
+            pos = position[task_name]
+            pe_pred = order_on_pe[pe][pos - 1] if pos > 0 else None
+            if not preds_done or (pe_pred is not None and pe_pred not in finish):
+                continue
+            ready = max(
+                (finish[p] for p in graph.predecessors(task_name)),
+                default=0.0,
+            )
+            avail = finish[pe_pred] if pe_pred is not None else 0.0
+            start = max(ready, avail)
+            end = start + durations[task_name]
+            finish[task_name] = end
+            new_assignments[task_name] = Assignment(
+                task_name, pe, start, end, powers[task_name]
+            )
+            pending.discard(task_name)
+            placed_any = True
+        if not placed_any:
+            raise SchedulingError(
+                "retiming deadlocked: the schedule's PE order conflicts "
+                "with the graph's precedence order"
+            )
+    return Schedule(
+        graph,
+        schedule.architecture,
+        new_assignments.values(),
+        policy_name=schedule.policy_name + "+dvfs",
+    )
+
+
+def reclaim_slack(
+    schedule: Schedule,
+    levels: Sequence[DVFSLevel] = DEFAULT_LEVELS,
+    deadline: Optional[float] = None,
+) -> DVFSResult:
+    """Greedily lower task V/F levels while the deadline still holds.
+
+    Parameters
+    ----------
+    schedule:
+        A complete, valid schedule at nominal V/F.
+    levels:
+        Available operating points, fastest first.  The first level must be
+        the nominal point (frequency = voltage = 1).
+    deadline:
+        Target completion bound; defaults to the graph deadline.
+
+    Returns
+    -------
+    DVFSResult
+        With a retimed schedule whose tasks carry their scaled durations
+        and powers.  The input schedule is not modified.
+    """
+    if not levels:
+        raise SchedulingError("need at least one DVFS level")
+    ladder = list(levels)
+    if ladder[0].time_scale != 1.0 or ladder[0].power_scale != 1.0:
+        raise SchedulingError("the first DVFS level must be the nominal point")
+    ladder.sort(key=lambda lvl: lvl.time_scale)  # fastest first
+    bound = float(deadline) if deadline is not None else schedule.graph.deadline
+
+    base = {a.task: a for a in schedule}
+    level_index: Dict[str, int] = {task: 0 for task in base}
+    durations = {task: a.duration for task, a in base.items()}
+    powers = {task: a.power for task, a in base.items()}
+    current = retime_schedule(schedule, durations, powers)
+    if current.makespan > bound + 1e-9:
+        # no slack at all: return nominal retiming
+        return DVFSResult(
+            schedule=current,
+            levels={task: ladder[0] for task in base},
+            energy_before=schedule.total_energy,
+            energy_after=current.total_energy,
+            makespan_before=schedule.makespan,
+            makespan_after=current.makespan,
+            lowered_tasks=0,
+        )
+
+    improved = True
+    while improved:
+        improved = False
+        # candidate savings from dropping each task one level
+        candidates: List[Tuple[float, str]] = []
+        for task, index in level_index.items():
+            if index + 1 >= len(ladder):
+                continue
+            assignment = base[task]
+            saving = assignment.energy * (
+                ladder[index].energy_scale - ladder[index + 1].energy_scale
+            )
+            candidates.append((-saving, task))
+        candidates.sort()
+        for _, task in candidates:
+            index = level_index[task] + 1
+            trial_durations = dict(durations)
+            trial_powers = dict(powers)
+            trial_durations[task] = base[task].duration * ladder[index].time_scale
+            trial_powers[task] = base[task].power * ladder[index].power_scale
+            trial = retime_schedule(schedule, trial_durations, trial_powers)
+            if trial.makespan <= bound + 1e-9:
+                level_index[task] = index
+                durations, powers = trial_durations, trial_powers
+                current = trial
+                improved = True
+                break  # re-rank savings after each accepted move
+
+    lowered = sum(1 for index in level_index.values() if index > 0)
+    return DVFSResult(
+        schedule=current,
+        levels={task: ladder[index] for task, index in level_index.items()},
+        energy_before=schedule.total_energy,
+        energy_after=current.total_energy,
+        makespan_before=schedule.makespan,
+        makespan_after=current.makespan,
+        lowered_tasks=lowered,
+    )

@@ -1,0 +1,28 @@
+"""Floorplanning substrate (S5): geometry, slicing search, fixed platforms."""
+
+from .geometry import Block, Floorplan, Rect
+from .slicing import OPERATORS, PolishExpression
+from .objectives import FloorplanObjective, area_objective, thermal_objective
+from .annealing import AnnealingConfig, AnnealingResult, anneal_floorplan
+from .genetic import GeneticConfig, GeneticResult, evolve_floorplan
+from .platform import grid_floorplan, platform_floorplan, row_floorplan
+
+__all__ = [
+    "Rect",
+    "Block",
+    "Floorplan",
+    "PolishExpression",
+    "OPERATORS",
+    "FloorplanObjective",
+    "area_objective",
+    "thermal_objective",
+    "AnnealingConfig",
+    "AnnealingResult",
+    "anneal_floorplan",
+    "GeneticConfig",
+    "GeneticResult",
+    "evolve_floorplan",
+    "grid_floorplan",
+    "row_floorplan",
+    "platform_floorplan",
+]

@@ -1,0 +1,85 @@
+"""Fixed floorplans for platform-based architectures.
+
+The paper's platform experiments (Figure 1b, Tables 1 & 3) use a pre-defined
+architecture of four identical PEs; its floorplan is likewise fixed — the
+natural 2×2 grid.  This module produces near-square grid floorplans for any
+homogeneous (or mildly heterogeneous) architecture, plus a simple row-packer
+used as a floorplanning baseline in the ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FloorplanError
+from ..library.pe import Architecture
+from .geometry import Block, Floorplan, Rect
+
+__all__ = ["grid_floorplan", "row_floorplan", "platform_floorplan"]
+
+
+def grid_floorplan(
+    architecture: Architecture,
+    columns: Optional[int] = None,
+    spacing_mm: float = 0.0,
+) -> Floorplan:
+    """Arrange PEs in a near-square grid (row-major, insertion order).
+
+    Cell size is the maximum PE footprint so the grid is regular; smaller
+    PEs sit bottom-left in their cell.  ``spacing_mm`` inserts a gap between
+    cells (zero by default: abutted blocks, maximal lateral coupling —
+    matching how HotSpot floorplans of multiprocessor platforms look).
+    """
+    pes = architecture.pes()
+    if not pes:
+        raise FloorplanError("cannot floorplan an empty architecture")
+    if spacing_mm < 0.0:
+        raise FloorplanError(f"spacing must be >= 0, got {spacing_mm}")
+    count = len(pes)
+    if columns is None:
+        columns = int(math.ceil(math.sqrt(count)))
+    if columns < 1:
+        raise FloorplanError(f"columns must be >= 1, got {columns}")
+    cell_w = max(pe.pe_type.width_mm for pe in pes)
+    cell_h = max(pe.pe_type.height_mm for pe in pes)
+    plan = Floorplan()
+    for index, pe in enumerate(pes):
+        row, col = divmod(index, columns)
+        x = col * (cell_w + spacing_mm)
+        y = row * (cell_h + spacing_mm)
+        plan.add(Block(pe.name, Rect(x, y, pe.pe_type.width_mm, pe.pe_type.height_mm)))
+    plan.validate()
+    return plan
+
+
+def row_floorplan(architecture: Architecture, spacing_mm: float = 0.0) -> Floorplan:
+    """Pack all PEs in one row (baseline floorplanner for ablation A3)."""
+    pes = architecture.pes()
+    if not pes:
+        raise FloorplanError("cannot floorplan an empty architecture")
+    if spacing_mm < 0.0:
+        raise FloorplanError(f"spacing must be >= 0, got {spacing_mm}")
+    plan = Floorplan()
+    x = 0.0
+    for pe in pes:
+        plan.add(Block(pe.name, Rect(x, 0.0, pe.pe_type.width_mm, pe.pe_type.height_mm)))
+        x += pe.pe_type.width_mm + spacing_mm
+    plan.validate()
+    return plan
+
+
+def platform_floorplan(architecture: Architecture) -> Floorplan:
+    """The canonical platform floorplan handed to the thermal model by the
+    platform-based flow (Figure 1b): all PEs in a single row.
+
+    A row is chosen over a 2×2 grid deliberately.  In a perfectly symmetric
+    grid of identical PEs every block position is thermally equivalent, so
+    the *average* chip temperature — the paper's ``Avg_Temp`` DC term — is
+    invariant to which PE receives a task, and the thermal policy would
+    degenerate to a pure task-ordering heuristic.  A row layout has cooler
+    end positions and hotter middle positions (as any real board/die does to
+    some degree), which is what lets ``Avg_Temp`` steer placement toward a
+    thermally even distribution.  See DESIGN.md ("Substitutions").
+    """
+    return row_floorplan(architecture)

@@ -1,0 +1,29 @@
+"""Technology-library substrate (S2): PEs, architectures, WCET/WCPC tables,
+and the shared-bus communication model."""
+
+from .bus import Bus, CommunicationModel, shared_bus_comm, zero_cost_comm
+from .pe import Architecture, PEInstance, PEType
+from .technology import TechnologyLibrary
+from .presets import (
+    PLATFORM_PE,
+    default_catalogue,
+    default_platform,
+    generate_technology_library,
+    library_for_graph,
+)
+
+__all__ = [
+    "PEType",
+    "PEInstance",
+    "Architecture",
+    "TechnologyLibrary",
+    "PLATFORM_PE",
+    "default_catalogue",
+    "default_platform",
+    "generate_technology_library",
+    "library_for_graph",
+    "Bus",
+    "CommunicationModel",
+    "zero_cost_comm",
+    "shared_bus_comm",
+]

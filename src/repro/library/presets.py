@@ -1,0 +1,178 @@
+"""Preset PE catalogue and technology-library generation.
+
+The paper's technology library comes from its co-synthesis infrastructure
+(Xie & Wolf style) and is not published, so we provide a representative
+embedded catalogue — two general-purpose RISC cores, a DSP, a wide VLIW and
+a narrow accelerator — and a seeded generator that fills in WCET/WCPC
+entries with TGFF-like spreads:
+
+* each task type gets a *base time* and *base power*;
+* a PE type's WCET scales inversely with its ``speed`` and its WCPC scales
+  with its ``power_scale``, both with per-entry jitter, so no PE dominates
+  on every task (that heterogeneity is what makes allocation interesting);
+* the accelerator only supports a third of the task types (ASIC-like), and
+  general-purpose cores support everything, so every workload stays
+  schedulable on any allocation containing at least one GP core.
+
+Power magnitudes are calibrated so that four-PE platforms draw roughly
+10–45 W total, the band the paper's Tables 1–3 report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import LibraryError
+from ..rng import SeedLike, as_random
+from ..taskgraph.graph import TaskGraph
+from .pe import Architecture, PEType
+from .technology import TechnologyLibrary
+
+__all__ = [
+    "PLATFORM_PE",
+    "default_catalogue",
+    "default_platform",
+    "generate_technology_library",
+    "library_for_graph",
+]
+
+#: The identical PE used by the paper's platform-based architecture
+#: (Figure 1b uses "four identical PEs").  A mid-range embedded RISC core.
+PLATFORM_PE = PEType(
+    name="emb-risc",
+    width_mm=6.0,
+    height_mm=6.0,
+    speed=1.0,
+    power_scale=1.0,
+    idle_power=0.15,
+    cost=1.0,
+)
+
+#: Catalogue used by the co-synthesis allocation search.
+_CATALOGUE: List[PEType] = [
+    PLATFORM_PE,
+    PEType(
+        name="lp-risc",  # low-power core: slower, much cooler
+        width_mm=5.0,
+        height_mm=5.0,
+        speed=0.65,
+        power_scale=0.55,
+        idle_power=0.08,
+        cost=0.7,
+    ),
+    PEType(
+        name="dsp",  # signal-processing core: fast on its favourites
+        width_mm=5.0,
+        height_mm=4.5,
+        speed=1.45,
+        power_scale=1.35,
+        idle_power=0.2,
+        cost=1.6,
+    ),
+    PEType(
+        name="vliw",  # wide issue: fastest GP option, hottest
+        width_mm=7.0,
+        height_mm=7.0,
+        speed=1.9,
+        power_scale=2.1,
+        idle_power=0.35,
+        cost=2.5,
+    ),
+    PEType(
+        name="accel",  # ASIC-like accelerator: supports few task types
+        width_mm=3.5,
+        height_mm=3.5,
+        speed=3.0,
+        power_scale=0.8,
+        idle_power=0.05,
+        cost=3.0,
+    ),
+]
+
+#: PE types that support every task type.
+_GENERAL_PURPOSE = {"emb-risc", "lp-risc", "dsp", "vliw"}
+
+#: Fraction of task types the accelerator supports.
+_ACCEL_COVERAGE = 3  # supports task types with index % 3 == 0
+
+
+def default_catalogue() -> List[PEType]:
+    """The co-synthesis PE catalogue (fresh list; PETypes are immutable)."""
+    return list(_CATALOGUE)
+
+
+def default_platform(count: int = 4, name: str = "platform") -> Architecture:
+    """The paper's platform: *count* identical :data:`PLATFORM_PE` cores."""
+    return Architecture.homogeneous(name, PLATFORM_PE, count)
+
+
+def generate_technology_library(
+    task_types: Sequence[str],
+    catalogue: Optional[Sequence[PEType]] = None,
+    seed: SeedLike = None,
+    base_time_range=(40.0, 100.0),
+    base_power_range=(4.0, 10.0),
+    time_jitter=(0.85, 1.25),
+    power_jitter=(0.85, 1.2),
+    name: str = "generated-library",
+) -> TechnologyLibrary:
+    """Generate a seeded technology library over *task_types* × *catalogue*.
+
+    For each task type ``t``::
+
+        base_time(t)  ~ U(base_time_range)
+        base_power(t) ~ U(base_power_range)
+
+    and for each supporting PE type ``p``::
+
+        WCET(t, p) = base_time(t) / p.speed       × U(time_jitter)
+        WCPC(t, p) = base_power(t) × p.power_scale × U(power_jitter)
+
+    so fast PEs finish sooner but burn more power — the paper's
+    heuristic-3 (energy) trade-off emerges naturally.
+    """
+    if not task_types:
+        raise LibraryError("task_types must be non-empty")
+    if len(set(task_types)) != len(task_types):
+        raise LibraryError("task_types contains duplicates")
+    if catalogue is None:
+        catalogue = default_catalogue()
+    if not catalogue:
+        raise LibraryError("catalogue must be non-empty")
+    rng = as_random(seed)
+    library = TechnologyLibrary(name)
+    for index, task_type in enumerate(task_types):
+        base_time = rng.uniform(*base_time_range)
+        base_power = rng.uniform(*base_power_range)
+        for pe_type in catalogue:
+            if pe_type.name not in _GENERAL_PURPOSE:
+                if index % _ACCEL_COVERAGE != 0:
+                    continue  # accelerator does not support this task type
+            wcet = base_time / pe_type.speed * rng.uniform(*time_jitter)
+            wcpc = base_power * pe_type.power_scale * rng.uniform(*power_jitter)
+            library.add_entry(task_type, pe_type.name, round(wcet, 3), round(wcpc, 3))
+    return library
+
+
+def library_for_graph(
+    graph: TaskGraph,
+    catalogue: Optional[Sequence[PEType]] = None,
+    seed: SeedLike = None,
+) -> TechnologyLibrary:
+    """Build a library covering exactly the task types appearing in *graph*.
+
+    The seed defaults to a stable hash of the graph name, so each benchmark
+    gets its own — but reproducible — library, mirroring how TGFF emits a
+    fresh table per generated graph.
+    """
+    task_types = sorted({task.task_type for task in graph})
+    if seed is None:
+        # stable across processes (unlike hash()) and distinct per benchmark
+        seed = sum((i + 1) * ord(c) for i, c in enumerate(graph.name)) * 2654435761
+        seed %= 2**32
+    return generate_technology_library(
+        task_types,
+        catalogue=catalogue,
+        seed=seed,
+        name=f"library-{graph.name}",
+    )

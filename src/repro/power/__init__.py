@@ -1,0 +1,13 @@
+"""Power-accounting substrate (S3): accumulators, traces, densities."""
+
+from .model import PowerAccumulator
+from .trace import PowerTrace
+from .density import density_imbalance, peak_power_density, power_density
+
+__all__ = [
+    "PowerAccumulator",
+    "PowerTrace",
+    "power_density",
+    "peak_power_density",
+    "density_imbalance",
+]

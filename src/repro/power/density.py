@@ -1,0 +1,53 @@
+"""Power-density utilities.
+
+Temperature tracks power *density* more closely than raw power — the reason
+the paper argues power-aware scheduling is not enough.  These helpers map
+per-PE powers and a floorplan to W/mm² figures used in reports and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ReproError
+from ..floorplan.geometry import Floorplan
+
+__all__ = ["power_density", "peak_power_density", "density_imbalance"]
+
+
+def power_density(
+    floorplan: Floorplan, power_by_block: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-block power density (W/mm²)."""
+    result: Dict[str, float] = {}
+    for block in floorplan:
+        power = float(power_by_block.get(block.name, 0.0))
+        if power < 0.0:
+            raise ReproError(f"negative power for block {block.name!r}")
+        result[block.name] = power / block.area
+    return result
+
+
+def peak_power_density(
+    floorplan: Floorplan, power_by_block: Mapping[str, float]
+) -> float:
+    """Highest per-block power density (W/mm²)."""
+    densities = power_density(floorplan, power_by_block)
+    return max(densities.values()) if densities else 0.0
+
+
+def density_imbalance(
+    floorplan: Floorplan, power_by_block: Mapping[str, float]
+) -> float:
+    """Peak-to-mean power-density ratio (≥ 1; 1 = perfectly even).
+
+    The paper's goal of a "thermally even distribution" corresponds to
+    driving this ratio toward 1.
+    """
+    densities = list(power_density(floorplan, power_by_block).values())
+    if not densities:
+        return 1.0
+    mean = sum(densities) / len(densities)
+    if mean <= 0.0:
+        return 1.0
+    return max(densities) / mean

@@ -1,0 +1,130 @@
+"""Running power accounting for the scheduler.
+
+The power heuristics and the thermal-aware DC term all need the same
+quantity while the schedule is being built: for every PE, the *cumulative*
+power picture — how much energy its already-placed tasks consume, and what
+its average power becomes if the candidate task is added.
+
+:class:`PowerAccumulator` tracks that incrementally.  Average power is
+defined over a time *horizon* (the tentative schedule length when the
+candidate would finish): ``avg_power(pe) = energy(pe) / horizon``, which is
+the physically meaningful steady-state power the thermal model should see —
+a PE that executed 100 J over a 500-unit schedule dissipates 0.2 W·unit⁻¹
+on average regardless of how its busy intervals are spread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["PowerAccumulator"]
+
+
+class PowerAccumulator:
+    """Per-PE cumulative energy and busy-time bookkeeping.
+
+    All methods are O(1); the scheduler copies nothing — candidate queries
+    are expressed as "what if" parameters instead of mutated state.
+    """
+
+    def __init__(self, pe_names: Iterable[str], idle_power: Optional[Mapping[str, float]] = None):
+        names = list(pe_names)
+        if not names:
+            raise ReproError("PowerAccumulator needs at least one PE")
+        if len(set(names)) != len(names):
+            raise ReproError("duplicate PE names")
+        self._energy: Dict[str, float] = {name: 0.0 for name in names}
+        self._busy: Dict[str, float] = {name: 0.0 for name in names}
+        self._tasks: Dict[str, int] = {name: 0 for name in names}
+        self._idle: Dict[str, float] = {
+            name: float((idle_power or {}).get(name, 0.0)) for name in names
+        }
+        for name, idle in self._idle.items():
+            if idle < 0.0:
+                raise ReproError(f"idle power of {name!r} must be >= 0")
+
+    # ------------------------------------------------------------------
+    def _check(self, pe: str) -> None:
+        if pe not in self._energy:
+            raise ReproError(f"unknown PE {pe!r} in power accumulator")
+
+    def record(self, pe: str, power: float, duration: float) -> None:
+        """Account one placed task: *power* W for *duration* time units."""
+        self._check(pe)
+        if power < 0.0:
+            raise ReproError(f"task power must be >= 0, got {power}")
+        if duration <= 0.0:
+            raise ReproError(f"task duration must be positive, got {duration}")
+        self._energy[pe] += power * duration
+        self._busy[pe] += duration
+        self._tasks[pe] += 1
+
+    # ------------------------------------------------------------------
+    def pe_names(self) -> List[str]:
+        """Tracked PE names."""
+        return list(self._energy)
+
+    def energy(self, pe: str) -> float:
+        """Dynamic energy committed to *pe* so far (J)."""
+        self._check(pe)
+        return self._energy[pe]
+
+    def busy_time(self, pe: str) -> float:
+        """Total busy time committed to *pe* so far."""
+        self._check(pe)
+        return self._busy[pe]
+
+    def task_count(self, pe: str) -> int:
+        """Number of tasks placed on *pe* so far."""
+        self._check(pe)
+        return self._tasks[pe]
+
+    @property
+    def total_energy(self) -> float:
+        """Dynamic energy across all PEs (J)."""
+        return sum(self._energy.values())
+
+    # ------------------------------------------------------------------
+    def average_power(self, pe: str, horizon: float) -> float:
+        """Average dynamic+idle power of *pe* over ``[0, horizon]`` (W)."""
+        self._check(pe)
+        if horizon <= 0.0:
+            raise ReproError(f"horizon must be positive, got {horizon}")
+        return self._energy[pe] / horizon + self._idle[pe]
+
+    def average_powers(
+        self,
+        horizon: float,
+        extra: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Average power of every PE over ``[0, horizon]``, plus *extra* energy.
+
+        *extra* maps PE names to additional energy (J) — this is how the
+        thermal-aware DC term injects the candidate task ("the cumulating
+        power consumptions of each PE along with the consuming power
+        incurred by the current scheduled task") without mutating state.
+        """
+        if horizon <= 0.0:
+            raise ReproError(f"horizon must be positive, got {horizon}")
+        result = {}
+        for name, energy in self._energy.items():
+            bonus = float((extra or {}).get(name, 0.0))
+            if bonus < 0.0:
+                raise ReproError(f"extra energy for {name!r} must be >= 0")
+            result[name] = (energy + bonus) / horizon + self._idle[name]
+        return result
+
+    def utilisation(self, pe: str, horizon: float) -> float:
+        """Busy fraction of *pe* over ``[0, horizon]``, in [0, 1]."""
+        self._check(pe)
+        if horizon <= 0.0:
+            raise ReproError(f"horizon must be positive, got {horizon}")
+        return min(1.0, self._busy[pe] / horizon)
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerAccumulator(pes={len(self._energy)}, "
+            f"total_energy={self.total_energy:.2f})"
+        )

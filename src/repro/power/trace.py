@@ -1,0 +1,152 @@
+"""Time-resolved power traces.
+
+A :class:`PowerTrace` turns a finished schedule into the piecewise-constant
+per-PE power function the transient thermal simulator integrates.  It is
+built from flat ``(start, end, pe, power)`` intervals so it has no
+dependency on the scheduler's types (the scheduler exports such intervals —
+see :meth:`repro.core.schedule.Schedule.power_intervals`).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["PowerTrace"]
+
+Interval = Tuple[float, float, str, float]  # (start, end, pe, power)
+
+
+class PowerTrace:
+    """Piecewise-constant per-PE power over time.
+
+    Parameters
+    ----------
+    intervals:
+        ``(start, end, pe, power)`` records; intervals on the *same* PE must
+        not overlap (one task at a time per PE — the schedule guarantees
+        this, and the constructor re-checks it).
+    idle_power:
+        Baseline power per PE, added over the whole trace span.
+    span:
+        Total trace length; defaults to the latest interval end.
+    """
+
+    def __init__(
+        self,
+        intervals: Iterable[Interval],
+        idle_power: Optional[Mapping[str, float]] = None,
+        span: Optional[float] = None,
+    ):
+        records: List[Interval] = []
+        for start, end, pe, power in intervals:
+            if end <= start:
+                raise ReproError(
+                    f"interval on {pe!r} has non-positive length: [{start}, {end}]"
+                )
+            if power < 0.0:
+                raise ReproError(f"interval power must be >= 0, got {power}")
+            records.append((float(start), float(end), str(pe), float(power)))
+        records.sort(key=lambda r: (r[2], r[0]))
+        previous_end: Dict[str, float] = {}
+        for start, end, pe, _ in records:
+            if start < previous_end.get(pe, float("-inf")) - 1e-12:
+                raise ReproError(f"overlapping intervals on PE {pe!r} at t={start}")
+            previous_end[pe] = end
+        self._intervals = sorted(records, key=lambda r: (r[0], r[1], r[2]))
+        self._pes = sorted(
+            set(previous_end) | set(idle_power or {})
+        )
+        self._idle = {pe: float((idle_power or {}).get(pe, 0.0)) for pe in self._pes}
+        inferred = max((end for _, end, _, _ in records), default=0.0)
+        self.span = float(span) if span is not None else inferred
+        if self.span < inferred - 1e-12:
+            raise ReproError(
+                f"span {self.span} is shorter than the last interval end {inferred}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def pe_names(self) -> List[str]:
+        """All PEs appearing in the trace (sorted)."""
+        return list(self._pes)
+
+    def breakpoints(self) -> List[float]:
+        """Sorted distinct time points where some PE's power changes."""
+        points = {0.0, self.span}
+        for start, end, _, _ in self._intervals:
+            points.add(start)
+            points.add(end)
+        return sorted(p for p in points if 0.0 <= p <= self.span)
+
+    def power_at(self, time: float) -> Dict[str, float]:
+        """Per-PE power at *time* (intervals are closed-open ``[start, end)``)."""
+        if not (0.0 <= time <= self.span):
+            raise ReproError(f"time {time} outside trace span [0, {self.span}]")
+        powers = dict(self._idle)
+        for start, end, pe, power in self._intervals:
+            if start <= time < end:
+                powers[pe] = powers.get(pe, 0.0) + power
+        return powers
+
+    def segments(self, time_scale: float = 1.0) -> List[Tuple[float, Dict[str, float]]]:
+        """``(duration, pe→W)`` segments for the transient simulator.
+
+        *time_scale* converts abstract schedule time units to seconds
+        (e.g. ``1e-3`` if one unit is a millisecond).
+        """
+        if time_scale <= 0.0:
+            raise ReproError(f"time_scale must be positive, got {time_scale}")
+        points = self.breakpoints()
+        segments: List[Tuple[float, Dict[str, float]]] = []
+        for left, right in zip(points, points[1:]):
+            if right - left <= 1e-12:
+                continue
+            midpoint = (left + right) / 2.0
+            segments.append(((right - left) * time_scale, self.power_at(midpoint)))
+        return segments
+
+    # ------------------------------------------------------------------
+    def total_energy(self) -> float:
+        """Dynamic + idle energy of the whole trace (J, abstract time)."""
+        dynamic = sum((end - start) * power for start, end, _, power in self._intervals)
+        idle = sum(self._idle.values()) * self.span
+        return dynamic + idle
+
+    def average_power(self) -> float:
+        """Trace-wide average power: total energy / span (W)."""
+        if self.span <= 0.0:
+            return 0.0
+        return self.total_energy() / self.span
+
+    def pe_average_power(self, pe: str) -> float:
+        """Average power of one PE over the span (W)."""
+        if pe not in self._idle:
+            raise ReproError(f"unknown PE {pe!r} in trace")
+        if self.span <= 0.0:
+            return 0.0
+        dynamic = sum(
+            (end - start) * power
+            for start, end, name, power in self._intervals
+            if name == pe
+        )
+        return dynamic / self.span + self._idle[pe]
+
+    def average_powers(self) -> Dict[str, float]:
+        """Average power of every PE over the span (W)."""
+        return {pe: self.pe_average_power(pe) for pe in self._pes}
+
+    def peak_total_power(self) -> float:
+        """Maximum instantaneous total power over the trace (W)."""
+        best = 0.0
+        for point in self.breakpoints()[:-1]:
+            best = max(best, sum(self.power_at(point).values()))
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerTrace(pes={len(self._pes)}, intervals={len(self._intervals)}, "
+            f"span={self.span})"
+        )

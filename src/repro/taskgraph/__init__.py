@@ -1,0 +1,65 @@
+"""Task-graph substrate (S1): DAG workloads with deadlines.
+
+Public surface:
+
+* :class:`~repro.taskgraph.task.Task`, :class:`~repro.taskgraph.task.Edge`
+* :class:`~repro.taskgraph.graph.TaskGraph`
+* :class:`~repro.taskgraph.generator.GraphSpec`,
+  :func:`~repro.taskgraph.generator.generate_task_graph`
+* :func:`~repro.taskgraph.benchmarks.benchmark`,
+  :func:`~repro.taskgraph.benchmarks.benchmark_suite`
+* IO helpers in :mod:`repro.taskgraph.io`
+* shape statistics in :mod:`repro.taskgraph.analysis`
+"""
+
+from .task import Task, Edge
+from .graph import TaskGraph
+from .generator import GraphSpec, generate_task_graph, random_graph_spec
+from .benchmarks import BENCHMARK_NAMES, BENCHMARK_SPECS, benchmark, benchmark_suite
+from .io import (
+    dumps_tg,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_tg,
+    save_graph,
+)
+from .analysis import GraphStats, graph_stats, parallelism_profile, type_histogram
+from .conditional import Condition, ConditionalEdge, ConditionalTaskGraph, Scenario
+from .transforms import (
+    collapse_linear_chains,
+    merge_graphs,
+    scale_deadline,
+    scale_weights,
+)
+
+__all__ = [
+    "Task",
+    "Edge",
+    "TaskGraph",
+    "GraphSpec",
+    "generate_task_graph",
+    "random_graph_spec",
+    "BENCHMARK_NAMES",
+    "BENCHMARK_SPECS",
+    "benchmark",
+    "benchmark_suite",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dumps_tg",
+    "loads_tg",
+    "save_graph",
+    "load_graph",
+    "GraphStats",
+    "graph_stats",
+    "parallelism_profile",
+    "type_histogram",
+    "scale_deadline",
+    "scale_weights",
+    "merge_graphs",
+    "collapse_linear_chains",
+    "Condition",
+    "ConditionalEdge",
+    "ConditionalTaskGraph",
+    "Scenario",
+]

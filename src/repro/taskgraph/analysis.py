@@ -1,0 +1,89 @@
+"""Structural analysis of task graphs.
+
+Shape statistics used to sanity-check generated workloads against the
+paper's benchmark descriptions and to report workload characteristics in
+EXPERIMENTS.md (depth, width, parallelism profile, type mix).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .graph import TaskGraph
+
+__all__ = ["GraphStats", "graph_stats", "parallelism_profile", "type_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one task graph."""
+
+    name: str
+    num_tasks: int
+    num_edges: int
+    deadline: float
+    depth: int
+    max_width: int
+    avg_width: float
+    num_sources: int
+    num_sinks: int
+    edge_density: float
+    num_task_types: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Dict form for tabular reporting."""
+        return {
+            "name": self.name,
+            "tasks": self.num_tasks,
+            "edges": self.num_edges,
+            "deadline": self.deadline,
+            "depth": self.depth,
+            "max_width": self.max_width,
+            "avg_width": round(self.avg_width, 2),
+            "sources": self.num_sources,
+            "sinks": self.num_sinks,
+            "density": round(self.edge_density, 3),
+            "types": self.num_task_types,
+        }
+
+
+def parallelism_profile(graph: TaskGraph) -> List[int]:
+    """Number of tasks at each depth level (sources are level 0).
+
+    The profile's maximum bounds how many PEs the workload can keep busy
+    simultaneously, which is why the platform experiments use four PEs for
+    graphs whose profiles peak around 4–5.
+    """
+    levels = graph.depth_levels()
+    if not levels:
+        return []
+    width = Counter(levels.values())
+    return [width[level] for level in range(max(levels.values()) + 1)]
+
+
+def type_histogram(graph: TaskGraph) -> Dict[str, int]:
+    """Count of tasks per task type, sorted by type name."""
+    counts = Counter(task.task_type for task in graph)
+    return dict(sorted(counts.items()))
+
+
+def graph_stats(graph: TaskGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for *graph*."""
+    profile = parallelism_profile(graph)
+    num_tasks = graph.num_tasks
+    density = graph.num_edges / num_tasks if num_tasks else 0.0
+    return GraphStats(
+        name=graph.name,
+        num_tasks=num_tasks,
+        num_edges=graph.num_edges,
+        deadline=graph.deadline,
+        depth=len(profile),
+        max_width=max(profile) if profile else 0,
+        avg_width=(num_tasks / len(profile)) if profile else 0.0,
+        num_sources=len(graph.sources()),
+        num_sinks=len(graph.sinks()),
+        edge_density=density,
+        num_task_types=len(type_histogram(graph)),
+    )

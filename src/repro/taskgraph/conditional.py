@@ -1,0 +1,290 @@
+"""Conditional task graphs (CTGs).
+
+The paper's ASP "is similar to the one proposed by Xie and Wolf", whose
+subject is the **conditional task graph**: a DAG in which some edges are
+guarded by run-time conditions (branch outcomes), so different executions
+activate different subsets of tasks.  This module supplies that substrate:
+
+* a :class:`Condition` — one outcome of a named boolean/enum guard;
+* a :class:`ConditionalTaskGraph` — a task graph whose edges may carry
+  conditions, with well-formedness checks (a guard's outcomes must label
+  edges out of a single *branch* task);
+* **scenario enumeration** — every joint assignment of guard outcomes,
+  with its probability and its induced plain :class:`TaskGraph` (the tasks
+  reachable through satisfied edges);
+
+Scheduling semantics (see :mod:`repro.core.conditional`): a schedule is
+produced per scenario; reported metrics are worst-case over scenarios
+(real-time) and probability-weighted (power/thermal), the evaluation style
+of the Xie–Wolf framework.  The full Xie–Wolf mutual-exclusion PE sharing
+(two exclusive tasks occupying the same slot) is intentionally not
+implemented — per-scenario scheduling upper-bounds it safely; DESIGN.md
+records the simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = ["Condition", "ConditionalEdge", "ConditionalTaskGraph", "Scenario"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One outcome of a named guard, e.g. ``Condition("mode", "hi")``."""
+
+    guard: str
+    outcome: str
+
+    def __post_init__(self) -> None:
+        if not self.guard or not self.outcome:
+            raise TaskGraphError("condition guard and outcome must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.guard}={self.outcome}"
+
+
+@dataclass(frozen=True)
+class ConditionalEdge:
+    """An edge optionally guarded by a condition (None = unconditional)."""
+
+    src: str
+    dst: str
+    data: float = 0.0
+    condition: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One joint outcome of all guards, with probability and subgraph."""
+
+    outcomes: Tuple[Condition, ...]
+    probability: float
+    graph: TaskGraph
+
+    @property
+    def label(self) -> str:
+        """Human-readable scenario name, e.g. ``"mode=hi & err=no"``."""
+        if not self.outcomes:
+            return "(unconditional)"
+        return " & ".join(str(c) for c in self.outcomes)
+
+
+class ConditionalTaskGraph:
+    """A DAG with condition-guarded edges.
+
+    Build like a :class:`TaskGraph`, passing ``condition=`` on guarded
+    edges, then declare each guard's outcome probabilities with
+    :meth:`declare_guard`.  ``validate()`` checks structural rules:
+
+    * all edges guarded by one guard leave the *same* task (the branch
+      point computes the guard);
+    * each guard's declared outcomes cover the outcomes used on edges;
+    * outcome probabilities sum to 1.
+    """
+
+    def __init__(self, name: str, deadline: float):
+        self._base = TaskGraph(name, deadline)
+        self._edges: List[ConditionalEdge] = []
+        self._guards: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Workload identifier."""
+        return self._base.name
+
+    @property
+    def deadline(self) -> float:
+        """End-to-end deadline."""
+        return self._base.deadline
+
+    def add_task(self, task: Task) -> Task:
+        """Add a task (same contract as :meth:`TaskGraph.add_task`)."""
+        return self._base.add_task(task)
+
+    def add(self, name: str, task_type: str, weight: float = 1.0, **attrs) -> Task:
+        """Convenience wrapper building and adding a :class:`Task`."""
+        return self._base.add(name, task_type, weight, **attrs)
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        data: float = 0.0,
+        condition: Optional[Condition] = None,
+    ) -> ConditionalEdge:
+        """Add a (possibly guarded) precedence edge."""
+        self._base.add_edge(src, dst, data)  # structure + cycle check
+        edge = ConditionalEdge(src, dst, data, condition)
+        self._edges.append(edge)
+        return edge
+
+    def declare_guard(self, guard: str, probabilities: Mapping[str, float]) -> None:
+        """Declare a guard's outcomes and their probabilities."""
+        if guard in self._guards:
+            raise TaskGraphError(f"guard {guard!r} already declared")
+        if not probabilities:
+            raise TaskGraphError(f"guard {guard!r}: need at least one outcome")
+        total = sum(probabilities.values())
+        if abs(total - 1.0) > 1e-9:
+            raise TaskGraphError(
+                f"guard {guard!r}: outcome probabilities sum to {total}, not 1"
+            )
+        for outcome, probability in probabilities.items():
+            if probability < 0.0:
+                raise TaskGraphError(
+                    f"guard {guard!r}: negative probability for {outcome!r}"
+                )
+        self._guards[guard] = dict(probabilities)
+
+    # ------------------------------------------------------------------
+    def tasks(self) -> List[Task]:
+        """All tasks, in insertion order."""
+        return self._base.tasks()
+
+    def task_names(self) -> List[str]:
+        """All task names, in insertion order."""
+        return self._base.task_names()
+
+    def edges(self) -> List[ConditionalEdge]:
+        """All conditional edges, in insertion order."""
+        return list(self._edges)
+
+    def guards(self) -> Dict[str, Dict[str, float]]:
+        """Declared guards and their outcome probabilities."""
+        return {guard: dict(p) for guard, p in self._guards.items()}
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks."""
+        return self._base.num_tasks
+
+    def __len__(self) -> int:
+        return self._base.num_tasks
+
+    def __repr__(self) -> str:
+        return (
+            f"ConditionalTaskGraph({self.name!r}, tasks={len(self)}, "
+            f"edges={len(self._edges)}, guards={sorted(self._guards)})"
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural rules (see class docstring)."""
+        self._base.validate()
+        branch_of: Dict[str, str] = {}
+        for edge in self._edges:
+            if edge.condition is None:
+                continue
+            guard = edge.condition.guard
+            if guard not in self._guards:
+                raise TaskGraphError(
+                    f"edge {edge.src!r}->{edge.dst!r} uses undeclared guard "
+                    f"{guard!r}; call declare_guard first"
+                )
+            if edge.condition.outcome not in self._guards[guard]:
+                raise TaskGraphError(
+                    f"edge {edge.src!r}->{edge.dst!r}: outcome "
+                    f"{edge.condition.outcome!r} not declared for guard {guard!r}"
+                )
+            previous = branch_of.setdefault(guard, edge.src)
+            if previous != edge.src:
+                raise TaskGraphError(
+                    f"guard {guard!r} labels edges out of both {previous!r} "
+                    f"and {edge.src!r}; a guard belongs to one branch task"
+                )
+
+    # ------------------------------------------------------------------
+    def scenarios(self) -> List[Scenario]:
+        """Enumerate all joint guard outcomes with induced subgraphs.
+
+        A scenario's subgraph contains the tasks reachable from the
+        sources through edges that are unconditional or whose condition is
+        satisfied; edges between retained tasks are kept.
+        """
+        self.validate()
+        guard_names = sorted(self._guards)
+        outcome_lists = [
+            [(guard, outcome, self._guards[guard][outcome])
+             for outcome in sorted(self._guards[guard])]
+            for guard in guard_names
+        ]
+        results: List[Scenario] = []
+        for combo in product(*outcome_lists) if outcome_lists else [()]:
+            chosen = {guard: outcome for guard, outcome, _ in combo}
+            probability = 1.0
+            for _, _, p in combo:
+                probability *= p
+            graph = self._project(chosen)
+            outcomes = tuple(
+                Condition(guard, outcome) for guard, outcome in sorted(chosen.items())
+            )
+            results.append(Scenario(outcomes, probability, graph))
+        return results
+
+    def _edge_active(
+        self, edge: ConditionalEdge, chosen: Mapping[str, str]
+    ) -> bool:
+        if edge.condition is None:
+            return True
+        return chosen.get(edge.condition.guard) == edge.condition.outcome
+
+    def _project(self, chosen: Mapping[str, str]) -> TaskGraph:
+        """The plain TaskGraph induced by one joint outcome."""
+        # reachability from sources through active edges
+        active = [e for e in self._edges if self._edge_active(e, chosen)]
+        succ: Dict[str, List[str]] = {}
+        indeg: Dict[str, int] = {name: 0 for name in self._base.task_names()}
+        for edge in active:
+            succ.setdefault(edge.src, []).append(edge.dst)
+        # tasks with NO incoming edges at all in the conditional graph are
+        # entry tasks; a task whose every incoming edge is inactive is not
+        # executed in this scenario (its trigger never fired) unless it is
+        # an entry task
+        has_any_in: Dict[str, bool] = {name: False for name in indeg}
+        for edge in self._edges:
+            has_any_in[edge.dst] = True
+        reached = set(
+            name for name, any_in in has_any_in.items() if not any_in
+        )
+        frontier = list(reached)
+        while frontier:
+            node = frontier.pop()
+            for nxt in succ.get(node, ()):  # only active edges
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+
+        label = "+".join(f"{g}.{o}" for g, o in sorted(chosen.items()))
+        graph = TaskGraph(
+            f"{self.name}[{label}]" if label else self.name, self.deadline
+        )
+        for task in self._base.tasks():
+            if task.name in reached:
+                graph.add_task(task)
+        for edge in active:
+            if edge.src in reached and edge.dst in reached:
+                graph.add_edge(edge.src, edge.dst, edge.data)
+        graph.validate()
+        return graph
+
+    def worst_case_graph(self) -> TaskGraph:
+        """The union graph: every task and edge, conditions dropped.
+
+        Scheduling this graph (all branches "execute") gives the safe
+        worst-case bound classic co-synthesis used before Xie–Wolf.
+        """
+        graph = TaskGraph(f"{self.name}[union]", self.deadline)
+        for task in self._base.tasks():
+            graph.add_task(task)
+        for edge in self._edges:
+            graph.add_edge(edge.src, edge.dst, edge.data)
+        graph.validate()
+        return graph

@@ -1,0 +1,350 @@
+"""Directed acyclic task graphs with real-time deadlines.
+
+:class:`TaskGraph` is the central workload object of the library: the ASP
+scheduler consumes it, the TGFF-style generator produces it, and the
+benchmark suite (Bm1–Bm4) instantiates four of them.  It is a small,
+dependency-free adjacency-map DAG with the graph algorithms the scheduler
+needs (topological order, longest paths, transitive ancestry) implemented
+directly so their cost model is obvious.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import CycleError, TaskGraphError
+from .task import Edge, Task
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A DAG of :class:`~repro.taskgraph.task.Task` with a deadline.
+
+    Nodes are addressed by task name.  Insertion order of tasks is preserved
+    and used as the tie-break order everywhere, which makes every algorithm
+    in the library deterministic.
+
+    Parameters
+    ----------
+    name:
+        Workload identifier (e.g. ``"Bm1"``).
+    deadline:
+        End-to-end deadline for one iteration of the graph, in the abstract
+        time units of the technology library's WCETs.
+    """
+
+    def __init__(self, name: str, deadline: float):
+        if not name:
+            raise TaskGraphError("graph name must be non-empty")
+        if deadline <= 0.0:
+            raise TaskGraphError(f"deadline must be positive, got {deadline}")
+        self.name = name
+        self.deadline = float(deadline)
+        self._tasks: Dict[str, Task] = {}
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+        self._edges: Dict[Tuple[str, str], Edge] = {}
+        self._topo_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Add *task* to the graph.  Names must be unique."""
+        if task.name in self._tasks:
+            raise TaskGraphError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        self._succ[task.name] = []
+        self._pred[task.name] = []
+        self._invalidate()
+        return task
+
+    def add(self, name: str, task_type: str, weight: float = 1.0, **attrs) -> Task:
+        """Convenience wrapper building and adding a :class:`Task`."""
+        return self.add_task(Task(name, task_type, weight, attrs))
+
+    def add_edge(self, src: str, dst: str, data: float = 0.0) -> Edge:
+        """Add a precedence edge ``src -> dst``.
+
+        Raises :class:`~repro.errors.CycleError` if the edge would create a
+        directed cycle, and :class:`~repro.errors.TaskGraphError` for unknown
+        endpoints or duplicate edges.
+        """
+        for endpoint in (src, dst):
+            if endpoint not in self._tasks:
+                raise TaskGraphError(f"edge references unknown task {endpoint!r}")
+        edge = Edge(src, dst, data)
+        if edge.key in self._edges:
+            raise TaskGraphError(f"duplicate edge {src!r}->{dst!r}")
+        if self._reaches(dst, src):
+            raise CycleError(f"edge {src!r}->{dst!r} would create a cycle")
+        self._edges[edge.key] = edge
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        self._invalidate()
+        return edge
+
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """True if *goal* is reachable from *start* following successors."""
+        if start == goal:
+            return True
+        stack = [start]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node])
+        return False
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, "
+            f"edges={len(self._edges)}, deadline={self.deadline})"
+        )
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks (nodes)."""
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of precedence edges."""
+        return len(self._edges)
+
+    def task(self, name: str) -> Task:
+        """Return the task called *name* (KeyError-safe wrapper)."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise TaskGraphError(f"unknown task {name!r} in graph {self.name!r}")
+
+    def tasks(self) -> List[Task]:
+        """All tasks, in insertion order."""
+        return list(self._tasks.values())
+
+    def task_names(self) -> List[str]:
+        """All task names, in insertion order."""
+        return list(self._tasks)
+
+    def edges(self) -> List[Edge]:
+        """All edges, in insertion order."""
+        return list(self._edges.values())
+
+    def edge(self, src: str, dst: str) -> Edge:
+        """Return the edge ``src -> dst``."""
+        try:
+            return self._edges[(src, dst)]
+        except KeyError:
+            raise TaskGraphError(f"no edge {src!r}->{dst!r} in graph {self.name!r}")
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        """True if the graph contains the edge ``src -> dst``."""
+        return (src, dst) in self._edges
+
+    def successors(self, name: str) -> List[str]:
+        """Direct successors of *name*, in edge insertion order."""
+        self.task(name)
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Direct predecessors of *name*, in edge insertion order."""
+        self.task(name)
+        return list(self._pred[name])
+
+    def in_degree(self, name: str) -> int:
+        """Number of predecessors of *name*."""
+        self.task(name)
+        return len(self._pred[name])
+
+    def out_degree(self, name: str) -> int:
+        """Number of successors of *name*."""
+        self.task(name)
+        return len(self._succ[name])
+
+    def sources(self) -> List[str]:
+        """Tasks with no predecessors (entry tasks)."""
+        return [n for n in self._tasks if not self._pred[n]]
+
+    def sinks(self) -> List[str]:
+        """Tasks with no successors (exit tasks)."""
+        return [n for n in self._tasks if not self._succ[n]]
+
+    # ------------------------------------------------------------------
+    # graph algorithms
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """A deterministic topological order (Kahn's algorithm).
+
+        Ties are broken by task insertion order.  The result is cached until
+        the graph is mutated.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indeg = {n: len(self._pred[n]) for n in self._tasks}
+        order_index = {n: i for i, n in enumerate(self._tasks)}
+        ready = sorted((n for n, d in indeg.items() if d == 0), key=order_index.get)
+        topo: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            topo.append(node)
+            newly_ready = []
+            for succ in self._succ[node]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    newly_ready.append(succ)
+            if newly_ready:
+                ready.extend(newly_ready)
+                ready.sort(key=order_index.get)
+        if len(topo) != len(self._tasks):
+            # unreachable through the public API (add_edge rejects cycles),
+            # but kept as a safety net for subclasses / direct mutation
+            raise CycleError(f"graph {self.name!r} contains a cycle")
+        self._topo_cache = topo
+        return list(topo)
+
+    def longest_path_to_sink(
+        self, node_cost: Callable[[Task], float]
+    ) -> Dict[str, float]:
+        """Longest (critical) path length from each task to any sink.
+
+        The length of a path is the sum of ``node_cost(task)`` over the tasks
+        *on* the path, including both endpoints.  This is exactly the
+        paper's *static criticality*: "the maximum distance from current
+        task to the end task in a task graph".
+        """
+        dist: Dict[str, float] = {}
+        for name in reversed(self.topological_order()):
+            cost = node_cost(self._tasks[name])
+            if cost < 0.0:
+                raise TaskGraphError(f"node cost of {name!r} is negative: {cost}")
+            succ_best = max((dist[s] for s in self._succ[name]), default=0.0)
+            dist[name] = cost + succ_best
+        return dist
+
+    def longest_path_from_source(
+        self, node_cost: Callable[[Task], float]
+    ) -> Dict[str, float]:
+        """Longest path length from any source up to and including each task."""
+        dist: Dict[str, float] = {}
+        for name in self.topological_order():
+            cost = node_cost(self._tasks[name])
+            if cost < 0.0:
+                raise TaskGraphError(f"node cost of {name!r} is negative: {cost}")
+            pred_best = max((dist[p] for p in self._pred[name]), default=0.0)
+            dist[name] = cost + pred_best
+        return dist
+
+    def critical_path_length(self, node_cost: Callable[[Task], float]) -> float:
+        """Length of the overall critical path under *node_cost*."""
+        if not self._tasks:
+            return 0.0
+        return max(self.longest_path_to_sink(node_cost).values())
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All transitive predecessors of *name* (excluding itself)."""
+        self.task(name)
+        seen: Set[str] = set()
+        stack = list(self._pred[name])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._pred[node])
+        return frozenset(seen)
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        """All transitive successors of *name* (excluding itself)."""
+        self.task(name)
+        seen: Set[str] = set()
+        stack = list(self._succ[name])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node])
+        return frozenset(seen)
+
+    def depth_levels(self) -> Dict[str, int]:
+        """Map each task to its depth level (sources are level 0)."""
+        levels: Dict[str, int] = {}
+        for name in self.topological_order():
+            preds = self._pred[name]
+            levels[name] = 1 + max((levels[p] for p in preds), default=-1)
+        return levels
+
+    def validate(self) -> None:
+        """Check internal consistency; raises on any violation.
+
+        Verifies that adjacency maps agree with the edge set, that the graph
+        is acyclic, and that it has at least one source and one sink when
+        non-empty.  Cheap enough to call from tests and after IO round-trips.
+        """
+        for (src, dst), edge in self._edges.items():
+            if edge.key != (src, dst):
+                raise TaskGraphError(f"edge key mismatch for {src!r}->{dst!r}")
+            if dst not in self._succ[src] or src not in self._pred[dst]:
+                raise TaskGraphError(f"adjacency out of sync for {src!r}->{dst!r}")
+        edge_count = sum(len(s) for s in self._succ.values())
+        if edge_count != len(self._edges):
+            raise TaskGraphError("successor map disagrees with edge set")
+        self.topological_order()  # raises CycleError on a cycle
+        if self._tasks:
+            if not self.sources():
+                raise TaskGraphError(f"graph {self.name!r} has no source task")
+            if not self.sinks():
+                raise TaskGraphError(f"graph {self.name!r} has no sink task")
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "TaskGraph":
+        """Deep-enough copy (tasks are immutable, so they are shared)."""
+        clone = TaskGraph(name or self.name, self.deadline)
+        for task in self._tasks.values():
+            clone.add_task(task)
+        for edge in self._edges.values():
+            clone.add_edge(edge.src, edge.dst, edge.data)
+        return clone
+
+    def with_deadline(self, deadline: float) -> "TaskGraph":
+        """Copy of this graph with a different deadline."""
+        clone = self.copy()
+        if deadline <= 0.0:
+            raise TaskGraphError(f"deadline must be positive, got {deadline}")
+        clone.deadline = float(deadline)
+        return clone

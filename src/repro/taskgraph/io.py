@@ -1,0 +1,157 @@
+"""Serialisation of task graphs.
+
+Two formats are supported:
+
+* a JSON-friendly ``dict`` round-trip (:func:`graph_to_dict` /
+  :func:`graph_from_dict`) for embedding workloads in experiment configs;
+* a small line-oriented text format (:func:`dumps_tg` / :func:`loads_tg`)
+  modelled on TGFF's ``.tgff`` output, convenient for eyeballing graphs and
+  for checking them into a repository.
+
+The text format::
+
+    # comment
+    graph <name> deadline <float>
+    task <name> type <task_type> [weight <float>]
+    edge <src> <dst> [data <float>]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "dumps_tg",
+    "loads_tg",
+    "save_graph",
+    "load_graph",
+]
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Represent *graph* as a JSON-serialisable dict."""
+    return {
+        "name": graph.name,
+        "deadline": graph.deadline,
+        "tasks": [
+            {
+                "name": t.name,
+                "task_type": t.task_type,
+                "weight": t.weight,
+                "attrs": dict(t.attrs),
+            }
+            for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "data": e.data} for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
+    """Inverse of :func:`graph_to_dict`; validates the result."""
+    try:
+        graph = TaskGraph(payload["name"], payload["deadline"])
+        for entry in payload["tasks"]:
+            graph.add_task(
+                Task(
+                    entry["name"],
+                    entry["task_type"],
+                    entry.get("weight", 1.0),
+                    dict(entry.get("attrs", {})),
+                )
+            )
+        for entry in payload["edges"]:
+            graph.add_edge(entry["src"], entry["dst"], entry.get("data", 0.0))
+    except (KeyError, TypeError) as exc:
+        raise TaskGraphError(f"malformed task-graph payload: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def dumps_tg(graph: TaskGraph) -> str:
+    """Render *graph* in the line-oriented ``.tg`` text format."""
+    lines = [f"graph {graph.name} deadline {graph.deadline:g}"]
+    for task in graph.tasks():
+        line = f"task {task.name} type {task.task_type}"
+        if task.weight != 1.0:
+            line += f" weight {task.weight:g}"
+        lines.append(line)
+    for edge in graph.edges():
+        line = f"edge {edge.src} {edge.dst}"
+        if edge.data:
+            line += f" data {edge.data:g}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def loads_tg(text: str) -> TaskGraph:
+    """Parse the ``.tg`` text format produced by :func:`dumps_tg`."""
+    graph = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        kind = fields[0]
+        try:
+            if kind == "graph":
+                if graph is not None:
+                    raise TaskGraphError("multiple 'graph' lines")
+                if fields[2] != "deadline":
+                    raise TaskGraphError("expected 'deadline' keyword")
+                graph = TaskGraph(fields[1], float(fields[3]))
+            elif kind == "task":
+                if graph is None:
+                    raise TaskGraphError("'task' before 'graph'")
+                if fields[2] != "type":
+                    raise TaskGraphError("expected 'type' keyword")
+                weight = 1.0
+                if len(fields) >= 6 and fields[4] == "weight":
+                    weight = float(fields[5])
+                graph.add_task(Task(fields[1], fields[3], weight))
+            elif kind == "edge":
+                if graph is None:
+                    raise TaskGraphError("'edge' before 'graph'")
+                data = 0.0
+                if len(fields) >= 5 and fields[3] == "data":
+                    data = float(fields[4])
+                graph.add_edge(fields[1], fields[2], data)
+            else:
+                raise TaskGraphError(f"unknown directive {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise TaskGraphError(f"line {lineno}: {exc}") from exc
+        except TaskGraphError as exc:
+            raise TaskGraphError(f"line {lineno}: {exc}") from exc
+    if graph is None:
+        raise TaskGraphError("no 'graph' line found")
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: TaskGraph, path) -> None:
+    """Write *graph* to *path*; ``.json`` selects JSON, anything else ``.tg``."""
+    text_path = str(path)
+    if text_path.endswith(".json"):
+        payload = json.dumps(graph_to_dict(graph), indent=2)
+    else:
+        payload = dumps_tg(graph)
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_graph(path) -> TaskGraph:
+    """Read a graph written by :func:`save_graph`."""
+    text_path = str(path)
+    with open(text_path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    if text_path.endswith(".json"):
+        return graph_from_dict(json.loads(content))
+    return loads_tg(content)

@@ -1,0 +1,93 @@
+"""Task and edge records for task graphs.
+
+A *task* is a unit of work characterised by a **task type** — the key used to
+look up its worst-case execution time (WCET) and worst-case power consumption
+(WCPC) on each PE type in a :class:`~repro.library.technology.TechnologyLibrary`.
+An *edge* is a precedence (and optionally data-volume) constraint between two
+tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..errors import TaskGraphError
+
+__all__ = ["Task", "Edge"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A node of a task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within its graph.
+    task_type:
+        Key into the technology library; tasks of the same type share
+        WCET/WCPC characteristics (as in TGFF-generated workloads).
+    weight:
+        Optional abstract workload multiplier (1.0 = nominal).  WCETs from
+        the library are scaled by this factor, letting one task type model a
+        family of differently-sized instances.
+    attrs:
+        Free-form metadata (never interpreted by the core algorithms).
+    """
+
+    name: str
+    task_type: str
+    weight: float = 1.0
+    attrs: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task name must be a non-empty string")
+        if not self.task_type:
+            raise TaskGraphError(f"task {self.name!r}: task_type must be non-empty")
+        if self.weight <= 0.0:
+            raise TaskGraphError(
+                f"task {self.name!r}: weight must be positive, got {self.weight}"
+            )
+
+    def scaled(self, factor: float) -> "Task":
+        """Return a copy of this task with its weight multiplied by *factor*."""
+        if factor <= 0.0:
+            raise TaskGraphError(f"scale factor must be positive, got {factor}")
+        return Task(self.name, self.task_type, self.weight * factor, dict(self.attrs))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed precedence edge ``src -> dst`` of a task graph.
+
+    Parameters
+    ----------
+    src, dst:
+        Names of the endpoint tasks.
+    data:
+        Data volume transferred along the edge (abstract units).  The DATE'05
+        ASP does not charge communication time, but the field is kept so the
+        substrate matches TGFF workloads and communication-aware extensions
+        can be layered on without changing the format.
+    """
+
+    src: str
+    dst: str
+    data: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise TaskGraphError("edge endpoints must be non-empty strings")
+        if self.src == self.dst:
+            raise TaskGraphError(f"self-loop edge on task {self.src!r}")
+        if self.data < 0.0:
+            raise TaskGraphError(
+                f"edge {self.src!r}->{self.dst!r}: data must be >= 0, got {self.data}"
+            )
+
+    @property
+    def key(self):
+        """The ``(src, dst)`` pair identifying this edge."""
+        return (self.src, self.dst)

@@ -1,0 +1,128 @@
+"""Task-graph transformations.
+
+Workload manipulation utilities used by the ablations and available to
+library users: deadline scaling (tightness sweeps), workload scaling
+(weight multipliers), linear-chain collapsing (granularity studies), and
+graph merging (multi-application platforms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import TaskGraphError
+from .graph import TaskGraph
+from .task import Task
+
+__all__ = [
+    "scale_deadline",
+    "scale_weights",
+    "merge_graphs",
+    "collapse_linear_chains",
+]
+
+
+def scale_deadline(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Copy of *graph* with the deadline multiplied by *factor*.
+
+    ``factor < 1`` tightens (harder real-time), ``> 1`` relaxes.
+    """
+    if factor <= 0.0:
+        raise TaskGraphError(f"deadline factor must be positive, got {factor}")
+    return graph.with_deadline(graph.deadline * factor)
+
+
+def scale_weights(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Copy of *graph* with every task's weight multiplied by *factor*.
+
+    WCETs scale linearly with weight, so this is a pure workload-intensity
+    knob (deadline unchanged).
+    """
+    if factor <= 0.0:
+        raise TaskGraphError(f"weight factor must be positive, got {factor}")
+    clone = TaskGraph(graph.name, graph.deadline)
+    for task in graph:
+        clone.add_task(task.scaled(factor))
+    for edge in graph.edges():
+        clone.add_edge(edge.src, edge.dst, edge.data)
+    return clone
+
+
+def merge_graphs(
+    graphs: Sequence[TaskGraph],
+    name: str = "merged",
+    deadline: Optional[float] = None,
+) -> TaskGraph:
+    """Union of several graphs as one workload (independent components).
+
+    Task names are prefixed with their source graph's name to stay unique.
+    The deadline defaults to the maximum component deadline — each original
+    application keeps a feasible bound.
+    """
+    if not graphs:
+        raise TaskGraphError("merge_graphs needs at least one graph")
+    bound = deadline if deadline is not None else max(g.deadline for g in graphs)
+    merged = TaskGraph(name, bound)
+    for graph in graphs:
+        for task in graph:
+            merged.add_task(
+                Task(
+                    f"{graph.name}.{task.name}",
+                    task.task_type,
+                    task.weight,
+                    dict(task.attrs),
+                )
+            )
+        for edge in graph.edges():
+            merged.add_edge(
+                f"{graph.name}.{edge.src}", f"{graph.name}.{edge.dst}", edge.data
+            )
+    merged.validate()
+    return merged
+
+
+def collapse_linear_chains(graph: TaskGraph) -> TaskGraph:
+    """Fuse maximal single-in/single-out chains into one task each.
+
+    The fused task keeps the chain head's name and task type and carries
+    the *sum* of chain weights (an approximation: WCETs add along a chain
+    when all members share the head's type; for mixed-type chains the fused
+    weight is the sum of members' weights expressed in head-type units via
+    their own weights — callers studying granularity use same-type chains).
+    Edge data entering/leaving the chain is preserved.
+    """
+    # identify chain membership: a task continues a chain if it has exactly
+    # one predecessor, that predecessor has exactly one successor
+    head_of: Dict[str, str] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        if (
+            len(preds) == 1
+            and graph.out_degree(preds[0]) == 1
+            and graph.in_degree(name) == 1
+        ):
+            head_of[name] = head_of.get(preds[0], preds[0])
+        else:
+            head_of[name] = name
+
+    chain_weight: Dict[str, float] = {}
+    for name in graph.task_names():
+        head = head_of[name]
+        chain_weight[head] = chain_weight.get(head, 0.0) + graph.task(name).weight
+
+    collapsed = TaskGraph(graph.name, graph.deadline)
+    for name in graph.task_names():
+        if head_of[name] != name:
+            continue
+        original = graph.task(name)
+        collapsed.add_task(
+            Task(name, original.task_type, chain_weight[name], dict(original.attrs))
+        )
+    for edge in graph.edges():
+        src_head, dst_head = head_of[edge.src], head_of[edge.dst]
+        if src_head == dst_head:
+            continue  # internal chain edge
+        if not collapsed.has_edge(src_head, dst_head):
+            collapsed.add_edge(src_head, dst_head, edge.data)
+    collapsed.validate()
+    return collapsed

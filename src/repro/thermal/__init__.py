@@ -1,0 +1,50 @@
+"""Thermal substrate (S4): HotSpot-style compact RC modelling.
+
+Layering, bottom-up:
+
+* :mod:`repro.thermal.materials` / :mod:`repro.thermal.package` — constants;
+* :mod:`repro.thermal.network` — generic RC networks (G and C matrices);
+* :mod:`repro.thermal.blockmodel` / :mod:`repro.thermal.gridmodel` —
+  network builders from floorplans;
+* :mod:`repro.thermal.steady` / :mod:`repro.thermal.transient` — solvers;
+* :mod:`repro.thermal.hotspot` — the :class:`HotSpotModel` facade the
+  scheduler and co-synthesis loops call (the paper's "HotSpot tool").
+"""
+
+from .materials import COPPER, INTERFACE, SILICON, Material
+from .package import PackageConfig, default_package
+from .network import ThermalNetwork
+from .blockmodel import SINK_NODE, build_block_network, spreader_node
+from .gridmodel import GridModel, cell_name, cell_spreader_name
+from .steady import SteadyStateSolver
+from .transient import STEPPERS, TransientResult, TransientSimulator
+from .hotspot import HotSpotModel
+from .validation import ModelAgreement, compare_models, standard_power_patterns
+from .leakage import LeakageModel, LeakageSolution, solve_with_leakage
+
+__all__ = [
+    "Material",
+    "SILICON",
+    "COPPER",
+    "INTERFACE",
+    "PackageConfig",
+    "default_package",
+    "ThermalNetwork",
+    "build_block_network",
+    "spreader_node",
+    "SINK_NODE",
+    "GridModel",
+    "cell_name",
+    "cell_spreader_name",
+    "SteadyStateSolver",
+    "TransientResult",
+    "TransientSimulator",
+    "STEPPERS",
+    "HotSpotModel",
+    "ModelAgreement",
+    "compare_models",
+    "standard_power_patterns",
+    "LeakageModel",
+    "LeakageSolution",
+    "solve_with_leakage",
+]

@@ -1,0 +1,261 @@
+"""Grid-level compact thermal model.
+
+A finer-grained alternative to the block model: the die bounding box is
+discretised into an ``rows × cols`` grid of silicon cells; each cell
+receives the power density of the block(s) covering it, conducts laterally
+to its 4-neighbours and vertically into a per-cell spreader cell, which
+couples laterally to neighbouring spreader cells and vertically (plus a
+boundary-periphery path, matching the block model) into the sink.
+
+The grid model serves two purposes in the reproduction:
+
+* **validation** — block-model temperatures should track grid-model
+  temperatures (tests assert rank correlation across power patterns);
+* **reporting** — per-cell maps show the spatial gradient that the
+  thermal-aware scheduler flattens (used by the hotspot-map example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ThermalError
+from ..floorplan.geometry import Floorplan
+from ..units import MM, mm2_to_m2
+from .blockmodel import SINK_NODE
+from .materials import COPPER
+from .network import ThermalNetwork
+from .package import PackageConfig, default_package
+from .steady import SteadyStateSolver
+
+__all__ = ["GridModel", "cell_name", "cell_spreader_name"]
+
+
+def cell_name(row: int, col: int) -> str:
+    """Canonical name of the silicon grid cell at (row, col)."""
+    return f"cell_{row}_{col}"
+
+
+def cell_spreader_name(row: int, col: int) -> str:
+    """Canonical name of the spreader cell under (row, col)."""
+    return f"sp_{row}_{col}"
+
+
+@dataclass
+class _Cell:
+    row: int
+    col: int
+    #: fraction of the cell covered by each block
+    coverage: Dict[str, float]
+
+
+class GridModel:
+    """Grid discretisation of a floorplan's thermal behaviour.
+
+    Parameters
+    ----------
+    floorplan:
+        Validated, non-empty floorplan (mm coordinates).
+    rows, cols:
+        Grid resolution.  8×8 is plenty for 4–10 block dies.
+    package:
+        Package constants; defaults to the calibrated embedded package.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        rows: int = 8,
+        cols: int = 8,
+        package: Optional[PackageConfig] = None,
+    ):
+        if rows < 1 or cols < 1:
+            raise ThermalError(f"grid must be at least 1x1, got {rows}x{cols}")
+        if len(floorplan) == 0:
+            raise ThermalError("cannot grid an empty floorplan")
+        floorplan.validate()
+        self.floorplan = floorplan
+        self.rows = rows
+        self.cols = cols
+        self.package = package or default_package()
+
+        box = floorplan.bounding_box()
+        self.origin = (box.x, box.y)
+        self.cell_w = box.w / cols
+        self.cell_h = box.h / rows
+        self._cells = self._build_cells()
+        self.network = self._build_network()
+        self._solver = SteadyStateSolver(self.network)
+
+    # ------------------------------------------------------------------
+    def _build_cells(self) -> List[_Cell]:
+        cells: List[_Cell] = []
+        x0, y0 = self.origin
+        for row in range(self.rows):
+            for col in range(self.cols):
+                cx1 = x0 + col * self.cell_w
+                cy1 = y0 + row * self.cell_h
+                cx2, cy2 = cx1 + self.cell_w, cy1 + self.cell_h
+                coverage: Dict[str, float] = {}
+                cell_area = self.cell_w * self.cell_h
+                for block in self.floorplan:
+                    rect = block.rect
+                    ox = max(0.0, min(cx2, rect.x2) - max(cx1, rect.x))
+                    oy = max(0.0, min(cy2, rect.y2) - max(cy1, rect.y))
+                    overlap = ox * oy
+                    if overlap > 0.0:
+                        coverage[block.name] = overlap / cell_area
+                cells.append(_Cell(row, col, coverage))
+        return cells
+
+    def _build_network(self) -> ThermalNetwork:
+        package = self.package
+        network = ThermalNetwork(package.ambient_c)
+        cell_area_m2 = mm2_to_m2(self.cell_w * self.cell_h)
+        spreader_area_m2 = package.spreader_side_m**2
+        cell_fraction = min(1.0, cell_area_m2 / spreader_area_m2)
+
+        for cell in self._cells:
+            network.add_node(
+                cell_name(cell.row, cell.col),
+                capacitance=package.block_capacitance(cell_area_m2),
+            )
+        for cell in self._cells:
+            network.add_node(
+                cell_spreader_name(cell.row, cell.col),
+                capacitance=package.spreader_capacitance() * cell_fraction,
+            )
+        network.add_node(
+            SINK_NODE,
+            capacitance=package.sink_capacitance(),
+            ambient_conductance=1.0 / package.convection_resistance,
+        )
+
+        vertical_g = 1.0 / package.vertical_resistance(cell_area_m2)
+        cell_to_sink = COPPER.conduction_resistance(
+            package.spreader_thickness_m / 2.0, cell_area_m2
+        ) + COPPER.conduction_resistance(package.sink_thickness_m / 2.0, cell_area_m2)
+        overhang_m = max(
+            package.spreader_thickness_m,
+            (package.spreader_side_m - max(self.floorplan.die_size()) * MM) / 2.0,
+        )
+        for cell in self._cells:
+            silicon = cell_name(cell.row, cell.col)
+            spreader = cell_spreader_name(cell.row, cell.col)
+            network.connect(silicon, spreader, vertical_g)
+            network.connect(spreader, SINK_NODE, 1.0 / cell_to_sink)
+            # periphery path for boundary cells, matching the block model
+            exposed_m = 0.0
+            if cell.row == 0 or cell.row == self.rows - 1:
+                exposed_m += self.cell_w * MM
+            if cell.col == 0 or cell.col == self.cols - 1:
+                exposed_m += self.cell_h * MM
+            if exposed_m > 0.0:
+                network.connect(
+                    spreader,
+                    SINK_NODE,
+                    COPPER.conductivity
+                    * package.spreader_thickness_m
+                    * exposed_m
+                    / overhang_m,
+                )
+
+        # lateral 4-neighbour conduction in both layers
+        g_si_h = package.lateral_conductance(self.cell_h * MM, self.cell_w * MM)
+        g_si_v = package.lateral_conductance(self.cell_w * MM, self.cell_h * MM)
+        g_cu_h = (
+            COPPER.conductivity
+            * package.spreader_thickness_m
+            * (self.cell_h * MM)
+            / (self.cell_w * MM)
+        )
+        g_cu_v = (
+            COPPER.conductivity
+            * package.spreader_thickness_m
+            * (self.cell_w * MM)
+            / (self.cell_h * MM)
+        )
+        for row in range(self.rows):
+            for col in range(self.cols):
+                if col + 1 < self.cols:
+                    network.connect(
+                        cell_name(row, col), cell_name(row, col + 1), g_si_h
+                    )
+                    network.connect(
+                        cell_spreader_name(row, col),
+                        cell_spreader_name(row, col + 1),
+                        g_cu_h,
+                    )
+                if row + 1 < self.rows:
+                    network.connect(
+                        cell_name(row, col), cell_name(row + 1, col), g_si_v
+                    )
+                    network.connect(
+                        cell_spreader_name(row, col),
+                        cell_spreader_name(row + 1, col),
+                        g_cu_v,
+                    )
+        network.check_grounded()
+        return network
+
+    # ------------------------------------------------------------------
+    def cell_powers(self, power_by_block: Mapping[str, float]) -> Dict[str, float]:
+        """Distribute block powers onto cells by area coverage.
+
+        Each block's power is split over the cells it covers in proportion
+        to covered area, conserving total power exactly.
+        """
+        for name in power_by_block:
+            self.floorplan.block(name)  # raises on unknown block
+        block_total: Dict[str, float] = {}
+        for cell in self._cells:
+            for name, fraction in cell.coverage.items():
+                block_total[name] = block_total.get(name, 0.0) + fraction
+        result: Dict[str, float] = {}
+        for cell in self._cells:
+            power = 0.0
+            for name, fraction in cell.coverage.items():
+                block_power = power_by_block.get(name, 0.0)
+                if block_power and block_total[name] > 0.0:
+                    power += block_power * fraction / block_total[name]
+            if power:
+                result[cell_name(cell.row, cell.col)] = power
+        return result
+
+    def temperatures(self, power_by_block: Mapping[str, float]) -> Dict[str, float]:
+        """Steady-state cell temperatures (°C) for block powers."""
+        return self._solver.temperatures(self.cell_powers(power_by_block))
+
+    def temperature_map(self, power_by_block: Mapping[str, float]) -> np.ndarray:
+        """Steady-state temperatures as a ``rows × cols`` array (°C)."""
+        temps = self.temperatures(power_by_block)
+        grid = np.full((self.rows, self.cols), self.package.ambient_c, dtype=float)
+        for row in range(self.rows):
+            for col in range(self.cols):
+                grid[row, col] = temps[cell_name(row, col)]
+        return grid
+
+    def block_temperatures(
+        self, power_by_block: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Average temperature of each block's covered cells (°C).
+
+        This is the quantity comparable with the block model's node
+        temperatures.
+        """
+        temps = self.temperatures(power_by_block)
+        sums: Dict[str, float] = {}
+        weights: Dict[str, float] = {}
+        for cell in self._cells:
+            temp = temps[cell_name(cell.row, cell.col)]
+            for name, fraction in cell.coverage.items():
+                sums[name] = sums.get(name, 0.0) + temp * fraction
+                weights[name] = weights.get(name, 0.0) + fraction
+        return {
+            name: sums[name] / weights[name]
+            for name in sums
+            if weights[name] > 0.0
+        }

@@ -1,0 +1,125 @@
+"""The HotSpot facade — the paper's "thermal modeling tool".
+
+The paper: *"HotSpot takes a system floorplanning and the power consumption
+for each function block as input, and generates accurate temperature
+estimation for each block."*  :class:`HotSpotModel` is exactly that
+interface: build it from a floorplan (plus package constants), then call
+:meth:`block_temperatures` with a block→watts map.
+
+One instance caches the Cholesky factorisation of its network, so the
+thermal-aware scheduler can issue thousands of queries per workload at
+matrix-backsolve cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ThermalError
+from ..floorplan.geometry import Floorplan
+from .blockmodel import SINK_NODE, build_block_network
+from .package import PackageConfig, default_package
+from .steady import SteadyStateSolver
+from .transient import TransientResult, TransientSimulator
+
+__all__ = ["HotSpotModel"]
+
+
+class HotSpotModel:
+    """Steady-state + transient thermal queries against one floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        Validated floorplan; block names are the queryable units.
+    package:
+        Package constants; defaults to the calibrated embedded package.
+    """
+
+    def __init__(
+        self, floorplan: Floorplan, package: Optional[PackageConfig] = None
+    ):
+        self.floorplan = floorplan
+        self.package = package or default_package()
+        self.network = build_block_network(floorplan, self.package)
+        self._solver = SteadyStateSolver(self.network)
+        self._block_names = floorplan.block_names()
+
+    # ------------------------------------------------------------------
+    @property
+    def block_names(self) -> List[str]:
+        """Names of the queryable blocks (PE instances)."""
+        return list(self._block_names)
+
+    @property
+    def query_count(self) -> int:
+        """Number of steady-state solves performed so far."""
+        return self._solver.solve_count
+
+    def _check_blocks(self, power_by_block: Mapping[str, float]) -> None:
+        for name in power_by_block:
+            if name not in self.floorplan:
+                raise ThermalError(
+                    f"power given for unknown block {name!r}; "
+                    f"known blocks: {self._block_names}"
+                )
+
+    # ------------------------------------------------------------------
+    # steady state
+    # ------------------------------------------------------------------
+    def temperatures(self, power_by_block: Mapping[str, float]) -> Dict[str, float]:
+        """All node temperatures (°C), including package nodes."""
+        self._check_blocks(power_by_block)
+        return self._solver.temperatures(power_by_block)
+
+    def block_temperatures(
+        self, power_by_block: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Block (PE) temperatures only (°C) — the paper's HotSpot output."""
+        temps = self.temperatures(power_by_block)
+        return {name: temps[name] for name in self._block_names}
+
+    def peak_temperature(self, power_by_block: Mapping[str, float]) -> float:
+        """Hottest block temperature (°C)."""
+        return max(self.block_temperatures(power_by_block).values())
+
+    def average_temperature(self, power_by_block: Mapping[str, float]) -> float:
+        """Mean block temperature (°C) — the ``Avg_Temp`` DC term."""
+        temps = self.block_temperatures(power_by_block)
+        return sum(temps.values()) / len(temps)
+
+    # ------------------------------------------------------------------
+    # transient
+    # ------------------------------------------------------------------
+    def transient(
+        self,
+        segments: Sequence[Tuple[float, Mapping[str, float]]],
+        dt: float,
+        stepper: str = "backward_euler",
+        initial: Optional[Mapping[str, float]] = None,
+    ) -> TransientResult:
+        """Integrate block-power *segments* through the network.
+
+        ``segments`` are ``(duration_s, block→W)`` pairs, e.g. produced by
+        :meth:`repro.power.trace.PowerTrace.segments`.
+        """
+        for _, power_map in segments:
+            self._check_blocks(power_map)
+        simulator = TransientSimulator(self.network, stepper)
+        return simulator.run(segments, dt, initial)
+
+    def transient_peak(
+        self,
+        segments: Sequence[Tuple[float, Mapping[str, float]]],
+        dt: float,
+        stepper: str = "backward_euler",
+    ) -> float:
+        """Peak block temperature over a transient run (°C)."""
+        result = self.transient(segments, dt, stepper)
+        return result.peak_of(self._block_names)
+
+    def __repr__(self) -> str:
+        return (
+            f"HotSpotModel(blocks={len(self._block_names)}, "
+            f"queries={self.query_count})"
+        )

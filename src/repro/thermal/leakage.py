@@ -1,0 +1,136 @@
+"""Temperature-dependent leakage power and the leakage-thermal loop.
+
+The paper motivates thermal awareness partly because *"the leakage power
+increases exponentially with the temperature increase"*.  This module
+closes that loop: block leakage is modelled as
+
+```
+P_leak(T) = P_leak(T_ref) · exp(beta · (T − T_ref))
+```
+
+(the standard compact exponential fit; β ≈ 0.01–0.04 K⁻¹ for 90–130 nm
+nodes) and :func:`solve_with_leakage` iterates the steady-state thermal
+solve with leakage re-evaluated at the block temperatures until the fixed
+point converges.  Divergence — thermal runaway — raises
+:class:`~repro.errors.ThermalError` and is itself a meaningful result
+(the point the paper's introduction gestures at).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ThermalError
+from .hotspot import HotSpotModel
+
+__all__ = ["LeakageModel", "LeakageSolution", "solve_with_leakage"]
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Exponential leakage fit shared by all blocks.
+
+    Parameters
+    ----------
+    leakage_fraction:
+        Leakage as a fraction of each block's *dynamic* power at ``t_ref``
+        (embedded 90–130 nm designs: 0.1–0.3).
+    beta:
+        Exponential temperature sensitivity (K⁻¹).
+    t_ref_c:
+        Reference temperature of the fit (°C).
+    """
+
+    leakage_fraction: float = 0.15
+    beta: float = 0.02
+    t_ref_c: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.leakage_fraction < 0.0:
+            raise ThermalError("leakage_fraction must be >= 0")
+        if self.beta < 0.0:
+            raise ThermalError("beta must be >= 0")
+
+    def leakage_power(self, dynamic_power: float, temperature_c: float) -> float:
+        """Leakage of a block given its dynamic power and temperature."""
+        if dynamic_power < 0.0:
+            raise ThermalError("dynamic power must be >= 0")
+        reference = self.leakage_fraction * dynamic_power
+        return reference * math.exp(self.beta * (temperature_c - self.t_ref_c))
+
+
+@dataclass
+class LeakageSolution:
+    """Fixed point of the leakage-thermal loop."""
+
+    temperatures: Dict[str, float]
+    dynamic_power: Dict[str, float]
+    leakage_power: Dict[str, float]
+    iterations: int
+    converged: bool
+
+    @property
+    def total_leakage(self) -> float:
+        """Total leakage power at the fixed point (W)."""
+        return sum(self.leakage_power.values())
+
+    @property
+    def total_power(self) -> float:
+        """Dynamic + leakage power (W)."""
+        return sum(self.dynamic_power.values()) + self.total_leakage
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest block at the fixed point (°C)."""
+        return max(self.temperatures.values())
+
+    @property
+    def avg_temperature(self) -> float:
+        """Mean block temperature at the fixed point (°C)."""
+        return sum(self.temperatures.values()) / len(self.temperatures)
+
+
+def solve_with_leakage(
+    model: HotSpotModel,
+    dynamic_power: Mapping[str, float],
+    leakage: Optional[LeakageModel] = None,
+    max_iterations: int = 50,
+    tolerance_c: float = 1e-3,
+) -> LeakageSolution:
+    """Iterate thermal solve ↔ leakage update to a fixed point.
+
+    Plain fixed-point iteration: the loop gain is ``beta × R_th × P_leak``,
+    well below 1 for sane configurations, so convergence is geometric.  A
+    temperature climbing past 250 °C or failing to settle within
+    *max_iterations* is reported as thermal runaway.
+    """
+    leakage = leakage or LeakageModel()
+    dynamic = {name: float(p) for name, p in dynamic_power.items()}
+    temps = model.block_temperatures(dynamic)
+    leak: Dict[str, float] = {name: 0.0 for name in model.block_names}
+
+    for iteration in range(1, max_iterations + 1):
+        leak = {
+            name: leakage.leakage_power(dynamic.get(name, 0.0), temps[name])
+            for name in model.block_names
+        }
+        total = {
+            name: dynamic.get(name, 0.0) + leak[name]
+            for name in model.block_names
+        }
+        new_temps = model.block_temperatures(total)
+        worst_delta = max(
+            abs(new_temps[name] - temps[name]) for name in new_temps
+        )
+        temps = new_temps
+        if max(temps.values()) > 250.0:
+            raise ThermalError(
+                f"thermal runaway: peak {max(temps.values()):.1f} C at "
+                f"iteration {iteration} (beta={leakage.beta}, "
+                f"fraction={leakage.leakage_fraction})"
+            )
+        if worst_delta < tolerance_c:
+            return LeakageSolution(temps, dynamic, leak, iteration, True)
+    return LeakageSolution(temps, dynamic, leak, max_iterations, False)

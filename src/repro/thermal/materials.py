@@ -1,0 +1,66 @@
+"""Material constants for the compact thermal model.
+
+Values follow the HotSpot distribution's defaults (Skadron et al., HPCA'02 /
+ISCA'03): bulk silicon for the die, copper for the heat spreader and sink,
+and a thermal-interface-material (TIM) layer between die and spreader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ThermalError
+
+__all__ = [
+    "Material",
+    "SILICON",
+    "COPPER",
+    "INTERFACE",
+]
+
+
+@dataclass(frozen=True)
+class Material:
+    """Homogeneous material: conductivity and volumetric heat capacity.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label.
+    conductivity:
+        Thermal conductivity **k** in W/(m·K).
+    volumetric_capacity:
+        Volumetric heat capacity **ρ·c** in J/(m³·K).
+    """
+
+    name: str
+    conductivity: float
+    volumetric_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0.0:
+            raise ThermalError(f"{self.name}: conductivity must be positive")
+        if self.volumetric_capacity <= 0.0:
+            raise ThermalError(f"{self.name}: volumetric capacity must be positive")
+
+    def conduction_resistance(self, thickness_m: float, area_m2: float) -> float:
+        """1-D conduction resistance of a slab: ``t / (k·A)`` in K/W."""
+        if thickness_m <= 0.0 or area_m2 <= 0.0:
+            raise ThermalError("slab thickness and area must be positive")
+        return thickness_m / (self.conductivity * area_m2)
+
+    def capacitance(self, volume_m3: float) -> float:
+        """Heat capacity of a volume: ``ρ·c·V`` in J/K."""
+        if volume_m3 <= 0.0:
+            raise ThermalError("volume must be positive")
+        return self.volumetric_capacity * volume_m3
+
+
+#: Bulk silicon (HotSpot default: k = 100 W/mK at ~85 °C, ρc = 1.75e6).
+SILICON = Material("silicon", conductivity=100.0, volumetric_capacity=1.75e6)
+
+#: Copper spreader/sink (HotSpot default: k = 400, ρc = 3.55e6).
+COPPER = Material("copper", conductivity=400.0, volumetric_capacity=3.55e6)
+
+#: Thermal interface material (HotSpot default: k = 1.33, ρc = 4.0e6).
+INTERFACE = Material("interface", conductivity=1.33, volumetric_capacity=4.0e6)

@@ -1,0 +1,123 @@
+"""Package (die / TIM / spreader / sink) configuration.
+
+One :class:`PackageConfig` carries every constant of the vertical heat path,
+mirroring the ``hotspot.config`` file of the original tool.  The default,
+:func:`default_package`, models a passively-cooled embedded module and is
+calibrated (see DESIGN.md §6) so that the paper's platform workloads land in
+the 60–125 °C band the tables report, from a 45 °C in-enclosure ambient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ThermalError
+from ..units import AMBIENT_C, MM
+from .materials import COPPER, INTERFACE, SILICON, Material
+
+__all__ = ["PackageConfig", "default_package"]
+
+
+@dataclass(frozen=True)
+class PackageConfig:
+    """Vertical-stack constants of the thermal package.
+
+    Parameters
+    ----------
+    die_thickness_m:
+        Silicon die thickness (m).
+    tim_thickness_m:
+        Thermal-interface-material thickness between die and spreader (m).
+    spreader_side_m, spreader_thickness_m:
+        Copper heat-spreader plan dimension (square) and thickness (m).
+    sink_side_m, sink_thickness_m:
+        Copper heat-sink base plan dimension (square) and thickness (m).
+    convection_resistance:
+        Sink-to-ambient convection resistance (K/W).  Dominates the mean
+        chip temperature; passive embedded sinks are a few K/W.
+    ambient_c:
+        Ambient temperature (°C).
+    """
+
+    die_thickness_m: float = 0.35 * MM
+    tim_thickness_m: float = 0.10 * MM
+    spreader_side_m: float = 24.0 * MM
+    spreader_thickness_m: float = 1.0 * MM
+    sink_side_m: float = 36.0 * MM
+    sink_thickness_m: float = 4.0 * MM
+    convection_resistance: float = 2.0
+    ambient_c: float = AMBIENT_C
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("die_thickness_m", self.die_thickness_m),
+            ("tim_thickness_m", self.tim_thickness_m),
+            ("spreader_side_m", self.spreader_side_m),
+            ("spreader_thickness_m", self.spreader_thickness_m),
+            ("sink_side_m", self.sink_side_m),
+            ("sink_thickness_m", self.sink_thickness_m),
+            ("convection_resistance", self.convection_resistance),
+        ):
+            if value <= 0.0:
+                raise ThermalError(f"{label} must be positive, got {value}")
+
+    # ------------------------------------------------------------------
+    # derived quantities used by the network builders
+    # ------------------------------------------------------------------
+    def vertical_resistance(self, block_area_m2: float) -> float:
+        """Die-to-spreader resistance of one block footprint (K/W).
+
+        Half the die slab (heat is generated near the active surface),
+        the TIM slab, and the constriction/spreading resistance into the
+        copper spreader (Lee's approximation ``1 / (2·k·r_eq)`` with
+        ``r_eq = sqrt(A/π)``).
+        """
+        if block_area_m2 <= 0.0:
+            raise ThermalError("block area must be positive")
+        r_die = SILICON.conduction_resistance(
+            self.die_thickness_m / 2.0, block_area_m2
+        )
+        r_tim = INTERFACE.conduction_resistance(self.tim_thickness_m, block_area_m2)
+        r_equiv = math.sqrt(block_area_m2 / math.pi)
+        r_spread = 1.0 / (2.0 * COPPER.conductivity * r_equiv)
+        return r_die + r_tim + r_spread
+
+    def lateral_conductance(
+        self, shared_edge_m: float, centre_distance_m: float
+    ) -> float:
+        """Block-to-block lateral conductance through the die (W/K).
+
+        Conduction through the silicon slab cross-section
+        ``t_die × shared_edge`` over the centre-to-centre distance.
+        """
+        if shared_edge_m <= 0.0:
+            raise ThermalError("shared edge must be positive")
+        if centre_distance_m <= 0.0:
+            raise ThermalError("centre distance must be positive")
+        cross_section = self.die_thickness_m * shared_edge_m
+        return SILICON.conductivity * cross_section / centre_distance_m
+
+    def spreader_to_sink_resistance(self) -> float:
+        """Spreader-to-sink-base conduction resistance (K/W)."""
+        area = self.spreader_side_m**2
+        return COPPER.conduction_resistance(
+            self.spreader_thickness_m, area
+        ) + COPPER.conduction_resistance(self.sink_thickness_m / 2.0, area)
+
+    def block_capacitance(self, block_area_m2: float) -> float:
+        """Heat capacity of one block's silicon volume (J/K)."""
+        return SILICON.capacitance(block_area_m2 * self.die_thickness_m)
+
+    def spreader_capacitance(self) -> float:
+        """Heat capacity of the copper spreader (J/K)."""
+        return COPPER.capacitance(self.spreader_side_m**2 * self.spreader_thickness_m)
+
+    def sink_capacitance(self) -> float:
+        """Heat capacity of the copper sink base (J/K)."""
+        return COPPER.capacitance(self.sink_side_m**2 * self.sink_thickness_m)
+
+
+def default_package() -> PackageConfig:
+    """The calibrated embedded-module package used by all experiments."""
+    return PackageConfig()

@@ -1,0 +1,60 @@
+"""Steady-state solution of thermal networks.
+
+The thermal-aware ASP queries the thermal model once per (ready task ×
+candidate PE) pair at every scheduling step, so the steady-state solve is
+the hot path of the whole reproduction.  :class:`SteadyStateSolver`
+therefore factorises the conductance matrix **once** (Cholesky — ``G`` is
+symmetric positive definite once grounded) and reuses the factor for every
+power vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, LinAlgError
+
+from ..errors import SingularNetworkError, ThermalError
+from .network import ThermalNetwork
+
+__all__ = ["SteadyStateSolver"]
+
+
+class SteadyStateSolver:
+    """Cached-factorisation steady-state solver for one network.
+
+    The network must not be mutated after the solver is built; build a new
+    solver if the floorplan (and hence the network) changes.
+    """
+
+    def __init__(self, network: ThermalNetwork):
+        network.check_grounded()
+        self.network = network
+        matrix = network.conductance_matrix()
+        try:
+            self._factor = cho_factor(matrix)
+        except LinAlgError as exc:
+            raise SingularNetworkError(
+                f"conductance matrix is not SPD: {exc}"
+            ) from exc
+        self.solve_count = 0
+
+    def solve_rise(self, power: np.ndarray) -> np.ndarray:
+        """Temperature **rise** over ambient for a raw power vector."""
+        if power.shape != (len(self.network),):
+            raise ThermalError(
+                f"power vector has shape {power.shape}, expected "
+                f"({len(self.network)},)"
+            )
+        self.solve_count += 1
+        return cho_solve(self._factor, power)
+
+    def temperatures(self, power_by_node: Mapping[str, float]) -> Dict[str, float]:
+        """Absolute temperatures (°C) for a node->W power map."""
+        rise = self.solve_rise(self.network.power_vector(power_by_node))
+        ambient = self.network.ambient_c
+        return {
+            name: ambient + rise[index]
+            for index, name in enumerate(self.network.node_names())
+        }

@@ -1,0 +1,193 @@
+"""Transient integration of thermal networks.
+
+Used by ablation A2 to replay a finished schedule's time-resolved power
+trace through the RC network and check that the steady-state proxy the
+scheduler optimises ranks schedules the same way a transient simulation
+does.
+
+Three steppers are provided:
+
+* ``backward_euler`` — unconditionally stable first-order (default);
+* ``crank_nicolson`` — second-order trapezoidal;
+* ``exponential``    — exact matrix-exponential step (small networks only).
+
+All integrate ``C · dΔT/dt = P(t) − G · ΔT`` with piecewise-constant power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import expm, lu_factor, lu_solve
+
+from ..errors import ThermalError
+from .network import ThermalNetwork
+
+__all__ = ["TransientResult", "TransientSimulator", "STEPPERS"]
+
+#: Names of the available steppers.
+STEPPERS = ("backward_euler", "crank_nicolson", "exponential")
+
+
+@dataclass
+class TransientResult:
+    """Time series produced by a transient run.
+
+    ``temperatures[k, i]`` is the absolute temperature (°C) of node *i* at
+    ``times[k]``.
+    """
+
+    times: np.ndarray
+    temperatures: np.ndarray
+    node_names: List[str]
+
+    def node_series(self, name: str) -> np.ndarray:
+        """Temperature series of one node."""
+        try:
+            index = self.node_names.index(name)
+        except ValueError:
+            raise ThermalError(f"unknown node {name!r} in transient result")
+        return self.temperatures[:, index]
+
+    def peak(self) -> float:
+        """Hottest temperature over all nodes and times (°C)."""
+        return float(self.temperatures.max())
+
+    def peak_of(self, names: Sequence[str]) -> float:
+        """Hottest temperature over the given nodes (°C)."""
+        indices = [self.node_names.index(n) for n in names]
+        return float(self.temperatures[:, indices].max())
+
+    def final(self) -> Dict[str, float]:
+        """Temperatures at the last time point."""
+        return {
+            name: float(self.temperatures[-1, i])
+            for i, name in enumerate(self.node_names)
+        }
+
+
+class TransientSimulator:
+    """Fixed-step transient integrator for one thermal network.
+
+    The network must have positive capacitance on every node.  Matrices are
+    factorised once per (stepper, dt) pair and cached, so replaying many
+    power traces through the same network is cheap.
+    """
+
+    def __init__(self, network: ThermalNetwork, stepper: str = "backward_euler"):
+        if stepper not in STEPPERS:
+            raise ThermalError(
+                f"unknown stepper {stepper!r}; available: {STEPPERS}"
+            )
+        network.check_grounded()
+        capacitance = network.capacitance_vector()
+        if np.any(capacitance <= 0.0):
+            bad = [
+                name
+                for name, c in zip(network.node_names(), capacitance)
+                if c <= 0.0
+            ]
+            raise ThermalError(
+                f"transient simulation needs positive capacitance on every "
+                f"node; zero/negative on {bad}"
+            )
+        self.network = network
+        self.stepper = stepper
+        self._G = network.conductance_matrix()
+        self._C = capacitance
+        self._cache: Dict[float, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _prepare(self, dt: float):
+        """Build (and cache) the per-step operator for time step *dt*."""
+        if dt <= 0.0:
+            raise ThermalError(f"time step must be positive, got {dt}")
+        cached = self._cache.get(dt)
+        if cached is not None:
+            return cached
+        C = np.diag(self._C)
+        if self.stepper == "backward_euler":
+            # (C/dt + G) T+ = C/dt T + P
+            lhs = C / dt + self._G
+            ops = ("be", lu_factor(lhs))
+        elif self.stepper == "crank_nicolson":
+            # (C/dt + G/2) T+ = (C/dt - G/2) T + P
+            lhs = C / dt + self._G / 2.0
+            rhs = C / dt - self._G / 2.0
+            ops = ("cn", lu_factor(lhs), rhs)
+        else:  # exponential
+            # T+ = e^{-A dt} (T - T_inf) + T_inf with A = C^-1 G
+            A = self._G / self._C[:, None]
+            phi = expm(-A * dt)
+            ginv_factor = lu_factor(self._G)
+            ops = ("exp", phi, ginv_factor)
+        self._cache[dt] = ops
+        return ops
+
+    def _step(self, ops, rise: np.ndarray, power: np.ndarray, dt: float) -> np.ndarray:
+        kind = ops[0]
+        if kind == "be":
+            return lu_solve(ops[1], self._C / dt * rise + power)
+        if kind == "cn":
+            return lu_solve(ops[1], ops[2] @ rise + power)
+        # exponential: steady state for this power, then exact decay toward it
+        steady = lu_solve(ops[2], power)
+        return ops[1] @ (rise - steady) + steady
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        segments: Sequence[Tuple[float, Mapping[str, float]]],
+        dt: float,
+        initial: Optional[Mapping[str, float]] = None,
+    ) -> TransientResult:
+        """Integrate over piecewise-constant power *segments*.
+
+        Parameters
+        ----------
+        segments:
+            Sequence of ``(duration_s, power_by_node)`` pairs.
+        dt:
+            Integration step (s).  Durations are covered with steps of at
+            most *dt* (the final step of a segment may be shorter).
+        initial:
+            Initial absolute temperatures (°C); defaults to ambient
+            everywhere.
+
+        Returns
+        -------
+        TransientResult
+            Includes the initial state at time 0.
+        """
+        if not segments:
+            raise ThermalError("transient run needs at least one power segment")
+        names = self.network.node_names()
+        ambient = self.network.ambient_c
+        if initial is None:
+            rise = np.zeros(len(names))
+        else:
+            rise = np.array(
+                [float(initial.get(name, ambient)) - ambient for name in names]
+            )
+        times: List[float] = [0.0]
+        history: List[np.ndarray] = [rise.copy()]
+        now = 0.0
+        for duration, power_map in segments:
+            if duration < 0.0:
+                raise ThermalError(f"segment duration must be >= 0, got {duration}")
+            if duration == 0.0:
+                continue
+            power = self.network.power_vector(power_map)
+            remaining = duration
+            while remaining > 1e-12:
+                step = min(dt, remaining)
+                ops = self._prepare(step)
+                rise = self._step(ops, rise, power, step)
+                now += step
+                remaining -= step
+                times.append(now)
+                history.append(rise.copy())
+        temperatures = np.vstack(history) + ambient
+        return TransientResult(np.asarray(times), temperatures, names)

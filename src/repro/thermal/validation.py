@@ -1,0 +1,134 @@
+"""Cross-validation between the block-level and grid-level thermal models.
+
+The scheduling results stand on the block model; this module quantifies how
+well it tracks the finer grid discretisation across a battery of power
+patterns — the report behind the "model agreement" row in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ThermalError
+from ..floorplan.geometry import Floorplan
+from ..rng import SeedLike, as_random
+from .gridmodel import GridModel
+from .hotspot import HotSpotModel
+from .package import PackageConfig
+
+__all__ = ["ModelAgreement", "compare_models", "standard_power_patterns"]
+
+
+@dataclass(frozen=True)
+class ModelAgreement:
+    """Agreement statistics between block and grid models."""
+
+    patterns: int
+    mean_abs_error_c: float
+    max_abs_error_c: float
+    rank_agreement: float  # fraction of block-pair orderings preserved
+    mean_block_c: float
+    mean_grid_c: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "patterns": self.patterns,
+            "mean_abs_err": round(self.mean_abs_error_c, 3),
+            "max_abs_err": round(self.max_abs_error_c, 3),
+            "rank_agreement": round(self.rank_agreement, 3),
+            "mean_block_C": round(self.mean_block_c, 2),
+            "mean_grid_C": round(self.mean_grid_c, 2),
+        }
+
+
+def standard_power_patterns(
+    floorplan: Floorplan,
+    total_power: float = 16.0,
+    seed: SeedLike = None,
+    random_patterns: int = 4,
+) -> List[Dict[str, float]]:
+    """A battery of per-block power patterns with a fixed total.
+
+    Contains: uniform, each-block-alone, and a few random splits — the
+    placements a scheduler actually produces.
+    """
+    if total_power <= 0.0:
+        raise ThermalError(f"total power must be positive, got {total_power}")
+    names = floorplan.block_names()
+    if not names:
+        raise ThermalError("floorplan has no blocks")
+    rng = as_random(seed)
+    patterns: List[Dict[str, float]] = []
+    patterns.append({name: total_power / len(names) for name in names})
+    for name in names:
+        patterns.append({name: total_power})
+    for _ in range(random_patterns):
+        shares = [rng.random() for _ in names]
+        scale = total_power / sum(shares)
+        patterns.append(
+            {name: share * scale for name, share in zip(names, shares)}
+        )
+    return patterns
+
+
+def compare_models(
+    floorplan: Floorplan,
+    patterns: Optional[Sequence[Mapping[str, float]]] = None,
+    package: Optional[PackageConfig] = None,
+    rows: int = 8,
+    cols: int = 8,
+) -> ModelAgreement:
+    """Run both models over *patterns* and summarise their agreement.
+
+    Rank agreement counts, over all patterns and block pairs, how often the
+    two models order a pair of block temperatures the same way (ties in
+    either model count as half).
+    """
+    block_model = HotSpotModel(floorplan, package)
+    grid_model = GridModel(floorplan, rows=rows, cols=cols, package=package)
+    if patterns is None:
+        patterns = standard_power_patterns(floorplan)
+    if not patterns:
+        raise ThermalError("need at least one power pattern")
+
+    errors: List[float] = []
+    block_sum = 0.0
+    grid_sum = 0.0
+    agree = 0.0
+    pair_count = 0
+    names = floorplan.block_names()
+    for pattern in patterns:
+        block_temps = block_model.block_temperatures(pattern)
+        grid_temps = grid_model.block_temperatures(pattern)
+        for name in names:
+            errors.append(abs(block_temps[name] - grid_temps[name]))
+            block_sum += block_temps[name]
+            grid_sum += grid_temps[name]
+        for name_a, name_b in combinations(names, 2):
+            pair_count += 1
+            block_sign = _sign(block_temps[name_a] - block_temps[name_b])
+            grid_sign = _sign(grid_temps[name_a] - grid_temps[name_b])
+            if block_sign == grid_sign:
+                agree += 1.0
+            elif block_sign == 0 or grid_sign == 0:
+                agree += 0.5
+    count = len(patterns) * len(names)
+    return ModelAgreement(
+        patterns=len(patterns),
+        mean_abs_error_c=sum(errors) / len(errors),
+        max_abs_error_c=max(errors),
+        rank_agreement=agree / pair_count if pair_count else 1.0,
+        mean_block_c=block_sum / count,
+        mean_grid_c=grid_sum / count,
+    )
+
+
+def _sign(value: float, tolerance: float = 1e-9) -> int:
+    if value > tolerance:
+        return 1
+    if value < -tolerance:
+        return -1
+    return 0

@@ -1,0 +1,77 @@
+"""Unit conventions and helpers used throughout :mod:`repro`.
+
+The library uses SI units internally:
+
+* power        — watts (W)
+* energy       — joules (J)
+* time         — the task-graph timebase is *abstract time units* (the paper's
+                 deadlines, e.g. 790, are unitless); physical thermal time is
+                 seconds (s)
+* length       — metres (m); floorplan block edges are typically millimetres,
+                 stored in metres
+* temperature  — degrees Celsius (°C) at the API surface; conversions to
+                 kelvin are only needed for radiation-style models, which the
+                 compact RC model does not use, so Celsius is used directly
+                 (RC heat flow depends only on temperature *differences*)
+* thermal R    — kelvin per watt (K/W)
+* thermal C    — joules per kelvin (J/K)
+
+This module centralises the multipliers so magic numbers do not spread
+through the code base.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MILLI",
+    "MICRO",
+    "CENTI",
+    "MM",
+    "CM",
+    "UM",
+    "mm2_to_m2",
+    "m2_to_mm2",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "KELVIN_OFFSET",
+    "AMBIENT_C",
+]
+
+MILLI = 1e-3
+MICRO = 1e-6
+CENTI = 1e-2
+
+#: One millimetre in metres.
+MM = MILLI
+#: One centimetre in metres.
+CM = CENTI
+#: One micrometre in metres.
+UM = MICRO
+
+#: Offset between the Celsius and Kelvin scales.
+KELVIN_OFFSET = 273.15
+
+#: Default ambient temperature used by the thermal package, in °C.  The paper
+#: reports on-chip temperatures of 60–125 °C for embedded platforms; a 45 °C
+#: in-enclosure ambient is the conventional assumption for such systems.
+AMBIENT_C = 45.0
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimetres to square metres."""
+    return area_mm2 * MM * MM
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from square metres to square millimetres."""
+    return area_m2 / (MM * MM)
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - KELVIN_OFFSET

@@ -1,0 +1,92 @@
+"""Tests for co-synthesis allocation enumeration."""
+
+import pytest
+
+from repro.cosynth.allocation import (
+    enumerate_allocations,
+    feasible_allocations,
+    make_architecture,
+)
+from repro.errors import CoSynthesisError
+from repro.library.presets import default_catalogue, library_for_graph
+from repro.taskgraph.benchmarks import benchmark
+from repro.taskgraph.graph import TaskGraph
+
+CATALOGUE = default_catalogue()
+
+
+class TestMakeArchitecture:
+    def test_names_and_instances(self):
+        arch = make_architecture([CATALOGUE[0], CATALOGUE[0], CATALOGUE[1]])
+        assert len(arch) == 3
+        assert arch.pe_names() == ["pe0", "pe1", "pe2"]
+
+    def test_auto_name_describes_multiset(self):
+        arch = make_architecture([CATALOGUE[0], CATALOGUE[0], CATALOGUE[1]])
+        assert "x2" in arch.name
+        assert CATALOGUE[1].name in arch.name
+
+    def test_auto_name_order_independent(self):
+        a = make_architecture([CATALOGUE[0], CATALOGUE[1]])
+        b = make_architecture([CATALOGUE[1], CATALOGUE[0]])
+        assert a.name == b.name
+
+    def test_explicit_name(self):
+        arch = make_architecture([CATALOGUE[0]], name="custom")
+        assert arch.name == "custom"
+
+    def test_empty_rejected(self):
+        with pytest.raises(CoSynthesisError):
+            make_architecture([])
+
+
+class TestEnumeration:
+    def test_count_matches_multiset_formula(self):
+        # sum_k C(5+k-1, k) for k in 1..4 = 5 + 15 + 35 + 70 = 125
+        allocations = list(enumerate_allocations(CATALOGUE, max_pes=4))
+        assert len(allocations) == 125
+
+    def test_min_pes_filter(self):
+        allocations = list(enumerate_allocations(CATALOGUE, max_pes=2, min_pes=2))
+        assert len(allocations) == 15
+        assert all(len(a) == 2 for a in allocations)
+
+    def test_deterministic_order(self):
+        a = [tuple(t.name for t in x) for x in enumerate_allocations(CATALOGUE, 3)]
+        b = [tuple(t.name for t in x) for x in enumerate_allocations(CATALOGUE, 3)]
+        assert a == b
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(CoSynthesisError):
+            list(enumerate_allocations(CATALOGUE, max_pes=2, min_pes=3))
+        with pytest.raises(CoSynthesisError):
+            list(enumerate_allocations([], max_pes=2))
+
+
+class TestFeasibility:
+    def test_all_feasible_cover_all_tasks(self):
+        graph = benchmark("Bm1")
+        library = library_for_graph(graph)
+        feasible = feasible_allocations(graph, library, CATALOGUE, max_pes=2)
+        for arch in feasible:
+            library.check_graph(graph, arch)  # must not raise
+
+    def test_accelerator_only_is_infeasible(self):
+        # the accelerator covers only a third of task types, so accel-only
+        # allocations must be filtered out for any benchmark
+        graph = benchmark("Bm1")
+        library = library_for_graph(graph)
+        feasible = feasible_allocations(graph, library, CATALOGUE, max_pes=2)
+        names = [a.type_counts() for a in feasible]
+        assert {"accel": 1} not in names
+        assert {"accel": 2} not in names
+
+    def test_no_feasible_allocation_raises(self):
+        graph = TaskGraph("g", 100.0)
+        graph.add("a", "nowhere-type")
+        from repro.library.technology import TechnologyLibrary
+
+        empty_lib = TechnologyLibrary()
+        empty_lib.add_entry("other", CATALOGUE[0].name, 1.0, 1.0)
+        with pytest.raises(CoSynthesisError):
+            feasible_allocations(graph, empty_lib, CATALOGUE, max_pes=2)

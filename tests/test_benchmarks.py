@@ -1,0 +1,63 @@
+"""Tests for the paper benchmark suite Bm1-Bm4."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.taskgraph.benchmarks import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SPECS,
+    benchmark,
+    benchmark_suite,
+)
+
+#: (name, tasks, edges, deadline) straight from Table 1 of the paper.
+PAPER_SHAPES = [
+    ("Bm1", 19, 19, 790.0),
+    ("Bm2", 35, 40, 1500.0),
+    ("Bm3", 39, 43, 1650.0),
+    ("Bm4", 51, 60, 2000.0),
+]
+
+
+@pytest.mark.parametrize("name,tasks,edges,deadline", PAPER_SHAPES)
+def test_benchmark_matches_paper_shape(name, tasks, edges, deadline):
+    graph = benchmark(name)
+    assert graph.name == name
+    assert graph.num_tasks == tasks
+    assert graph.num_edges == edges
+    assert graph.deadline == deadline
+
+
+def test_names_in_paper_order():
+    assert BENCHMARK_NAMES == ["Bm1", "Bm2", "Bm3", "Bm4"]
+
+
+def test_specs_cover_all_names():
+    assert set(BENCHMARK_SPECS) == set(BENCHMARK_NAMES)
+
+
+def test_benchmarks_are_valid_dags():
+    for graph in benchmark_suite():
+        graph.validate()
+
+
+def test_benchmark_reproducible_across_calls():
+    a, b = benchmark("Bm2"), benchmark("Bm2")
+    assert a is not b  # fresh object each call
+    assert [(t.name, t.task_type) for t in a] == [(t.name, t.task_type) for t in b]
+    assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+
+
+def test_benchmarks_are_distinct():
+    suites = benchmark_suite()
+    edge_sets = [tuple(e.key for e in g.edges()) for g in suites]
+    assert len(set(edge_sets)) == len(suites)
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(ExperimentError):
+        benchmark("Bm9")
+
+
+def test_suite_order():
+    assert [g.name for g in benchmark_suite()] == BENCHMARK_NAMES

@@ -1,0 +1,109 @@
+"""Tests for the HotSpot-style block network builder."""
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.floorplan.geometry import Floorplan
+from repro.thermal.blockmodel import (
+    SINK_NODE,
+    block_power_vector,
+    build_block_network,
+    spreader_node,
+)
+from repro.thermal.steady import SteadyStateSolver
+
+
+def test_network_has_expected_nodes(two_block_plan):
+    network = build_block_network(two_block_plan)
+    names = set(network.node_names())
+    assert {"left", "right", SINK_NODE} <= names
+    assert spreader_node("left") in names
+    assert spreader_node("right") in names
+    assert len(network) == 5  # 2 blocks + 2 spreader cells + sink
+
+
+def test_empty_floorplan_rejected():
+    with pytest.raises(ThermalError):
+        build_block_network(Floorplan())
+
+
+def test_reserved_name_rejected():
+    plan = Floorplan()
+    plan.place(SINK_NODE, 0, 0, 1, 1)
+    with pytest.raises(ThermalError):
+        build_block_network(plan)
+
+
+def test_overlapping_plan_rejected():
+    from repro.errors import FloorplanError
+
+    plan = Floorplan()
+    plan.place("a", 0, 0, 4, 4)
+    plan.place("b", 2, 2, 4, 4)
+    # surfaces as the floorplan-validation error, not a thermal one
+    with pytest.raises(FloorplanError):
+        build_block_network(plan)
+
+
+def test_power_vector_rejects_package_nodes(two_block_plan):
+    network = build_block_network(two_block_plan)
+    with pytest.raises(ThermalError):
+        block_power_vector(network, {SINK_NODE: 1.0})
+    with pytest.raises(ThermalError):
+        block_power_vector(network, {spreader_node("left"): 1.0})
+
+
+def test_loaded_block_is_hottest(two_block_plan):
+    solver = SteadyStateSolver(build_block_network(two_block_plan))
+    temps = solver.temperatures({"left": 10.0})
+    assert temps["left"] > temps["right"]
+    assert temps["right"] > temps[SINK_NODE]
+
+
+def test_lateral_coupling_warms_neighbour(two_block_plan):
+    solver = SteadyStateSolver(build_block_network(two_block_plan))
+    temps = solver.temperatures({"left": 10.0})
+    ambient = solver.network.ambient_c
+    # the unloaded neighbour sits clearly above ambient thanks to coupling
+    assert temps["right"] > ambient + 5.0
+
+
+def test_separated_blocks_couple_only_through_package():
+    plan = Floorplan()
+    plan.place("a", 0, 0, 6, 6)
+    plan.place("b", 20, 0, 6, 6)  # far apart: no silicon contact
+    solver = SteadyStateSolver(build_block_network(plan))
+    temps = solver.temperatures({"a": 10.0})
+    # neighbour rises only to roughly sink temperature
+    assert temps["b"] < temps["a"]
+    assert temps["b"] - temps[SINK_NODE] < 3.0
+
+
+def test_temperatures_in_calibrated_band(platform_plan):
+    # platform drawing ~20 W total must land in the paper's regime
+    solver = SteadyStateSolver(build_block_network(platform_plan))
+    powers = {name: 5.0 for name in platform_plan.block_names()}
+    temps = solver.temperatures(powers)
+    hottest = max(temps[n] for n in platform_plan.block_names())
+    assert 70.0 < hottest < 130.0
+
+
+def test_position_asymmetry_on_row(platform_plan):
+    # ends of a row must differ thermally from the middle (periphery paths);
+    # this is what keeps Avg_Temp placement-sensitive on identical PEs
+    solver = SteadyStateSolver(build_block_network(platform_plan))
+    names = platform_plan.block_names()
+
+    def avg_for(loaded):
+        temps = solver.temperatures({loaded: 10.0})
+        return sum(temps[n] for n in names) / len(names)
+
+    assert avg_for(names[0]) != pytest.approx(avg_for(names[1]), abs=1e-6)
+
+
+def test_more_power_is_monotonically_hotter(two_block_plan):
+    solver = SteadyStateSolver(build_block_network(two_block_plan))
+    t1 = solver.temperatures({"left": 5.0})
+    t2 = solver.temperatures({"left": 10.0})
+    for name in solver.network.node_names():
+        assert t2[name] >= t1[name]

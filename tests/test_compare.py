@@ -1,0 +1,91 @@
+"""Tests for shape-comparison statistics."""
+
+import pytest
+
+from repro.analysis.compare import (
+    average_delta,
+    fraction_improved,
+    ordering_agreement,
+    spearman_rank_correlation,
+)
+from repro.errors import ExperimentError
+
+
+class TestAverageDelta:
+    def test_positive_means_improvement(self):
+        assert average_delta([100.0, 110.0], [90.0, 100.0]) == pytest.approx(10.0)
+
+    def test_zero_for_identical(self):
+        assert average_delta([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            average_delta([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            average_delta([], [])
+
+
+class TestFractionImproved:
+    def test_all_improved(self):
+        assert fraction_improved([2.0, 3.0], [1.0, 2.0]) == 1.0
+
+    def test_half_improved(self):
+        assert fraction_improved([2.0, 3.0], [1.0, 4.0]) == 0.5
+
+    def test_ties_do_not_count(self):
+        assert fraction_improved([2.0], [2.0]) == 0.0
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_handles_ties(self):
+        rho = spearman_rank_correlation([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_all_equal_vectors(self):
+        assert spearman_rank_correlation([5, 5, 5], [5, 5, 5]) == 1.0
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        a = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0]
+        b = [2.0, 7.0, 1.0, 8.0, 2.5, 1.0, 9.0]
+        ours = spearman_rank_correlation(a, b)
+        theirs = spearmanr(a, b).statistic
+        assert ours == pytest.approx(theirs)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ExperimentError):
+            spearman_rank_correlation([1.0], [1.0])
+
+
+class TestOrderingAgreement:
+    def test_full_agreement(self):
+        paper = {"baseline": 118.0, "h3": 113.0}
+        ours = {"baseline": 97.0, "h3": 92.0}
+        assert ordering_agreement(paper, ours) == 1.0
+
+    def test_full_disagreement(self):
+        paper = {"a": 1.0, "b": 2.0}
+        ours = {"a": 2.0, "b": 1.0}
+        assert ordering_agreement(paper, ours) == 0.0
+
+    def test_tie_counts_half(self):
+        paper = {"a": 1.0, "b": 2.0}
+        ours = {"a": 1.0, "b": 1.0}
+        assert ordering_agreement(paper, ours) == 0.5
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            ordering_agreement({"a": 1.0, "b": 2.0}, {"a": 1.0, "c": 2.0})
+
+    def test_single_label_rejected(self):
+        with pytest.raises(ExperimentError):
+            ordering_agreement({"a": 1.0}, {"a": 2.0})

@@ -1,0 +1,62 @@
+"""Tests for static criticality."""
+
+import pytest
+
+from repro.core.criticality import static_criticality
+from repro.library.technology import TechnologyLibrary
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def lib():
+    library = TechnologyLibrary()
+    # type0 mean WCET = 10, type1 mean = 20
+    library.add_entry("type0", "peA", 8.0, 1.0)
+    library.add_entry("type0", "peB", 12.0, 1.0)
+    library.add_entry("type1", "peA", 20.0, 1.0)
+    return library
+
+
+def test_chain_accumulates(lib):
+    graph = TaskGraph("g", 100.0)
+    graph.add("a", "type0")
+    graph.add("b", "type0")
+    graph.add("c", "type0")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    sc = static_criticality(graph, lib)
+    assert sc == {"a": 30.0, "b": 20.0, "c": 10.0}
+
+
+def test_branch_takes_maximum(lib):
+    graph = TaskGraph("g", 100.0)
+    graph.add("a", "type0")
+    graph.add("slow", "type1")   # mean 20
+    graph.add("fast", "type0")   # mean 10
+    graph.add_edge("a", "slow")
+    graph.add_edge("a", "fast")
+    sc = static_criticality(graph, lib)
+    assert sc["a"] == pytest.approx(10.0 + 20.0)  # via the slow branch
+
+
+def test_sink_equals_own_cost(lib):
+    graph = TaskGraph("g", 100.0)
+    graph.add("only", "type1")
+    sc = static_criticality(graph, lib)
+    assert sc["only"] == pytest.approx(20.0)
+
+
+def test_custom_node_cost(lib, diamond_graph):
+    sc = static_criticality(diamond_graph, lib, node_cost=lambda t: 1.0)
+    assert sc["a"] == pytest.approx(3.0)
+
+
+def test_sources_carry_critical_path(lib, chain_graph):
+    sc = static_criticality(chain_graph, lib)
+    assert max(sc.values()) == sc["t0"]
+
+
+def test_sc_monotone_along_edges(bm1, bm1_library):
+    sc = static_criticality(bm1, bm1_library)
+    for edge in bm1.edges():
+        assert sc[edge.src] > sc[edge.dst]

@@ -1,0 +1,57 @@
+"""Tests for power-density utilities."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.floorplan.geometry import Floorplan
+from repro.power.density import (
+    density_imbalance,
+    peak_power_density,
+    power_density,
+)
+
+
+@pytest.fixture
+def plan():
+    plan = Floorplan()
+    plan.place("big", 0.0, 0.0, 10.0, 10.0)  # 100 mm2
+    plan.place("small", 10.0, 0.0, 5.0, 5.0)  # 25 mm2
+    return plan
+
+
+def test_power_density(plan):
+    densities = power_density(plan, {"big": 10.0, "small": 5.0})
+    assert densities["big"] == pytest.approx(0.1)
+    assert densities["small"] == pytest.approx(0.2)
+
+
+def test_missing_blocks_get_zero(plan):
+    densities = power_density(plan, {})
+    assert densities == {"big": 0.0, "small": 0.0}
+
+
+def test_negative_power_rejected(plan):
+    with pytest.raises(ReproError):
+        power_density(plan, {"big": -1.0})
+
+
+def test_peak_power_density(plan):
+    assert peak_power_density(plan, {"big": 10.0, "small": 5.0}) == pytest.approx(0.2)
+
+
+def test_peak_density_empty_plan():
+    assert peak_power_density(Floorplan(), {}) == 0.0
+
+
+def test_density_imbalance_even(plan):
+    # equal densities: 10 W on 100 mm2 and 2.5 W on 25 mm2
+    assert density_imbalance(plan, {"big": 10.0, "small": 2.5}) == pytest.approx(1.0)
+
+
+def test_density_imbalance_skewed(plan):
+    # all power on the small block: peak = 0.4, mean = 0.2
+    assert density_imbalance(plan, {"small": 10.0}) == pytest.approx(2.0)
+
+
+def test_density_imbalance_no_power(plan):
+    assert density_imbalance(plan, {}) == 1.0

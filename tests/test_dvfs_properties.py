@@ -1,0 +1,82 @@
+"""Property-based tests for DVFS retiming and slack reclamation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import ListScheduler
+from repro.extensions.dvfs import DEFAULT_LEVELS, DVFSLevel, reclaim_slack, retime_schedule
+from repro.library.pe import Architecture
+from repro.library.presets import default_catalogue, generate_technology_library
+from repro.taskgraph.generator import GraphSpec, generate_task_graph
+
+CATALOGUE = default_catalogue()
+
+
+@st.composite
+def scheduled_workloads(draw):
+    """A valid nominal schedule over a random workload and platform size."""
+    num_tasks = draw(st.integers(min_value=3, max_value=18))
+    extra = draw(st.integers(min_value=0, max_value=max(0, num_tasks // 4)))
+    spec = GraphSpec(
+        "dvfs-prop",
+        num_tasks,
+        num_tasks - 1 + extra,
+        deadline=float(num_tasks * 300),  # generous slack
+        num_task_types=draw(st.integers(min_value=1, max_value=4)),
+    )
+    graph = generate_task_graph(spec, draw(st.integers(0, 2**31)))
+    library = generate_technology_library(
+        sorted({t.task_type for t in graph}),
+        seed=draw(st.integers(0, 2**31)),
+    )
+    arch = Architecture("p")
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        arch.add_instance(CATALOGUE[0])
+    schedule = ListScheduler(graph, arch, library).run()
+    return schedule
+
+
+@given(schedule=scheduled_workloads(), stretch=st.floats(1.0, 2.0))
+@settings(max_examples=25, deadline=None)
+def test_retiming_preserves_validity(schedule, stretch):
+    durations = {a.task: a.duration * stretch for a in schedule}
+    powers = {a.task: a.power for a in schedule}
+    retimed = retime_schedule(schedule, durations, powers)
+    retimed.validate()
+    assert len(retimed) == len(schedule)
+
+
+@given(schedule=scheduled_workloads(), stretch=st.floats(1.0, 2.0))
+@settings(max_examples=25, deadline=None)
+def test_retiming_preserves_mapping_and_order(schedule, stretch):
+    durations = {a.task: a.duration * stretch for a in schedule}
+    powers = {a.task: a.power for a in schedule}
+    retimed = retime_schedule(schedule, durations, powers)
+    for pe in schedule.architecture:
+        before = [a.task for a in schedule.pe_assignments(pe.name)]
+        after = [a.task for a in retimed.pe_assignments(pe.name)]
+        assert before == after
+
+
+@given(schedule=scheduled_workloads())
+@settings(max_examples=20, deadline=None)
+def test_reclaim_never_misses_deadline(schedule):
+    result = reclaim_slack(schedule)
+    assert result.schedule.makespan <= schedule.graph.deadline + 1e-9
+    result.schedule.validate()
+
+
+@given(schedule=scheduled_workloads())
+@settings(max_examples=20, deadline=None)
+def test_reclaim_energy_monotone(schedule):
+    result = reclaim_slack(schedule)
+    assert result.energy_after <= result.energy_before + 1e-9
+
+
+@given(schedule=scheduled_workloads())
+@settings(max_examples=15, deadline=None)
+def test_deeper_ladder_never_worse(schedule):
+    shallow = reclaim_slack(schedule, levels=DEFAULT_LEVELS[:2])
+    deep = reclaim_slack(schedule, levels=DEFAULT_LEVELS)
+    assert deep.energy_after <= shallow.energy_after + 1e-9

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_hierarchy_subsystem_parents():
+    assert issubclass(errors.CycleError, errors.TaskGraphError)
+    assert issubclass(errors.UnknownTaskTypeError, errors.LibraryError)
+    assert issubclass(errors.UnknownPETypeError, errors.LibraryError)
+    assert issubclass(errors.SlicingError, errors.FloorplanError)
+    assert issubclass(errors.SingularNetworkError, errors.ThermalError)
+    assert issubclass(errors.DeadlineMissError, errors.SchedulingError)
+    assert issubclass(errors.InfeasibleAllocationError, errors.SchedulingError)
+
+
+def test_deadline_miss_error_carries_numbers():
+    err = errors.DeadlineMissError(makespan=850.5, deadline=790.0)
+    assert err.makespan == pytest.approx(850.5)
+    assert err.deadline == pytest.approx(790.0)
+    assert "850.5" in str(err)
+    assert "790" in str(err)
+
+
+def test_deadline_miss_error_custom_message():
+    err = errors.DeadlineMissError(10.0, 5.0, message="custom text")
+    assert str(err) == "custom text"
+
+
+def test_repro_error_is_catchable_as_exception():
+    with pytest.raises(Exception):
+        raise errors.ThermalError("boom")

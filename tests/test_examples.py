@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+These protect deliverable (b): the examples exercise the public API on
+realistic scenarios, so a breaking API change must fail the test suite,
+not a user.  Each example runs in a subprocess with the repository's
+interpreter and must exit 0 without writing to stderr (warnings filtered).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, marker expected in stdout)
+EXAMPLES = [
+    ("quickstart.py", "thermal"),
+    ("custom_workload.py", "makespan"),
+    ("cosynthesis_flow.py", "thermal-aware co-synthesis"),
+    ("hotspot_map.py", "thermally even"),
+    ("transient_profile.py", "transient peak"),
+    ("pareto_explorer.py", "Pareto"),
+    ("leakage_reliability.py", "electromigration"),
+    ("conditional_graph.py", "scenario"),
+]
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    listed = {name for name, _ in EXAMPLES}
+    assert on_disk == listed, "new examples must be added to this test"
+
+
+@pytest.mark.parametrize("script,marker", EXAMPLES)
+def test_example_runs(script, marker):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker.lower() in completed.stdout.lower(), (
+        f"{script} output lacks {marker!r}"
+    )

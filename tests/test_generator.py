@@ -1,0 +1,135 @@
+"""Tests for the TGFF-style task-graph generator."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.generator import (
+    GraphSpec,
+    generate_task_graph,
+    random_graph_spec,
+)
+
+
+class TestGraphSpec:
+    def test_valid_spec(self):
+        spec = GraphSpec("g", num_tasks=10, num_edges=12, deadline=400.0)
+        assert spec.num_tasks == 10
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", num_tasks=10, num_edges=8, deadline=400.0)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", num_tasks=0, num_edges=0, deadline=400.0)
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", num_tasks=3, num_edges=2, deadline=0.0)
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 5, 10.0, min_width=3, max_width=2)
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 5, 10.0, min_width=0)
+
+    def test_bad_data_range_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 5, 10.0, data_low=5.0, data_high=1.0)
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 5, 10.0, data_low=-1.0)
+
+    def test_bad_type_count_rejected(self):
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 5, 10.0, num_task_types=0)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize(
+        "tasks,edges",
+        [(1, 0), (2, 1), (5, 4), (10, 14), (19, 19), (35, 40), (51, 60)],
+    )
+    def test_exact_counts(self, tasks, edges):
+        spec = GraphSpec("g", tasks, edges, 1000.0)
+        graph = generate_task_graph(spec, seed=1)
+        assert graph.num_tasks == tasks
+        assert graph.num_edges == edges
+
+    def test_result_is_valid_dag(self):
+        graph = generate_task_graph(GraphSpec("g", 30, 40, 900.0), seed=7)
+        graph.validate()  # raises on cycle/inconsistency
+
+    def test_single_source(self):
+        graph = generate_task_graph(GraphSpec("g", 25, 30, 900.0), seed=3)
+        assert graph.sources() == ["t0"]
+
+    def test_deadline_propagated(self):
+        graph = generate_task_graph(GraphSpec("g", 5, 4, 777.0), seed=1)
+        assert graph.deadline == 777.0
+
+    def test_deterministic_given_seed(self):
+        spec = GraphSpec("g", 20, 25, 800.0)
+        a = generate_task_graph(spec, seed=11)
+        b = generate_task_graph(spec, seed=11)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [(t.name, t.task_type) for t in a] == [
+            (t.name, t.task_type) for t in b
+        ]
+        assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+        assert [e.data for e in a.edges()] == [e.data for e in b.edges()]
+
+    def test_different_seeds_differ(self):
+        spec = GraphSpec("g", 20, 25, 800.0)
+        a = generate_task_graph(spec, seed=1)
+        b = generate_task_graph(spec, seed=2)
+        assert [e.key for e in a.edges()] != [e.key for e in b.edges()]
+
+    def test_task_types_within_pool(self):
+        spec = GraphSpec("g", 30, 35, 900.0, num_task_types=4)
+        graph = generate_task_graph(spec, seed=5)
+        valid = {f"type{i}" for i in range(4)}
+        assert {t.task_type for t in graph} <= valid
+
+    def test_edge_data_in_range(self):
+        spec = GraphSpec("g", 15, 20, 500.0, data_low=2.0, data_high=3.0)
+        graph = generate_task_graph(spec, seed=9)
+        for edge in graph.edges():
+            assert 2.0 <= edge.data <= 3.0
+
+    def test_impossible_density_rejected_by_spec(self):
+        # a 5-task DAG has C(5,2)=10 distinct forward pairs; 11 edges are
+        # impossible and the spec itself rejects them
+        with pytest.raises(TaskGraphError):
+            GraphSpec("g", 5, 11, 100.0)
+
+    def test_dense_spec_falls_back_to_chain_layering(self):
+        # 4 tasks, 6 edges = the complete DAG; only the chain layering can
+        # host it, so the generator must fall back and still succeed
+        graph = generate_task_graph(GraphSpec("g", 4, 6, 100.0), seed=1)
+        assert graph.num_edges == 6
+        graph.validate()
+
+    def test_edges_go_to_deeper_levels(self):
+        graph = generate_task_graph(GraphSpec("g", 30, 40, 900.0), seed=13)
+        levels = graph.depth_levels()
+        for edge in graph.edges():
+            assert levels[edge.src] < levels[edge.dst]
+
+
+class TestRandomSpec:
+    def test_in_bounds(self):
+        spec = random_graph_spec("r", seed=3, min_tasks=12, max_tasks=20)
+        assert 12 <= spec.num_tasks <= 20
+        assert spec.num_edges >= spec.num_tasks - 1
+
+    def test_deterministic(self):
+        assert random_graph_spec("r", seed=5) == random_graph_spec("r", seed=5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(TaskGraphError):
+            random_graph_spec("r", seed=1, min_tasks=10, max_tasks=5)
+
+    def test_generated_spec_is_generatable(self):
+        spec = random_graph_spec("r", seed=8)
+        graph = generate_task_graph(spec, seed=8)
+        assert graph.num_tasks == spec.num_tasks

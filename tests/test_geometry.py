@@ -1,0 +1,142 @@
+"""Tests for floorplan geometry."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import Block, Floorplan, Rect
+
+
+class TestRect:
+    def test_basic_properties(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.x2 == 4.0
+        assert rect.y2 == 6.0
+        assert rect.area == 12.0
+        assert rect.center == (2.5, 4.0)
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 0.0, 1.0)
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 1.0, -1.0)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 8.0, 2.0).aspect_ratio == pytest.approx(4.0)
+        assert Rect(0, 0, 2.0, 8.0).aspect_ratio == pytest.approx(4.0)
+        assert Rect(0, 0, 3.0, 3.0).aspect_ratio == pytest.approx(1.0)
+
+    def test_overlap_detection(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.overlaps(Rect(2, 2, 4, 4))
+        assert not a.overlaps(Rect(4, 0, 4, 4))  # abutting, no interior overlap
+        assert not a.overlaps(Rect(10, 10, 1, 1))
+        assert not a.overlaps(Rect(4, 4, 2, 2))  # corner touch
+
+    def test_shared_edge_vertical_contact(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(4, 1, 4, 6)
+        assert a.shared_edge_length(b) == pytest.approx(3.0)
+        assert b.shared_edge_length(a) == pytest.approx(3.0)
+
+    def test_shared_edge_horizontal_contact(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 4, 4, 2)
+        assert a.shared_edge_length(b) == pytest.approx(2.0)
+
+    def test_shared_edge_no_contact(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.shared_edge_length(Rect(5, 0, 2, 2)) == 0.0
+
+    def test_shared_edge_corner_touch_is_zero(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.shared_edge_length(Rect(4, 4, 2, 2)) == 0.0
+
+    def test_manhattan_distance(self):
+        a = Rect(0, 0, 2, 2)  # centre (1, 1)
+        b = Rect(4, 6, 2, 2)  # centre (5, 7)
+        assert a.manhattan_distance(b) == pytest.approx(10.0)
+
+    def test_translated_and_rotated(self):
+        rect = Rect(1, 1, 2, 3)
+        moved = rect.translated(1.0, -1.0)
+        assert (moved.x, moved.y) == (2.0, 0.0)
+        turned = rect.rotated()
+        assert (turned.w, turned.h) == (3.0, 2.0)
+
+
+class TestFloorplan:
+    def test_add_and_lookup(self, two_block_plan):
+        assert len(two_block_plan) == 2
+        assert two_block_plan.block("left").rect.w == 6.0
+        assert "left" in two_block_plan
+
+    def test_duplicate_name_rejected(self, two_block_plan):
+        with pytest.raises(FloorplanError):
+            two_block_plan.place("left", 20, 20, 1, 1)
+
+    def test_unknown_block_raises(self, two_block_plan):
+        with pytest.raises(FloorplanError):
+            two_block_plan.block("ghost")
+
+    def test_bounding_box(self, two_block_plan):
+        box = two_block_plan.bounding_box()
+        assert (box.w, box.h) == (12.0, 6.0)
+
+    def test_empty_bounding_box_raises(self):
+        with pytest.raises(FloorplanError):
+            Floorplan().bounding_box()
+
+    def test_die_size_empty(self):
+        assert Floorplan().die_size() == (0.0, 0.0)
+
+    def test_areas(self, two_block_plan):
+        assert two_block_plan.die_area == pytest.approx(72.0)
+        assert two_block_plan.block_area == pytest.approx(72.0)
+        assert two_block_plan.whitespace_fraction == pytest.approx(0.0)
+
+    def test_whitespace(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0, 2, 2)
+        plan.place("b", 4, 4, 2, 2)
+        assert plan.whitespace_fraction == pytest.approx(1.0 - 8.0 / 36.0)
+
+    def test_adjacency(self, two_block_plan):
+        contacts = two_block_plan.adjacency()
+        assert contacts == {("left", "right"): pytest.approx(6.0)}
+
+    def test_adjacency_no_contact(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0, 2, 2)
+        plan.place("b", 5, 5, 2, 2)
+        assert plan.adjacency() == {}
+
+    def test_validate_catches_overlap(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0, 4, 4)
+        plan.place("b", 2, 2, 4, 4)
+        with pytest.raises(FloorplanError):
+            plan.validate()
+
+    def test_validate_ok_for_abutting(self, two_block_plan):
+        two_block_plan.validate()
+
+    def test_wirelength(self, two_block_plan):
+        # centres (3,3) and (9,3): manhattan 6
+        nets = [("left", "right", 2.0)]
+        assert two_block_plan.total_wirelength(nets) == pytest.approx(12.0)
+
+    def test_normalised_moves_to_origin(self):
+        plan = Floorplan()
+        plan.place("a", 5, 7, 2, 2)
+        normal = plan.normalised()
+        assert normal.block("a").rect.x == 0.0
+        assert normal.block("a").rect.y == 0.0
+        # original untouched
+        assert plan.block("a").rect.x == 5.0
+
+    def test_normalised_empty(self):
+        assert len(Floorplan().normalised()) == 0
+
+    def test_block_requires_name(self):
+        with pytest.raises(FloorplanError):
+            Block("", Rect(0, 0, 1, 1))

@@ -1,0 +1,188 @@
+"""Tests for the TaskGraph DAG."""
+
+import pytest
+
+from repro.errors import CycleError, TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.task import Task
+
+
+def build_diamond():
+    graph = TaskGraph("d", 100.0)
+    for name in "abcd":
+        graph.add(name, "type0")
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    return graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = TaskGraph("g", 10.0)
+        assert len(graph) == 0
+        assert graph.num_edges == 0
+
+    def test_bad_deadline(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph("g", 0.0)
+        with pytest.raises(TaskGraphError):
+            TaskGraph("g", -5.0)
+
+    def test_bad_name(self):
+        with pytest.raises(TaskGraphError):
+            TaskGraph("", 10.0)
+
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph("g", 10.0)
+        graph.add("a", "t")
+        with pytest.raises(TaskGraphError):
+            graph.add("a", "t")
+
+    def test_edge_unknown_endpoint_rejected(self):
+        graph = TaskGraph("g", 10.0)
+        graph.add("a", "t")
+        with pytest.raises(TaskGraphError):
+            graph.add_edge("a", "ghost")
+        with pytest.raises(TaskGraphError):
+            graph.add_edge("ghost", "a")
+
+    def test_duplicate_edge_rejected(self):
+        graph = TaskGraph("g", 10.0)
+        graph.add("a", "t")
+        graph.add("b", "t")
+        graph.add_edge("a", "b")
+        with pytest.raises(TaskGraphError):
+            graph.add_edge("a", "b")
+
+    def test_direct_cycle_rejected(self):
+        graph = TaskGraph("g", 10.0)
+        graph.add("a", "t")
+        graph.add("b", "t")
+        graph.add_edge("a", "b")
+        with pytest.raises(CycleError):
+            graph.add_edge("b", "a")
+
+    def test_long_cycle_rejected(self):
+        graph = TaskGraph("g", 10.0)
+        for name in "abc":
+            graph.add(name, "t")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        with pytest.raises(CycleError):
+            graph.add_edge("c", "a")
+
+
+class TestAccessors:
+    def test_task_lookup(self):
+        graph = build_diamond()
+        assert graph.task("a").name == "a"
+        with pytest.raises(TaskGraphError):
+            graph.task("zzz")
+
+    def test_membership_and_iteration(self):
+        graph = build_diamond()
+        assert "a" in graph and "zzz" not in graph
+        assert [t.name for t in graph] == ["a", "b", "c", "d"]
+
+    def test_adjacency(self):
+        graph = build_diamond()
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("d") == ["b", "c"]
+        assert graph.in_degree("a") == 0
+        assert graph.out_degree("a") == 2
+
+    def test_sources_and_sinks(self):
+        graph = build_diamond()
+        assert graph.sources() == ["a"]
+        assert graph.sinks() == ["d"]
+
+    def test_edge_lookup(self):
+        graph = build_diamond()
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+        assert graph.edge("a", "b").key == ("a", "b")
+        with pytest.raises(TaskGraphError):
+            graph.edge("d", "a")
+
+
+class TestAlgorithms:
+    def test_topological_order_is_valid(self):
+        graph = build_diamond()
+        topo = graph.topological_order()
+        position = {name: i for i, name in enumerate(topo)}
+        for edge in graph.edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_topological_order_deterministic_tie_break(self):
+        graph = build_diamond()
+        assert graph.topological_order() == ["a", "b", "c", "d"]
+
+    def test_topo_cache_invalidation(self):
+        graph = build_diamond()
+        first = graph.topological_order()
+        graph.add("e", "t")
+        graph.add_edge("d", "e")
+        assert graph.topological_order() != first
+
+    def test_longest_path_to_sink_unit_costs(self):
+        graph = build_diamond()
+        dist = graph.longest_path_to_sink(lambda t: 1.0)
+        assert dist == {"a": 3.0, "b": 2.0, "c": 2.0, "d": 1.0}
+
+    def test_longest_path_from_source_unit_costs(self):
+        graph = build_diamond()
+        dist = graph.longest_path_from_source(lambda t: 1.0)
+        assert dist == {"a": 1.0, "b": 2.0, "c": 2.0, "d": 3.0}
+
+    def test_longest_path_respects_costs(self):
+        graph = build_diamond()
+        costs = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        dist = graph.longest_path_to_sink(lambda t: costs[t.name])
+        assert dist["a"] == pytest.approx(12.0)  # a + b + d
+
+    def test_negative_cost_rejected(self):
+        graph = build_diamond()
+        with pytest.raises(TaskGraphError):
+            graph.longest_path_to_sink(lambda t: -1.0)
+
+    def test_critical_path_length(self):
+        graph = build_diamond()
+        assert graph.critical_path_length(lambda t: 2.0) == pytest.approx(6.0)
+        assert TaskGraph("e", 1.0).critical_path_length(lambda t: 1.0) == 0.0
+
+    def test_ancestors_descendants(self):
+        graph = build_diamond()
+        assert graph.ancestors("d") == {"a", "b", "c"}
+        assert graph.descendants("a") == {"b", "c", "d"}
+        assert graph.ancestors("a") == frozenset()
+        assert graph.descendants("d") == frozenset()
+
+    def test_depth_levels(self):
+        graph = build_diamond()
+        assert graph.depth_levels() == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+
+class TestValidateAndCopy:
+    def test_validate_passes_on_good_graph(self):
+        build_diamond().validate()
+
+    def test_copy_is_independent(self):
+        graph = build_diamond()
+        clone = graph.copy()
+        clone.add("e", "t")
+        assert "e" in clone and "e" not in graph
+        assert clone.num_edges == graph.num_edges
+
+    def test_with_deadline(self):
+        graph = build_diamond()
+        tightened = graph.with_deadline(50.0)
+        assert tightened.deadline == 50.0
+        assert graph.deadline == 100.0
+        with pytest.raises(TaskGraphError):
+            graph.with_deadline(0.0)
+
+    def test_repr_mentions_counts(self):
+        text = repr(build_diamond())
+        assert "tasks=4" in text and "edges=4" in text

@@ -1,0 +1,81 @@
+"""Tests for the HotSpotModel facade."""
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.hotspot import HotSpotModel
+
+
+@pytest.fixture
+def model(platform_plan):
+    return HotSpotModel(platform_plan)
+
+
+class TestSteadyQueries:
+    def test_block_names(self, model, platform_plan):
+        assert model.block_names == platform_plan.block_names()
+
+    def test_block_temperatures_cover_all_blocks(self, model):
+        temps = model.block_temperatures({"pe0": 10.0})
+        assert set(temps) == set(model.block_names)
+
+    def test_unknown_block_rejected(self, model):
+        with pytest.raises(ThermalError):
+            model.block_temperatures({"ghost": 1.0})
+
+    def test_peak_is_max_of_blocks(self, model):
+        powers = {"pe0": 8.0, "pe2": 3.0}
+        temps = model.block_temperatures(powers)
+        assert model.peak_temperature(powers) == pytest.approx(max(temps.values()))
+
+    def test_average_is_mean_of_blocks(self, model):
+        powers = {"pe1": 6.0}
+        temps = model.block_temperatures(powers)
+        expected = sum(temps.values()) / len(temps)
+        assert model.average_temperature(powers) == pytest.approx(expected)
+
+    def test_query_count_tracks_solves(self, model):
+        before = model.query_count
+        model.block_temperatures({"pe0": 1.0})
+        model.peak_temperature({"pe0": 1.0})
+        assert model.query_count == before + 2
+
+    def test_zero_power_gives_ambient(self, model):
+        temps = model.block_temperatures({})
+        for value in temps.values():
+            assert value == pytest.approx(model.package.ambient_c)
+
+    def test_balanced_cooler_than_concentrated(self, model):
+        """Core paper premise: same total power, spread = cooler peak."""
+        concentrated = model.peak_temperature({"pe1": 12.0})
+        balanced = model.peak_temperature({pe: 3.0 for pe in model.block_names})
+        assert balanced < concentrated
+
+
+class TestTransientQueries:
+    def test_transient_runs_on_schedule_like_segments(self, model):
+        segments = [
+            (5.0, {"pe0": 10.0}),
+            (5.0, {"pe1": 10.0}),
+            (5.0, {}),
+        ]
+        result = model.transient(segments, dt=1.0)
+        assert result.times[-1] == pytest.approx(15.0)
+
+    def test_transient_peak_below_steady_peak(self, model):
+        """A short burst cannot exceed the steady state of the same power."""
+        steady_peak = model.peak_temperature({"pe0": 10.0})
+        burst_peak = model.transient_peak([(1.0, {"pe0": 10.0})], dt=0.1)
+        assert burst_peak <= steady_peak + 1e-6
+
+    def test_transient_rejects_unknown_block(self, model):
+        with pytest.raises(ThermalError):
+            model.transient([(1.0, {"ghost": 1.0})], dt=0.1)
+
+    def test_long_transient_approaches_steady(self, model):
+        powers = {"pe0": 6.0, "pe3": 6.0}
+        steady = model.block_temperatures(powers)
+        result = model.transient([(3000.0, powers)], dt=10.0)
+        final = result.final()
+        for name in model.block_names:
+            assert final[name] == pytest.approx(steady[name], abs=0.5)

@@ -1,0 +1,89 @@
+"""Tests for the leakage-thermal fixed-point loop."""
+
+import math
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.hotspot import HotSpotModel
+from repro.thermal.leakage import LeakageModel, solve_with_leakage
+
+
+@pytest.fixture
+def model(platform_plan):
+    return HotSpotModel(platform_plan)
+
+
+class TestLeakageModel:
+    def test_reference_point(self):
+        leak = LeakageModel(leakage_fraction=0.2, beta=0.02, t_ref_c=65.0)
+        assert leak.leakage_power(10.0, 65.0) == pytest.approx(2.0)
+
+    def test_exponential_growth(self):
+        leak = LeakageModel(leakage_fraction=0.2, beta=0.02, t_ref_c=65.0)
+        at_ref = leak.leakage_power(10.0, 65.0)
+        ten_up = leak.leakage_power(10.0, 75.0)
+        assert ten_up / at_ref == pytest.approx(math.exp(0.2))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ThermalError):
+            LeakageModel(leakage_fraction=-0.1)
+        with pytest.raises(ThermalError):
+            LeakageModel(beta=-0.01)
+        with pytest.raises(ThermalError):
+            LeakageModel().leakage_power(-1.0, 65.0)
+
+
+class TestFixedPoint:
+    def test_converges_for_default_config(self, model):
+        powers = {name: 5.0 for name in model.block_names}
+        solution = solve_with_leakage(model, powers)
+        assert solution.converged
+        assert solution.iterations < 20
+
+    def test_leakage_raises_temperature(self, model):
+        powers = {name: 5.0 for name in model.block_names}
+        without = model.block_temperatures(powers)
+        with_leak = solve_with_leakage(model, powers)
+        for name in model.block_names:
+            assert with_leak.temperatures[name] > without[name]
+
+    def test_zero_fraction_changes_nothing(self, model):
+        powers = {name: 5.0 for name in model.block_names}
+        baseline = model.block_temperatures(powers)
+        solution = solve_with_leakage(
+            model, powers, LeakageModel(leakage_fraction=0.0)
+        )
+        assert solution.total_leakage == 0.0
+        for name in model.block_names:
+            assert solution.temperatures[name] == pytest.approx(baseline[name])
+
+    def test_totals_consistent(self, model):
+        powers = {name: 4.0 for name in model.block_names}
+        solution = solve_with_leakage(model, powers)
+        assert solution.total_power == pytest.approx(
+            16.0 + solution.total_leakage
+        )
+        assert solution.peak_temperature >= solution.avg_temperature
+
+    def test_higher_beta_more_leakage(self, model):
+        # note: beta=0.04 at these power levels genuinely runs away (loop
+        # gain > 1) — covered by test_runaway_detected — so compare two
+        # stable sensitivities
+        powers = {name: 5.0 for name in model.block_names}
+        mild = solve_with_leakage(model, powers, LeakageModel(beta=0.005))
+        steep = solve_with_leakage(model, powers, LeakageModel(beta=0.02))
+        assert steep.total_leakage > mild.total_leakage
+
+    def test_runaway_detected(self, model):
+        """An absurd leakage configuration must raise, not hang or return
+        silently wrong numbers."""
+        powers = {name: 12.0 for name in model.block_names}
+        aggressive = LeakageModel(leakage_fraction=2.0, beta=0.3, t_ref_c=45.0)
+        with pytest.raises(ThermalError, match="runaway"):
+            solve_with_leakage(model, powers, aggressive)
+
+    def test_monotone_in_power(self, model):
+        low = solve_with_leakage(model, {"pe0": 4.0})
+        high = solve_with_leakage(model, {"pe0": 8.0})
+        assert high.peak_temperature > low.peak_temperature

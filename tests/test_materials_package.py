@@ -1,0 +1,84 @@
+"""Tests for thermal materials and package constants."""
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.materials import COPPER, INTERFACE, SILICON, Material
+from repro.thermal.package import PackageConfig, default_package
+from repro.units import MM
+
+
+class TestMaterial:
+    def test_conduction_resistance(self):
+        slab = Material("m", conductivity=100.0, volumetric_capacity=1e6)
+        # R = t / (k A) = 0.001 / (100 * 0.01) = 0.001
+        assert slab.conduction_resistance(0.001, 0.01) == pytest.approx(1e-3)
+
+    def test_capacitance(self):
+        slab = Material("m", conductivity=1.0, volumetric_capacity=2e6)
+        assert slab.capacitance(1e-6) == pytest.approx(2.0)
+
+    def test_invalid_properties_rejected(self):
+        with pytest.raises(ThermalError):
+            Material("m", conductivity=0.0, volumetric_capacity=1.0)
+        with pytest.raises(ThermalError):
+            Material("m", conductivity=1.0, volumetric_capacity=-1.0)
+
+    def test_invalid_slab_rejected(self):
+        with pytest.raises(ThermalError):
+            SILICON.conduction_resistance(0.0, 1.0)
+        with pytest.raises(ThermalError):
+            SILICON.capacitance(0.0)
+
+    def test_hotspot_default_ordering(self):
+        # copper conducts much better than silicon, which beats TIM
+        assert COPPER.conductivity > SILICON.conductivity > INTERFACE.conductivity
+
+
+class TestPackageConfig:
+    def test_default_is_valid(self):
+        default_package()
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ThermalError):
+            PackageConfig(convection_resistance=0.0)
+        with pytest.raises(ThermalError):
+            PackageConfig(die_thickness_m=-1.0)
+
+    def test_vertical_resistance_decreases_with_area(self):
+        package = default_package()
+        small = package.vertical_resistance(9e-6)   # 9 mm2
+        large = package.vertical_resistance(36e-6)  # 36 mm2
+        assert large < small
+
+    def test_vertical_resistance_magnitude(self):
+        # a 36 mm2 embedded block should see on the order of 1 K/W
+        package = default_package()
+        assert 0.2 < package.vertical_resistance(36e-6) < 10.0
+
+    def test_vertical_resistance_rejects_bad_area(self):
+        with pytest.raises(ThermalError):
+            default_package().vertical_resistance(0.0)
+
+    def test_lateral_conductance_scales_with_edge(self):
+        package = default_package()
+        short = package.lateral_conductance(3.0 * MM, 6.0 * MM)
+        long = package.lateral_conductance(6.0 * MM, 6.0 * MM)
+        assert long == pytest.approx(2.0 * short)
+
+    def test_lateral_conductance_rejects_bad_inputs(self):
+        package = default_package()
+        with pytest.raises(ThermalError):
+            package.lateral_conductance(0.0, 1.0)
+        with pytest.raises(ThermalError):
+            package.lateral_conductance(1.0, 0.0)
+
+    def test_capacitances_positive(self):
+        package = default_package()
+        assert package.block_capacitance(36e-6) > 0.0
+        assert package.spreader_capacitance() > 0.0
+        assert package.sink_capacitance() > 0.0
+
+    def test_spreader_to_sink_resistance_small(self):
+        # copper slabs: well under 1 K/W
+        assert default_package().spreader_to_sink_resistance() < 1.0

@@ -1,0 +1,102 @@
+"""Tests for the generic thermal RC network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SingularNetworkError, ThermalError
+from repro.thermal.network import ThermalNetwork
+
+
+@pytest.fixture
+def two_node():
+    network = ThermalNetwork(ambient_c=45.0)
+    network.add_node("a", capacitance=1.0, ambient_conductance=0.5)
+    network.add_node("b", capacitance=2.0)
+    network.connect("a", "b", 1.0)
+    return network
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.add_node("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ThermalError):
+            ThermalNetwork(45.0).add_node("")
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ThermalError):
+            ThermalNetwork(45.0).add_node("a", capacitance=-1.0)
+
+    def test_self_connection_rejected(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.connect("a", "a", 1.0)
+
+    def test_nonpositive_conductance_rejected(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.connect("a", "b", 0.0)
+
+    def test_unknown_node_rejected(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.connect("a", "ghost", 1.0)
+        with pytest.raises(ThermalError):
+            two_node.index("ghost")
+
+    def test_parallel_connections_accumulate(self):
+        network = ThermalNetwork(45.0)
+        network.add_node("a", ambient_conductance=1.0)
+        network.add_node("b")
+        network.connect("a", "b", 1.0)
+        network.connect("a", "b", 2.0)
+        matrix = network.conductance_matrix()
+        assert matrix[0, 1] == pytest.approx(-3.0)
+
+    def test_add_ambient_path(self, two_node):
+        two_node.add_ambient_path("b", 2.0)
+        matrix = two_node.conductance_matrix()
+        assert matrix[1, 1] == pytest.approx(1.0 + 2.0)
+
+    def test_len_and_contains(self, two_node):
+        assert len(two_node) == 2
+        assert "a" in two_node and "zzz" not in two_node
+
+
+class TestMatrices:
+    def test_conductance_matrix_symmetric(self, two_node):
+        matrix = two_node.conductance_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_conductance_matrix_values(self, two_node):
+        matrix = two_node.conductance_matrix()
+        expected = np.array([[1.5, -1.0], [-1.0, 1.0]])
+        assert np.allclose(matrix, expected)
+
+    def test_matrix_cached_until_mutation(self, two_node):
+        m1 = two_node.conductance_matrix()
+        m2 = two_node.conductance_matrix()
+        assert m1 is m2
+        two_node.connect("a", "b", 0.5)
+        assert two_node.conductance_matrix() is not m1
+
+    def test_capacitance_vector(self, two_node):
+        assert two_node.capacitance_vector().tolist() == [1.0, 2.0]
+
+    def test_power_vector(self, two_node):
+        vector = two_node.power_vector({"b": 3.0})
+        assert vector.tolist() == [0.0, 3.0]
+
+    def test_power_vector_unknown_node(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.power_vector({"ghost": 1.0})
+
+    def test_power_vector_negative_rejected(self, two_node):
+        with pytest.raises(ThermalError):
+            two_node.power_vector({"a": -1.0})
+
+    def test_check_grounded(self, two_node):
+        two_node.check_grounded()
+        floating = ThermalNetwork(45.0)
+        floating.add_node("x")
+        with pytest.raises(SingularNetworkError):
+            floating.check_grounded()

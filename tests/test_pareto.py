@@ -1,0 +1,116 @@
+"""Tests for Pareto exploration of the allocation space."""
+
+import pytest
+
+from repro.cosynth.pareto import DesignPoint, explore_allocations, pareto_front
+from repro.errors import CoSynthesisError
+from repro.floorplan.genetic import GeneticConfig
+
+FAST_GA = GeneticConfig(population_size=6, generations=3)
+
+
+def make_point(power, temp, cost=1.0, feasible=True, name="a"):
+    return DesignPoint(
+        architecture_name=name,
+        num_pes=2,
+        monetary_cost=cost,
+        total_power=power,
+        max_temperature=temp,
+        avg_temperature=temp - 3.0,
+        makespan=100.0,
+        meets_deadline=feasible,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert make_point(10.0, 90.0).dominates(make_point(12.0, 95.0))
+
+    def test_equal_does_not_dominate(self):
+        a, b = make_point(10.0, 90.0), make_point(10.0, 90.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_incomparable(self):
+        cool_hungry = make_point(15.0, 80.0)
+        hot_frugal = make_point(8.0, 100.0)
+        assert not cool_hungry.dominates(hot_frugal)
+        assert not hot_frugal.dominates(cool_hungry)
+
+    def test_cost_participates(self):
+        cheap = make_point(10.0, 90.0, cost=1.0)
+        pricey = make_point(10.0, 90.0, cost=2.0)
+        assert cheap.dominates(pricey)
+
+
+class TestParetoFront:
+    def test_front_removes_dominated(self):
+        points = [
+            make_point(10.0, 90.0, name="good"),
+            make_point(12.0, 95.0, name="dominated"),
+            make_point(8.0, 100.0, name="frugal"),
+        ]
+        front = pareto_front(points)
+        names = [p.architecture_name for p in front]
+        assert "dominated" not in names
+        assert set(names) == {"good", "frugal"}
+
+    def test_front_sorted_by_power(self):
+        points = [make_point(12.0, 80.0), make_point(8.0, 100.0)]
+        front = pareto_front(points)
+        powers = [p.total_power for p in front]
+        assert powers == sorted(powers)
+
+    def test_single_point_front(self):
+        only = [make_point(10.0, 90.0)]
+        assert pareto_front(only) == only
+
+
+class TestExploration:
+    def test_points_cover_feasible_space(self, bm1, bm1_library):
+        points = explore_allocations(
+            bm1, bm1_library, max_pes=2, genetic_config=FAST_GA
+        )
+        assert len(points) >= 3
+        assert all(p.meets_deadline for p in points)
+
+    def test_front_is_subset(self, bm1, bm1_library):
+        points = explore_allocations(
+            bm1, bm1_library, max_pes=2, genetic_config=FAST_GA
+        )
+        front = pareto_front(points)
+        assert 1 <= len(front) <= len(points)
+        point_names = {p.architecture_name for p in points}
+        assert {p.architecture_name for p in front} <= point_names
+
+    def test_front_contains_power_minimum(self, bm1, bm1_library):
+        points = explore_allocations(
+            bm1, bm1_library, max_pes=2, genetic_config=FAST_GA
+        )
+        front = pareto_front(points)
+        min_power = min(p.total_power for p in points)
+        assert any(p.total_power == pytest.approx(min_power) for p in front)
+
+    def test_infeasible_workload_raises(self, bm1, bm1_library):
+        tight = bm1.with_deadline(1.0)
+        with pytest.raises(CoSynthesisError):
+            explore_allocations(
+                tight, bm1_library, max_pes=1, genetic_config=FAST_GA
+            )
+
+    def test_single_pe_allocations_infeasible_but_reportable(self, bm1, bm1_library):
+        # one PE cannot meet Bm1's deadline; with feasible_only=False the
+        # points are still returned for reporting
+        points = explore_allocations(
+            bm1, bm1_library, max_pes=1, genetic_config=FAST_GA,
+            feasible_only=False,
+        )
+        assert points
+        assert not any(p.meets_deadline for p in points)
+
+    def test_as_row_shape(self, bm1, bm1_library):
+        points = explore_allocations(
+            bm1, bm1_library, max_pes=2, genetic_config=FAST_GA
+        )
+        row = points[0].as_row()
+        assert {"architecture", "total_pow", "max_temp", "meets_deadline"} <= set(row)

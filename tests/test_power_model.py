@@ -1,0 +1,93 @@
+"""Tests for the PowerAccumulator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.power.model import PowerAccumulator
+
+
+@pytest.fixture
+def acc():
+    return PowerAccumulator(["pe0", "pe1"], idle_power={"pe0": 0.1})
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            PowerAccumulator([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ReproError):
+            PowerAccumulator(["a", "a"])
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ReproError):
+            PowerAccumulator(["a"], idle_power={"a": -0.1})
+
+    def test_initial_state_zero(self, acc):
+        assert acc.energy("pe0") == 0.0
+        assert acc.busy_time("pe1") == 0.0
+        assert acc.task_count("pe0") == 0
+        assert acc.total_energy == 0.0
+
+
+class TestRecording:
+    def test_record_accumulates(self, acc):
+        acc.record("pe0", power=5.0, duration=10.0)
+        acc.record("pe0", power=2.0, duration=5.0)
+        assert acc.energy("pe0") == pytest.approx(60.0)
+        assert acc.busy_time("pe0") == pytest.approx(15.0)
+        assert acc.task_count("pe0") == 2
+        assert acc.total_energy == pytest.approx(60.0)
+
+    def test_unknown_pe_rejected(self, acc):
+        with pytest.raises(ReproError):
+            acc.record("ghost", 1.0, 1.0)
+
+    def test_negative_power_rejected(self, acc):
+        with pytest.raises(ReproError):
+            acc.record("pe0", -1.0, 1.0)
+
+    def test_zero_duration_rejected(self, acc):
+        with pytest.raises(ReproError):
+            acc.record("pe0", 1.0, 0.0)
+
+
+class TestAverages:
+    def test_average_power_includes_idle(self, acc):
+        acc.record("pe0", 5.0, 10.0)  # 50 J
+        assert acc.average_power("pe0", horizon=100.0) == pytest.approx(0.6)
+        assert acc.average_power("pe1", horizon=100.0) == pytest.approx(0.0)
+
+    def test_average_powers_map(self, acc):
+        acc.record("pe1", 4.0, 25.0)  # 100 J
+        averages = acc.average_powers(horizon=50.0)
+        assert averages["pe0"] == pytest.approx(0.1)  # idle only
+        assert averages["pe1"] == pytest.approx(2.0)
+
+    def test_extra_energy_is_what_if(self, acc):
+        acc.record("pe0", 5.0, 10.0)
+        with_candidate = acc.average_powers(100.0, extra={"pe0": 50.0})
+        without = acc.average_powers(100.0)
+        assert with_candidate["pe0"] == pytest.approx(without["pe0"] + 0.5)
+        assert with_candidate["pe1"] == without["pe1"]
+        # and the accumulator itself is untouched
+        assert acc.energy("pe0") == pytest.approx(50.0)
+
+    def test_negative_extra_rejected(self, acc):
+        with pytest.raises(ReproError):
+            acc.average_powers(10.0, extra={"pe0": -1.0})
+
+    def test_zero_horizon_rejected(self, acc):
+        with pytest.raises(ReproError):
+            acc.average_power("pe0", 0.0)
+        with pytest.raises(ReproError):
+            acc.average_powers(0.0)
+
+    def test_utilisation(self, acc):
+        acc.record("pe0", 1.0, 30.0)
+        assert acc.utilisation("pe0", 60.0) == pytest.approx(0.5)
+        assert acc.utilisation("pe0", 10.0) == 1.0  # clamped
+
+    def test_pe_names(self, acc):
+        assert acc.pe_names() == ["pe0", "pe1"]

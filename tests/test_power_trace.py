@@ -1,0 +1,116 @@
+"""Tests for the PowerTrace time series."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.power.trace import PowerTrace
+
+
+@pytest.fixture
+def trace():
+    # pe0: 5W in [0,10), 3W in [20,30); pe1: 4W in [5,25); span 30
+    return PowerTrace(
+        [
+            (0.0, 10.0, "pe0", 5.0),
+            (20.0, 30.0, "pe0", 3.0),
+            (5.0, 25.0, "pe1", 4.0),
+        ],
+        idle_power={"pe0": 0.5, "pe1": 0.5},
+    )
+
+
+class TestConstruction:
+    def test_pe_names(self, trace):
+        assert trace.pe_names == ["pe0", "pe1"]
+
+    def test_span_inferred(self, trace):
+        assert trace.span == 30.0
+
+    def test_explicit_span(self):
+        trace = PowerTrace([(0.0, 5.0, "a", 1.0)], span=20.0)
+        assert trace.span == 20.0
+
+    def test_span_too_short_rejected(self):
+        with pytest.raises(ReproError):
+            PowerTrace([(0.0, 5.0, "a", 1.0)], span=4.0)
+
+    def test_overlap_on_same_pe_rejected(self):
+        with pytest.raises(ReproError):
+            PowerTrace([(0.0, 10.0, "a", 1.0), (5.0, 15.0, "a", 1.0)])
+
+    def test_overlap_on_different_pes_ok(self):
+        PowerTrace([(0.0, 10.0, "a", 1.0), (5.0, 15.0, "b", 1.0)])
+
+    def test_zero_length_interval_rejected(self):
+        with pytest.raises(ReproError):
+            PowerTrace([(5.0, 5.0, "a", 1.0)])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ReproError):
+            PowerTrace([(0.0, 1.0, "a", -2.0)])
+
+    def test_empty_trace_ok(self):
+        trace = PowerTrace([], idle_power={"a": 0.2}, span=10.0)
+        assert trace.total_energy() == pytest.approx(2.0)
+
+
+class TestQueries:
+    def test_power_at(self, trace):
+        assert trace.power_at(0.0) == {"pe0": 5.5, "pe1": 0.5}
+        assert trace.power_at(7.0) == {"pe0": 5.5, "pe1": 4.5}
+        assert trace.power_at(15.0) == {"pe0": 0.5, "pe1": 4.5}
+        assert trace.power_at(29.0) == {"pe0": 3.5, "pe1": 0.5}
+
+    def test_interval_closed_open(self, trace):
+        # at exactly t=10 the first pe0 interval has ended
+        assert trace.power_at(10.0)["pe0"] == pytest.approx(0.5)
+
+    def test_power_at_outside_span_rejected(self, trace):
+        with pytest.raises(ReproError):
+            trace.power_at(31.0)
+        with pytest.raises(ReproError):
+            trace.power_at(-1.0)
+
+    def test_breakpoints(self, trace):
+        assert trace.breakpoints() == [0.0, 5.0, 10.0, 20.0, 25.0, 30.0]
+
+    def test_segments_cover_span(self, trace):
+        segments = trace.segments()
+        assert sum(d for d, _ in segments) == pytest.approx(30.0)
+
+    def test_segments_time_scale(self, trace):
+        segments = trace.segments(time_scale=1e-3)
+        assert sum(d for d, _ in segments) == pytest.approx(0.030)
+
+    def test_segments_bad_scale(self, trace):
+        with pytest.raises(ReproError):
+            trace.segments(time_scale=0.0)
+
+
+class TestEnergyAccounting:
+    def test_total_energy(self, trace):
+        # dynamic: 5*10 + 3*10 + 4*20 = 160; idle: 1.0 * 30 = 30
+        assert trace.total_energy() == pytest.approx(190.0)
+
+    def test_average_power(self, trace):
+        assert trace.average_power() == pytest.approx(190.0 / 30.0)
+
+    def test_pe_average_power(self, trace):
+        assert trace.pe_average_power("pe0") == pytest.approx(80.0 / 30.0 + 0.5)
+        with pytest.raises(ReproError):
+            trace.pe_average_power("ghost")
+
+    def test_average_powers_sum_matches_total(self, trace):
+        total = sum(trace.average_powers().values())
+        assert total == pytest.approx(trace.average_power())
+
+    def test_peak_total_power(self, trace):
+        # peak in [5,10): 5.5 + 4.5 = 10.0
+        assert trace.peak_total_power() == pytest.approx(10.0)
+
+    def test_energy_segments_consistency(self, trace):
+        # integrating segments reproduces total energy
+        total = sum(
+            duration * sum(powers.values()) for duration, powers in trace.segments()
+        )
+        assert total == pytest.approx(trace.total_energy())

@@ -1,0 +1,133 @@
+"""Tests for the preset catalogue and library generation."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.presets import (
+    PLATFORM_PE,
+    default_catalogue,
+    default_platform,
+    generate_technology_library,
+    library_for_graph,
+)
+from repro.taskgraph.benchmarks import benchmark
+
+
+class TestCatalogue:
+    def test_contains_platform_pe(self):
+        names = [t.name for t in default_catalogue()]
+        assert PLATFORM_PE.name in names
+
+    def test_five_types(self):
+        assert len(default_catalogue()) == 5
+
+    def test_names_unique(self):
+        names = [t.name for t in default_catalogue()]
+        assert len(set(names)) == len(names)
+
+    def test_returns_fresh_list(self):
+        a = default_catalogue()
+        a.pop()
+        assert len(default_catalogue()) == 5
+
+    def test_speed_power_tradeoff_exists(self):
+        # the catalogue must contain both a slower/cooler and a faster/hotter
+        # option than the platform core, else co-synthesis is trivial
+        catalogue = {t.name: t for t in default_catalogue()}
+        assert any(
+            t.speed < 1.0 and t.power_scale < 1.0 for t in catalogue.values()
+        )
+        assert any(
+            t.speed > 1.0 and t.power_scale > 1.0 for t in catalogue.values()
+        )
+
+
+class TestDefaultPlatform:
+    def test_four_identical_pes(self):
+        platform = default_platform()
+        assert len(platform) == 4
+        assert {pe.type_name for pe in platform} == {PLATFORM_PE.name}
+
+    def test_custom_count(self):
+        assert len(default_platform(count=6)) == 6
+
+
+class TestGenerateLibrary:
+    def test_general_purpose_cover_everything(self):
+        types = [f"type{i}" for i in range(6)]
+        library = generate_technology_library(types, seed=1)
+        for task_type in types:
+            for gp in ("emb-risc", "lp-risc", "dsp", "vliw"):
+                assert library.supports(task_type, gp)
+
+    def test_accelerator_covers_subset(self):
+        types = [f"type{i}" for i in range(6)]
+        library = generate_technology_library(types, seed=1)
+        covered = [t for t in types if library.supports(t, "accel")]
+        assert covered == ["type0", "type3"]
+
+    def test_deterministic(self):
+        types = ["a", "b", "c"]
+        lib1 = generate_technology_library(types, seed=5)
+        lib2 = generate_technology_library(types, seed=5)
+        assert lib1.entries() == lib2.entries()
+
+    def test_seed_changes_values(self):
+        types = ["a", "b"]
+        lib1 = generate_technology_library(types, seed=1)
+        lib2 = generate_technology_library(types, seed=2)
+        assert lib1.entries() != lib2.entries()
+
+    def test_speed_scaling_direction(self):
+        # statistically, faster PEs must have smaller WCETs: compare the
+        # slowest and fastest catalogue entries across many task types
+        types = [f"t{i}" for i in range(20)]
+        library = generate_technology_library(types, seed=3)
+        slow = sum(library.wcet(t, "lp-risc") for t in types)
+        fast = sum(library.wcet(t, "vliw") for t in types)
+        assert fast < slow
+
+    def test_power_scaling_direction(self):
+        types = [f"t{i}" for i in range(20)]
+        library = generate_technology_library(types, seed=3)
+        cool = sum(library.power(t, "lp-risc") for t in types)
+        hot = sum(library.power(t, "vliw") for t in types)
+        assert cool < hot
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(LibraryError):
+            generate_technology_library([], seed=1)
+
+    def test_duplicate_types_rejected(self):
+        with pytest.raises(LibraryError):
+            generate_technology_library(["a", "a"], seed=1)
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(LibraryError):
+            generate_technology_library(["a"], catalogue=[], seed=1)
+
+
+class TestLibraryForGraph:
+    def test_covers_graph_types(self):
+        graph = benchmark("Bm1")
+        library = library_for_graph(graph)
+        graph_types = {t.task_type for t in graph}
+        assert graph_types <= set(library.task_types())
+
+    def test_deterministic_per_benchmark(self):
+        graph = benchmark("Bm2")
+        assert library_for_graph(graph).entries() == library_for_graph(graph).entries()
+
+    def test_distinct_across_benchmarks(self):
+        lib1 = library_for_graph(benchmark("Bm1"))
+        lib2 = library_for_graph(benchmark("Bm2"))
+        assert lib1.entries() != lib2.entries()
+
+    def test_platform_always_feasible(self):
+        # every benchmark task must run on the platform PE type
+        from repro.library.presets import default_platform
+
+        for name in ("Bm1", "Bm2", "Bm3", "Bm4"):
+            graph = benchmark(name)
+            library = library_for_graph(graph)
+            library.check_graph(graph, default_platform())

@@ -1,0 +1,56 @@
+"""Tests for table formatting."""
+
+from repro.analysis.report import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_included(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_columns_default_to_first_row(self):
+        text = format_table([{"x": 1, "y": 2.5}])
+        header = text.splitlines()[0]
+        assert "x" in header and "y" in header
+
+    def test_explicit_columns_and_missing_cells(self):
+        text = format_table([{"a": 1}], columns=["a", "b"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_bool_formatting(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_alignment(self):
+        rows = [{"name": "a", "v": 1}, {"name": "longer-name", "v": 22}]
+        lines = format_table(rows).splitlines()
+        # all lines share the same column start for 'v'
+        positions = {line.rstrip().rfind(" ") for line in lines[2:]}
+        assert len(positions) == 1
+
+
+class TestFormatComparison:
+    def test_delta_columns(self):
+        rows = [
+            {"bm": "Bm1", "paper": 100.0, "ours": 92.0},
+        ]
+        text = format_comparison(
+            rows, pairs=[("paper", "ours")], key_columns=["bm"]
+        )
+        assert "d(ours)" in text
+        assert "-8.00" in text
+
+    def test_non_numeric_delta_is_dash(self):
+        rows = [{"bm": "Bm1", "paper": None, "ours": 92.0}]
+        text = format_comparison(
+            rows, pairs=[("paper", "ours")], key_columns=["bm"]
+        )
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,224 @@
+"""Tests for the Schedule record type."""
+
+import pytest
+
+from repro.core.schedule import Assignment, Schedule
+from repro.errors import SchedulingError
+from repro.library.pe import Architecture, PEType
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def arch():
+    arch = Architecture("two-pe")
+    pe_type = PEType("core", 6.0, 6.0, idle_power=0.1)
+    arch.add_instance(pe_type)
+    arch.add_instance(pe_type)
+    return arch
+
+
+@pytest.fixture
+def graph():
+    graph = TaskGraph("g", deadline=100.0)
+    graph.add("a", "t0")
+    graph.add("b", "t0")
+    graph.add("c", "t0")
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    return graph
+
+
+@pytest.fixture
+def schedule(graph, arch):
+    return Schedule(
+        graph,
+        arch,
+        [
+            Assignment("a", "pe0", 0.0, 20.0, power=5.0),
+            Assignment("b", "pe0", 20.0, 50.0, power=4.0),
+            Assignment("c", "pe1", 20.0, 60.0, power=3.0),
+        ],
+        policy_name="test",
+    )
+
+
+class TestAssignment:
+    def test_derived_fields(self):
+        a = Assignment("t", "pe", 10.0, 25.0, power=4.0)
+        assert a.duration == 15.0
+        assert a.energy == pytest.approx(60.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SchedulingError):
+            Assignment("t", "pe", 10.0, 10.0, 1.0)
+        with pytest.raises(SchedulingError):
+            Assignment("t", "pe", -1.0, 10.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SchedulingError):
+            Assignment("t", "pe", 0.0, 10.0, -1.0)
+
+
+class TestScheduleMetrics:
+    def test_makespan(self, schedule):
+        assert schedule.makespan == 60.0
+
+    def test_deadline_and_slack(self, schedule):
+        assert schedule.meets_deadline
+        assert schedule.slack == pytest.approx(40.0)
+
+    def test_total_energy(self, schedule):
+        assert schedule.total_energy == pytest.approx(100 + 120 + 120)
+
+    def test_pe_energy_zero_filled(self, schedule):
+        energy = schedule.pe_energy()
+        assert energy["pe0"] == pytest.approx(220.0)
+        assert energy["pe1"] == pytest.approx(120.0)
+
+    def test_pe_busy_time(self, schedule):
+        busy = schedule.pe_busy_time()
+        assert busy == {"pe0": 50.0, "pe1": 40.0}
+
+    def test_pe_task_counts(self, schedule):
+        assert schedule.pe_task_counts() == {"pe0": 2, "pe1": 1}
+
+    def test_average_powers(self, schedule):
+        powers = schedule.average_powers()
+        assert powers["pe0"] == pytest.approx(220.0 / 60.0 + 0.1)
+        assert powers["pe1"] == pytest.approx(120.0 / 60.0 + 0.1)
+
+    def test_average_powers_without_idle(self, schedule):
+        powers = schedule.average_powers(include_idle=False)
+        assert powers["pe0"] == pytest.approx(220.0 / 60.0)
+
+    def test_total_average_power(self, schedule):
+        assert schedule.total_average_power == pytest.approx(
+            sum(schedule.average_powers().values())
+        )
+
+    def test_load_balance(self, schedule):
+        assert schedule.load_balance() == pytest.approx(50.0 / 45.0)
+
+    def test_empty_schedule(self, graph, arch):
+        empty = Schedule(graph, arch, [])
+        assert empty.makespan == 0.0
+        with pytest.raises(SchedulingError):
+            empty.average_powers()
+
+
+class TestScheduleAccess:
+    def test_assignment_lookup(self, schedule):
+        assert schedule.assignment("a").pe == "pe0"
+        with pytest.raises(SchedulingError):
+            schedule.assignment("ghost")
+
+    def test_assignments_sorted_by_start(self, schedule):
+        starts = [a.start for a in schedule.assignments()]
+        assert starts == sorted(starts)
+
+    def test_pe_assignments(self, schedule):
+        on_pe0 = schedule.pe_assignments("pe0")
+        assert [a.task for a in on_pe0] == ["a", "b"]
+
+    def test_duplicate_task_rejected(self, graph, arch):
+        with pytest.raises(SchedulingError):
+            Schedule(
+                graph,
+                arch,
+                [
+                    Assignment("a", "pe0", 0, 1, 1.0),
+                    Assignment("a", "pe1", 0, 1, 1.0),
+                ],
+            )
+
+
+class TestExports:
+    def test_power_intervals(self, schedule):
+        intervals = schedule.power_intervals()
+        assert (0.0, 20.0, "pe0", 5.0) in intervals
+        assert len(intervals) == 3
+
+    def test_power_trace_span_is_makespan(self, schedule):
+        trace = schedule.power_trace()
+        assert trace.span == pytest.approx(60.0)
+
+    def test_power_trace_energy_matches(self, schedule):
+        trace = schedule.power_trace(include_idle=False)
+        assert trace.total_energy() == pytest.approx(schedule.total_energy)
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, schedule):
+        schedule.validate()
+
+    def test_missing_task_detected(self, graph, arch):
+        partial = Schedule(graph, arch, [Assignment("a", "pe0", 0, 10, 1.0)])
+        with pytest.raises(SchedulingError, match="unscheduled"):
+            partial.validate()
+
+    def test_unknown_task_detected(self, graph, arch):
+        bogus = Schedule(
+            graph,
+            arch,
+            [
+                Assignment("a", "pe0", 0, 10, 1.0),
+                Assignment("b", "pe0", 10, 20, 1.0),
+                Assignment("c", "pe1", 10, 20, 1.0),
+                Assignment("zzz", "pe1", 20, 30, 1.0),
+            ],
+        )
+        with pytest.raises(SchedulingError, match="unknown tasks"):
+            bogus.validate()
+
+    def test_overlap_detected(self, graph, arch):
+        clashing = Schedule(
+            graph,
+            arch,
+            [
+                Assignment("a", "pe0", 0, 20, 1.0),
+                Assignment("b", "pe0", 10, 30, 1.0),  # overlaps a on pe0
+                Assignment("c", "pe1", 20, 30, 1.0),
+            ],
+        )
+        with pytest.raises(SchedulingError, match="overlap"):
+            clashing.validate()
+
+    def test_precedence_violation_detected(self, graph, arch):
+        wrong = Schedule(
+            graph,
+            arch,
+            [
+                Assignment("a", "pe0", 10, 30, 1.0),
+                Assignment("b", "pe1", 0, 10, 1.0),  # starts before a ends
+                Assignment("c", "pe0", 30, 40, 1.0),
+            ],
+        )
+        with pytest.raises(SchedulingError, match="precedence"):
+            wrong.validate()
+
+    def test_library_mismatch_detected(self, graph, arch):
+        from repro.library.technology import TechnologyLibrary
+
+        library = TechnologyLibrary()
+        library.add_entry("t0", "core", wcet=20.0, wcpc=5.0)
+        good = Schedule(
+            graph,
+            arch,
+            [
+                Assignment("a", "pe0", 0, 20, 5.0),
+                Assignment("b", "pe0", 20, 40, 5.0),
+                Assignment("c", "pe1", 20, 40, 5.0),
+            ],
+        )
+        good.validate(library)  # durations/powers match
+        bad = Schedule(
+            graph,
+            arch,
+            [
+                Assignment("a", "pe0", 0, 25, 5.0),  # duration != WCET
+                Assignment("b", "pe0", 25, 45, 5.0),
+                Assignment("c", "pe1", 25, 45, 5.0),
+            ],
+        )
+        with pytest.raises(SchedulingError, match="WCET"):
+            bad.validate(library)

@@ -1,0 +1,169 @@
+"""Tests for Polish-expression slicing floorplans."""
+
+import random
+
+import pytest
+
+from repro.errors import SlicingError
+from repro.floorplan.slicing import PolishExpression
+
+DIMS = {"a": (4.0, 2.0), "b": (3.0, 3.0), "c": (2.0, 5.0)}
+
+
+class TestConstruction:
+    def test_initial_two_blocks(self):
+        expr = PolishExpression.initial({"a": (2, 2), "b": (3, 3)})
+        assert expr.operands() == ["a", "b"]
+        assert len(expr.tokens) == 3
+
+    def test_initial_order_respected(self):
+        expr = PolishExpression.initial(DIMS, order=["c", "a", "b"])
+        assert expr.operands() == ["c", "a", "b"]
+
+    def test_initial_alternates_operators(self):
+        expr = PolishExpression.initial(DIMS)
+        operators = [t for t in expr.tokens if t in ("H", "V")]
+        assert operators == ["V", "H"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression.initial({})
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression(["a", "zzz", "V"], {"a": (1, 1)})
+
+    def test_balloting_violation_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression(["a", "V", "b"], DIMS)
+
+    def test_operand_count_mismatch_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression(["a", "b"], DIMS)
+
+    def test_duplicate_operand_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression(["a", "a", "V"], {"a": (1, 1)})
+
+    def test_rotated_unknown_rejected(self):
+        with pytest.raises(SlicingError):
+            PolishExpression(["a", "b", "V"], DIMS, rotated={"zzz"})
+
+    def test_single_block(self):
+        expr = PolishExpression(["a"], {"a": (2, 3)})
+        plan = expr.evaluate()
+        assert plan.block("a").rect.w == 2.0
+
+
+class TestEvaluation:
+    def test_vertical_cut_side_by_side(self):
+        expr = PolishExpression(["a", "b", "V"], DIMS)
+        plan = expr.evaluate()
+        a, b = plan.block("a").rect, plan.block("b").rect
+        assert a.x == 0.0 and b.x == pytest.approx(4.0)
+        assert plan.die_size() == (pytest.approx(7.0), pytest.approx(3.0))
+
+    def test_horizontal_cut_stacked(self):
+        expr = PolishExpression(["a", "b", "H"], DIMS)
+        plan = expr.evaluate()
+        a, b = plan.block("a").rect, plan.block("b").rect
+        assert a.y == 0.0 and b.y == pytest.approx(2.0)
+        assert plan.die_size() == (pytest.approx(4.0), pytest.approx(5.0))
+
+    def test_three_block_nested(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        plan = expr.evaluate()
+        # (a|b) stacked under c: width max(7,2)=7, height 3+5=8
+        assert plan.die_size() == (pytest.approx(7.0), pytest.approx(8.0))
+
+    def test_no_overlaps_ever(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        expr.evaluate().validate()
+
+    def test_rotation_swaps_dims(self):
+        expr = PolishExpression(["a"], {"a": (4.0, 2.0)}, rotated={"a"})
+        rect = expr.evaluate().block("a").rect
+        assert (rect.w, rect.h) == (2.0, 4.0)
+
+    def test_die_area(self):
+        expr = PolishExpression(["a", "b", "V"], DIMS)
+        assert expr.die_area() == pytest.approx(21.0)
+
+
+class TestNormalization:
+    def test_initial_is_normalized(self):
+        assert PolishExpression.initial(DIMS).is_normalized()
+
+    def test_adjacent_same_operator_not_normalized(self):
+        expr = PolishExpression(["a", "b", "c", "V", "V"], DIMS)
+        assert not expr.is_normalized()
+
+    def test_same_operator_separated_by_operand_is_normalized(self):
+        # "a b V c V" encodes a three-block row uniquely: the V operators
+        # are not adjacent in the string, so the expression is normalized
+        expr = PolishExpression(["a", "b", "V", "c", "V"], DIMS)
+        assert expr.is_normalized()
+
+    def test_alternating_operators_normalized(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        assert expr.is_normalized()
+
+
+class TestMoves:
+    def test_m1_swaps_adjacent_operands(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        swapped = expr.move_swap_operands((0,))
+        assert swapped.operands() == ["b", "a", "c"]
+        # original untouched
+        assert expr.operands() == ["a", "b", "c"]
+
+    def test_m1_requires_two_operands(self):
+        expr = PolishExpression(["a"], {"a": (1, 1)})
+        with pytest.raises(SlicingError):
+            expr.move_swap_operands(random.Random(1))
+
+    def test_m2_complements_chain(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        flipped = expr.move_complement_chain(0)
+        assert flipped.tokens[2] == "H"
+
+    def test_m2_requires_operator(self):
+        expr = PolishExpression(["a"], {"a": (1, 1)})
+        with pytest.raises(SlicingError):
+            expr.move_complement_chain(random.Random(1))
+
+    def test_m3_preserves_validity(self):
+        expr = PolishExpression(["a", "b", "V", "c", "H"], DIMS)
+        moved = expr.move_swap_operand_operator(random.Random(3))
+        moved._check_well_formed()
+        assert moved.is_normalized()
+
+    def test_rotate_toggle(self):
+        expr = PolishExpression(["a", "b", "V"], DIMS)
+        rotated = expr.move_rotate("a")
+        assert "a" in rotated.rotated
+        back = rotated.move_rotate("a")
+        assert "a" not in back.rotated
+
+    def test_rotate_unknown_block(self):
+        expr = PolishExpression(["a", "b", "V"], DIMS)
+        with pytest.raises(SlicingError):
+            expr.move_rotate("zzz")
+
+    def test_random_move_always_legal(self):
+        rng = random.Random(7)
+        expr = PolishExpression.initial(DIMS)
+        for _ in range(50):
+            expr = expr.random_move(rng)
+            expr._check_well_formed()
+            plan = expr.evaluate()
+            plan.validate()
+            assert set(plan.block_names()) == set(DIMS)
+
+    def test_moves_preserve_total_block_area(self):
+        rng = random.Random(11)
+        expr = PolishExpression.initial(DIMS)
+        expected = sum(w * h for w, h in DIMS.values())
+        for _ in range(30):
+            expr = expr.random_move(rng)
+            assert expr.evaluate().block_area == pytest.approx(expected)

@@ -1,0 +1,96 @@
+"""Property-based tests for slicing floorplans.
+
+The key invariants of the Polish-expression representation:
+
+* evaluation never produces overlaps;
+* total block area is conserved under every move;
+* every block appears exactly once, with its (possibly rotated) dimensions;
+* the die bounding box always contains all blocks.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan.slicing import PolishExpression
+
+
+@st.composite
+def dims_maps(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    dims = {}
+    for index in range(count):
+        w = draw(st.floats(min_value=0.5, max_value=12.0))
+        h = draw(st.floats(min_value=0.5, max_value=12.0))
+        dims[f"b{index}"] = (w, h)
+    return dims
+
+
+@st.composite
+def expressions(draw):
+    dims = draw(dims_maps())
+    expr = PolishExpression.initial(dims)
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**31)))
+    moves = draw(st.integers(min_value=0, max_value=20))
+    for _ in range(moves):
+        try:
+            expr = expr.random_move(rng)
+        except Exception:
+            break
+    return expr
+
+
+@given(expr=expressions())
+@settings(max_examples=60, deadline=None)
+def test_evaluation_has_no_overlaps(expr):
+    expr.evaluate().validate()
+
+
+@given(expr=expressions())
+@settings(max_examples=60, deadline=None)
+def test_block_area_conserved(expr):
+    plan = expr.evaluate()
+    expected = sum(w * h for w, h in expr.dims.values())
+    assert abs(plan.block_area - expected) < 1e-6
+
+
+@given(expr=expressions())
+@settings(max_examples=60, deadline=None)
+def test_all_blocks_present_with_correct_dims(expr):
+    plan = expr.evaluate()
+    assert set(plan.block_names()) == set(expr.dims)
+    for name, (w, h) in expr.dims.items():
+        rect = plan.block(name).rect
+        if name in expr.rotated:
+            w, h = h, w
+        assert abs(rect.w - w) < 1e-9
+        assert abs(rect.h - h) < 1e-9
+
+
+@given(expr=expressions())
+@settings(max_examples=60, deadline=None)
+def test_bounding_box_contains_all_blocks(expr):
+    plan = expr.evaluate()
+    box = plan.bounding_box()
+    for block in plan:
+        assert block.rect.x >= box.x - 1e-9
+        assert block.rect.y >= box.y - 1e-9
+        assert block.rect.x2 <= box.x2 + 1e-9
+        assert block.rect.y2 <= box.y2 + 1e-9
+
+
+@given(expr=expressions())
+@settings(max_examples=60, deadline=None)
+def test_die_area_at_least_block_area(expr):
+    plan = expr.evaluate()
+    assert plan.die_area >= plan.block_area - 1e-9
+
+
+@given(expr=expressions(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_moves_are_reproducible(expr, seed):
+    a = expr.random_move(random.Random(seed))
+    b = expr.random_move(random.Random(seed))
+    assert a.tokens == b.tokens
+    assert a.rotated == b.rotated

@@ -1,0 +1,77 @@
+"""Tests for the steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady import SteadyStateSolver
+
+
+def star_network(ambient=45.0, g_amb=0.5, g_link=1.0):
+    """Two nodes: a--b, a--ambient."""
+    network = ThermalNetwork(ambient)
+    network.add_node("a", capacitance=1.0, ambient_conductance=g_amb)
+    network.add_node("b", capacitance=1.0)
+    network.connect("a", "b", g_link)
+    return network
+
+
+class TestAnalyticSolutions:
+    def test_single_resistor(self):
+        # one node to ambient through R = 2 K/W, 10 W -> rise 20 K
+        network = ThermalNetwork(45.0)
+        network.add_node("x", ambient_conductance=0.5)
+        solver = SteadyStateSolver(network)
+        temps = solver.temperatures({"x": 10.0})
+        assert temps["x"] == pytest.approx(45.0 + 20.0)
+
+    def test_series_chain(self):
+        # b --(1 W/K)-- a --(0.5 W/K)-- ambient; 4 W into b
+        solver = SteadyStateSolver(star_network())
+        temps = solver.temperatures({"b": 4.0})
+        assert temps["a"] == pytest.approx(45.0 + 8.0)   # 4 W over 2 K/W
+        assert temps["b"] == pytest.approx(45.0 + 12.0)  # + 4 W over 1 K/W
+
+    def test_superposition(self):
+        solver = SteadyStateSolver(star_network())
+        t1 = solver.temperatures({"a": 3.0})
+        t2 = solver.temperatures({"b": 5.0})
+        both = solver.temperatures({"a": 3.0, "b": 5.0})
+        for name in ("a", "b"):
+            rise = (t1[name] - 45.0) + (t2[name] - 45.0)
+            assert both[name] == pytest.approx(45.0 + rise)
+
+    def test_zero_power_is_ambient(self):
+        solver = SteadyStateSolver(star_network())
+        temps = solver.temperatures({})
+        assert temps["a"] == pytest.approx(45.0)
+        assert temps["b"] == pytest.approx(45.0)
+
+
+class TestSolverMechanics:
+    def test_solve_count_increments(self):
+        solver = SteadyStateSolver(star_network())
+        assert solver.solve_count == 0
+        solver.temperatures({"a": 1.0})
+        solver.temperatures({"b": 1.0})
+        assert solver.solve_count == 2
+
+    def test_wrong_shape_rejected(self):
+        solver = SteadyStateSolver(star_network())
+        with pytest.raises(ThermalError):
+            solver.solve_rise(np.zeros(5))
+
+    def test_ungrounded_network_rejected(self):
+        network = ThermalNetwork(45.0)
+        network.add_node("x")
+        from repro.errors import SingularNetworkError
+
+        with pytest.raises(SingularNetworkError):
+            SteadyStateSolver(network)
+
+    def test_monotone_in_power(self):
+        solver = SteadyStateSolver(star_network())
+        low = solver.temperatures({"b": 1.0})["b"]
+        high = solver.temperatures({"b": 2.0})["b"]
+        assert high > low

@@ -1,0 +1,70 @@
+"""Tests for Task and Edge records."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.task import Edge, Task
+
+
+class TestTask:
+    def test_basic_fields(self):
+        task = Task("t0", "fft", weight=2.0)
+        assert task.name == "t0"
+        assert task.task_type == "fft"
+        assert task.weight == 2.0
+        assert task.attrs == {}
+
+    def test_default_weight_is_nominal(self):
+        assert Task("t", "x").weight == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Task("", "fft")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Task("t0", "")
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, -0.001])
+    def test_nonpositive_weight_rejected(self, weight):
+        with pytest.raises(TaskGraphError):
+            Task("t0", "fft", weight=weight)
+
+    def test_scaled_returns_new_task(self):
+        task = Task("t0", "fft", weight=2.0, attrs={"k": 1})
+        scaled = task.scaled(1.5)
+        assert scaled.weight == pytest.approx(3.0)
+        assert scaled is not task
+        assert task.weight == 2.0  # original unchanged
+        assert scaled.attrs == {"k": 1}
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(TaskGraphError):
+            Task("t0", "fft").scaled(0.0)
+
+    def test_equality_ignores_attrs(self):
+        assert Task("t", "x", attrs={"a": 1}) == Task("t", "x", attrs={"b": 2})
+
+
+class TestEdge:
+    def test_basic_fields(self):
+        edge = Edge("a", "b", data=4.5)
+        assert edge.key == ("a", "b")
+        assert edge.data == 4.5
+
+    def test_default_data_zero(self):
+        assert Edge("a", "b").data == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Edge("a", "a")
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Edge("", "b")
+        with pytest.raises(TaskGraphError):
+            Edge("a", "")
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(TaskGraphError):
+            Edge("a", "b", data=-1.0)

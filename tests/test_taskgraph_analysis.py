@@ -1,0 +1,61 @@
+"""Tests for task-graph shape statistics."""
+
+import pytest
+
+from repro.taskgraph.analysis import (
+    graph_stats,
+    parallelism_profile,
+    type_histogram,
+)
+from repro.taskgraph.benchmarks import benchmark
+from repro.taskgraph.graph import TaskGraph
+
+
+def test_parallelism_profile_diamond(diamond_graph):
+    assert parallelism_profile(diamond_graph) == [1, 2, 1]
+
+
+def test_parallelism_profile_chain(chain_graph):
+    assert parallelism_profile(chain_graph) == [1] * 5
+
+
+def test_parallelism_profile_empty():
+    assert parallelism_profile(TaskGraph("e", 1.0)) == []
+
+
+def test_type_histogram(diamond_graph):
+    assert type_histogram(diamond_graph) == {"type0": 2, "type1": 1, "type2": 1}
+
+
+def test_graph_stats_diamond(diamond_graph):
+    stats = graph_stats(diamond_graph)
+    assert stats.num_tasks == 4
+    assert stats.num_edges == 4
+    assert stats.depth == 3
+    assert stats.max_width == 2
+    assert stats.num_sources == 1
+    assert stats.num_sinks == 1
+    assert stats.edge_density == pytest.approx(1.0)
+    assert stats.num_task_types == 3
+
+
+def test_graph_stats_row_is_flat_dict(diamond_graph):
+    row = graph_stats(diamond_graph).as_row()
+    assert row["name"] == "diamond"
+    assert row["tasks"] == 4
+    assert isinstance(row["density"], float)
+
+
+def test_stats_sum_over_profile_equals_tasks():
+    for name in ("Bm1", "Bm2", "Bm3", "Bm4"):
+        graph = benchmark(name)
+        assert sum(parallelism_profile(graph)) == graph.num_tasks
+
+
+def test_benchmark_widths_fit_four_pe_platform():
+    # the platform experiments use four PEs; the generated benchmarks keep
+    # per-level parallelism in the configured 1..5 band so four PEs are a
+    # sensible match (mirrors the paper's choice)
+    for name in ("Bm1", "Bm2", "Bm3", "Bm4"):
+        profile = parallelism_profile(benchmark(name))
+        assert max(profile) <= 5

@@ -1,0 +1,112 @@
+"""Tests for task-graph serialisation (dict, .tg text, files)."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.benchmarks import benchmark
+from repro.taskgraph.io import (
+    dumps_tg,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_tg,
+    save_graph,
+)
+
+
+def graphs_equal(a, b):
+    assert a.name == b.name
+    assert a.deadline == b.deadline
+    assert [(t.name, t.task_type, t.weight) for t in a] == [
+        (t.name, t.task_type, t.weight) for t in b
+    ]
+    assert [(e.src, e.dst, e.data) for e in a.edges()] == [
+        (e.src, e.dst, e.data) for e in b.edges()
+    ]
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self, diamond_graph):
+        graphs_equal(diamond_graph, graph_from_dict(graph_to_dict(diamond_graph)))
+
+    def test_round_trip_benchmark(self):
+        graph = benchmark("Bm1")
+        graphs_equal(graph, graph_from_dict(graph_to_dict(graph)))
+
+    def test_attrs_preserved(self, diamond_graph):
+        payload = graph_to_dict(diamond_graph)
+        payload["tasks"][0]["attrs"] = {"note": "hot"}
+        restored = graph_from_dict(payload)
+        assert restored.task("a").attrs == {"note": "hot"}
+
+    def test_malformed_payload(self):
+        with pytest.raises(TaskGraphError):
+            graph_from_dict({"name": "x"})
+
+    def test_defaults_filled(self):
+        payload = {
+            "name": "g",
+            "deadline": 10.0,
+            "tasks": [{"name": "a", "task_type": "t"}],
+            "edges": [],
+        }
+        graph = graph_from_dict(payload)
+        assert graph.task("a").weight == 1.0
+
+
+class TestTextFormat:
+    def test_round_trip(self, diamond_graph):
+        graphs_equal(diamond_graph, loads_tg(dumps_tg(diamond_graph)))
+
+    def test_round_trip_benchmark(self):
+        graph = benchmark("Bm3")
+        graphs_equal(graph, loads_tg(dumps_tg(graph)))
+
+    def test_weight_serialised_when_nonunit(self, diamond_graph):
+        graph = diamond_graph.copy()
+        graph.add("heavy", "type0", weight=2.5)
+        graph.add_edge("d", "heavy")
+        text = dumps_tg(graph)
+        assert "weight 2.5" in text
+        assert loads_tg(text).task("heavy").weight == pytest.approx(2.5)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# header comment\n"
+            "graph g deadline 50\n"
+            "\n"
+            "task a type t0   # trailing comment\n"
+            "task b type t1\n"
+            "edge a b data 3\n"
+        )
+        graph = loads_tg(text)
+        assert graph.num_tasks == 2
+        assert graph.edge("a", "b").data == 3.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "task a type t\n",  # task before graph
+            "graph g deadline 10\nedge a b\n",  # edge with unknown tasks
+            "graph g deadline 10\ngraph h deadline 5\n",  # two graphs
+            "graph g x 10\n",  # missing deadline keyword
+            "graph g deadline ten\n",  # non-numeric deadline
+            "frobnicate\n",  # unknown directive
+            "",  # no graph at all
+        ],
+    )
+    def test_malformed_text_rejected(self, text):
+        with pytest.raises(TaskGraphError):
+            loads_tg(text)
+
+
+class TestFiles:
+    def test_tg_file_round_trip(self, diamond_graph, tmp_path):
+        path = tmp_path / "g.tg"
+        save_graph(diamond_graph, path)
+        graphs_equal(diamond_graph, load_graph(path))
+
+    def test_json_file_round_trip(self, diamond_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_graph(diamond_graph, path)
+        graphs_equal(diamond_graph, load_graph(path))

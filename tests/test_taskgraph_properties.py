@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the task-graph substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taskgraph.generator import GraphSpec, generate_task_graph
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.io import dumps_tg, graph_from_dict, graph_to_dict, loads_tg
+
+
+@st.composite
+def graph_specs(draw):
+    """Random feasible GraphSpecs in the benchmark-size range."""
+    num_tasks = draw(st.integers(min_value=1, max_value=40))
+    complete = num_tasks * (num_tasks - 1) // 2
+    max_extra = min(max(0, num_tasks // 2), complete - (num_tasks - 1))
+    num_edges = num_tasks - 1 + draw(st.integers(min_value=0, max_value=max_extra))
+    deadline = draw(st.floats(min_value=10.0, max_value=5000.0))
+    return GraphSpec("prop", num_tasks, num_edges, deadline)
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAGs built edge-by-edge (not via the generator)."""
+    size = draw(st.integers(min_value=1, max_value=15))
+    graph = TaskGraph("dag", 100.0)
+    for index in range(size):
+        graph.add(f"n{index}", f"type{index % 3}")
+    # only forward edges by index -> acyclic
+    for src in range(size):
+        for dst in range(src + 1, size):
+            if draw(st.booleans()):
+                graph.add_edge(f"n{src}", f"n{dst}")
+    return graph
+
+
+@given(spec=graph_specs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_generator_always_matches_spec(spec, seed):
+    graph = generate_task_graph(spec, seed)
+    assert graph.num_tasks == spec.num_tasks
+    assert graph.num_edges == spec.num_edges
+    graph.validate()
+
+
+@given(spec=graph_specs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_generated_topo_order_is_permutation(spec, seed):
+    graph = generate_task_graph(spec, seed)
+    topo = graph.topological_order()
+    assert sorted(topo) == sorted(graph.task_names())
+
+
+@given(dag=random_dags())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_respects_all_edges(dag):
+    position = {name: i for i, name in enumerate(dag.topological_order())}
+    for edge in dag.edges():
+        assert position[edge.src] < position[edge.dst]
+
+
+@given(dag=random_dags())
+@settings(max_examples=40, deadline=None)
+def test_longest_path_is_monotone_along_edges(dag):
+    dist = dag.longest_path_to_sink(lambda t: 1.0)
+    for edge in dag.edges():
+        # a predecessor's distance strictly exceeds any successor's
+        assert dist[edge.src] >= dist[edge.dst] + 1.0
+
+
+@given(dag=random_dags())
+@settings(max_examples=40, deadline=None)
+def test_forward_and_backward_critical_paths_agree(dag):
+    forward = dag.longest_path_from_source(lambda t: 1.0)
+    backward = dag.longest_path_to_sink(lambda t: 1.0)
+    if len(dag):
+        assert max(forward.values()) == max(backward.values())
+
+
+@given(dag=random_dags())
+@settings(max_examples=30, deadline=None)
+def test_dict_round_trip_preserves_structure(dag):
+    restored = graph_from_dict(graph_to_dict(dag))
+    assert restored.num_tasks == dag.num_tasks
+    assert [e.key for e in restored.edges()] == [e.key for e in dag.edges()]
+
+
+@given(dag=random_dags())
+@settings(max_examples=30, deadline=None)
+def test_text_round_trip_preserves_structure(dag):
+    restored = loads_tg(dumps_tg(dag))
+    assert restored.num_tasks == dag.num_tasks
+    assert [e.key for e in restored.edges()] == [e.key for e in dag.edges()]
+
+
+@given(dag=random_dags())
+@settings(max_examples=30, deadline=None)
+def test_ancestors_descendants_duality(dag):
+    for name in dag.task_names():
+        for ancestor in dag.ancestors(name):
+            assert name in dag.descendants(ancestor)

@@ -1,0 +1,113 @@
+"""Property-based tests for the thermal substrate.
+
+Physical invariants any correct compact model must satisfy:
+
+* temperatures never drop below ambient for non-negative powers;
+* monotonicity: adding power anywhere never cools any node;
+* linearity/superposition of temperature rises;
+* the conductance matrix is symmetric positive definite once grounded.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan.geometry import Floorplan
+from repro.thermal.blockmodel import build_block_network
+from repro.thermal.steady import SteadyStateSolver
+
+
+@st.composite
+def row_floorplans(draw):
+    """Rows of 2-6 abutting blocks with random sizes."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    plan = Floorplan()
+    x = 0.0
+    for index in range(count):
+        w = draw(st.floats(min_value=2.0, max_value=9.0))
+        h = draw(st.floats(min_value=2.0, max_value=9.0))
+        plan.place(f"b{index}", x, 0.0, w, h)
+        x += w
+    return plan
+
+
+@st.composite
+def power_maps(draw):
+    plan = draw(row_floorplans())
+    powers = {}
+    for block in plan:
+        if draw(st.booleans()):
+            powers[block.name] = draw(st.floats(min_value=0.0, max_value=20.0))
+    return plan, powers
+
+
+@given(case=power_maps())
+@settings(max_examples=40, deadline=None)
+def test_temperatures_at_or_above_ambient(case):
+    plan, powers = case
+    solver = SteadyStateSolver(build_block_network(plan))
+    temps = solver.temperatures(powers)
+    ambient = solver.network.ambient_c
+    for value in temps.values():
+        assert value >= ambient - 1e-9
+
+
+@given(case=power_maps(), extra=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_monotone_in_power(case, extra):
+    plan, powers = case
+    solver = SteadyStateSolver(build_block_network(plan))
+    base = solver.temperatures(powers)
+    target = plan.block_names()[0]
+    bumped = dict(powers)
+    bumped[target] = bumped.get(target, 0.0) + extra
+    hotter = solver.temperatures(bumped)
+    for name in solver.network.node_names():
+        assert hotter[name] >= base[name] - 1e-9
+    assert hotter[target] > base[target]
+
+
+@given(plan=row_floorplans(), p=st.floats(min_value=0.5, max_value=15.0))
+@settings(max_examples=30, deadline=None)
+def test_superposition_of_rises(plan, p):
+    solver = SteadyStateSolver(build_block_network(plan))
+    ambient = solver.network.ambient_c
+    names = plan.block_names()
+    first, last = names[0], names[-1]
+    t_first = solver.temperatures({first: p})
+    t_last = solver.temperatures({last: p})
+    t_both = solver.temperatures({first: p, last: p})
+    for name in solver.network.node_names():
+        combined = (t_first[name] - ambient) + (t_last[name] - ambient)
+        assert abs((t_both[name] - ambient) - combined) < 1e-6
+
+
+@given(plan=row_floorplans())
+@settings(max_examples=30, deadline=None)
+def test_conductance_matrix_is_spd(plan):
+    network = build_block_network(plan)
+    matrix = network.conductance_matrix()
+    assert np.allclose(matrix, matrix.T)
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    assert (eigenvalues > 0.0).all()
+
+
+@given(plan=row_floorplans(), p=st.floats(min_value=0.5, max_value=15.0))
+@settings(max_examples=30, deadline=None)
+def test_loaded_block_is_global_maximum(plan, p):
+    """With a single heat source, that block is the hottest node."""
+    solver = SteadyStateSolver(build_block_network(plan))
+    target = plan.block_names()[0]
+    temps = solver.temperatures({target: p})
+    assert temps[target] == max(temps.values())
+
+
+@given(plan=row_floorplans(), p=st.floats(min_value=1.0, max_value=15.0))
+@settings(max_examples=30, deadline=None)
+def test_scaling_power_scales_rise_linearly(plan, p):
+    solver = SteadyStateSolver(build_block_network(plan))
+    ambient = solver.network.ambient_c
+    target = plan.block_names()[-1]
+    single = solver.temperatures({target: p})[target] - ambient
+    double = solver.temperatures({target: 2.0 * p})[target] - ambient
+    assert abs(double - 2.0 * single) < 1e-6

@@ -1,0 +1,59 @@
+"""Tests for block-vs-grid thermal model cross-validation."""
+
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.validation import (
+    ModelAgreement,
+    compare_models,
+    standard_power_patterns,
+)
+
+
+class TestPatterns:
+    def test_pattern_count(self, platform_plan):
+        patterns = standard_power_patterns(platform_plan, random_patterns=3)
+        # uniform + one per block + 3 random
+        assert len(patterns) == 1 + 4 + 3
+
+    def test_total_power_conserved(self, platform_plan):
+        for pattern in standard_power_patterns(platform_plan, total_power=20.0):
+            assert sum(pattern.values()) == pytest.approx(20.0)
+
+    def test_deterministic(self, platform_plan):
+        a = standard_power_patterns(platform_plan, seed=3)
+        b = standard_power_patterns(platform_plan, seed=3)
+        assert a == b
+
+    def test_bad_power_rejected(self, platform_plan):
+        with pytest.raises(ThermalError):
+            standard_power_patterns(platform_plan, total_power=0.0)
+
+
+class TestAgreement:
+    @pytest.fixture(scope="class")
+    def agreement(self, request):
+        from repro.floorplan.platform import platform_floorplan
+        from repro.library.presets import default_platform
+
+        plan = platform_floorplan(default_platform())
+        return compare_models(plan, rows=4, cols=16)
+
+    def test_rank_agreement_high(self, agreement):
+        """The block model must order PE temperatures like the grid model."""
+        assert agreement.rank_agreement >= 0.75
+
+    def test_absolute_error_bounded(self, agreement):
+        assert agreement.mean_abs_error_c < 5.0
+        assert agreement.max_abs_error_c < 15.0
+
+    def test_means_in_same_band(self, agreement):
+        assert abs(agreement.mean_block_c - agreement.mean_grid_c) < 5.0
+
+    def test_as_row(self, agreement):
+        row = agreement.as_row()
+        assert {"patterns", "mean_abs_err", "rank_agreement"} <= set(row)
+
+    def test_empty_patterns_rejected(self, platform_plan):
+        with pytest.raises(ThermalError):
+            compare_models(platform_plan, patterns=[])

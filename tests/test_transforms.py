@@ -1,0 +1,121 @@
+"""Tests for task-graph transformations."""
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.benchmarks import benchmark
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.transforms import (
+    collapse_linear_chains,
+    merge_graphs,
+    scale_deadline,
+    scale_weights,
+)
+
+
+class TestScaleDeadline:
+    def test_scales(self, diamond_graph):
+        assert scale_deadline(diamond_graph, 0.5).deadline == pytest.approx(200.0)
+        assert diamond_graph.deadline == 400.0  # original untouched
+
+    def test_bad_factor(self, diamond_graph):
+        with pytest.raises(TaskGraphError):
+            scale_deadline(diamond_graph, 0.0)
+
+
+class TestScaleWeights:
+    def test_weights_scaled_structure_preserved(self, diamond_graph):
+        scaled = scale_weights(diamond_graph, 2.0)
+        assert all(t.weight == pytest.approx(2.0) for t in scaled)
+        assert [e.key for e in scaled.edges()] == [
+            e.key for e in diamond_graph.edges()
+        ]
+        assert scaled.deadline == diamond_graph.deadline
+
+    def test_scales_wcets_through_library(self, diamond_graph, diamond_library):
+        scaled = scale_weights(diamond_graph, 3.0)
+        original_task = diamond_graph.task("a")
+        scaled_task = scaled.task("a")
+        pe_type = diamond_library.supported_pe_types(original_task)[0]
+        assert diamond_library.wcet(scaled_task, pe_type) == pytest.approx(
+            3.0 * diamond_library.wcet(original_task, pe_type)
+        )
+
+    def test_bad_factor(self, diamond_graph):
+        with pytest.raises(TaskGraphError):
+            scale_weights(diamond_graph, -1.0)
+
+
+class TestMergeGraphs:
+    def test_merge_two_benchmarks(self):
+        a, b = benchmark("Bm1"), benchmark("Bm2")
+        merged = merge_graphs([a, b])
+        assert merged.num_tasks == a.num_tasks + b.num_tasks
+        assert merged.num_edges == a.num_edges + b.num_edges
+        assert merged.deadline == max(a.deadline, b.deadline)
+
+    def test_names_prefixed(self, diamond_graph, chain_graph):
+        merged = merge_graphs([diamond_graph, chain_graph])
+        assert "diamond.a" in merged
+        assert "chain.t0" in merged
+
+    def test_components_stay_independent(self, diamond_graph, chain_graph):
+        merged = merge_graphs([diamond_graph, chain_graph])
+        assert merged.ancestors("chain.t4") == {
+            f"chain.t{i}" for i in range(4)
+        }
+
+    def test_explicit_deadline(self, diamond_graph, chain_graph):
+        merged = merge_graphs([diamond_graph, chain_graph], deadline=123.0)
+        assert merged.deadline == 123.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaskGraphError):
+            merge_graphs([])
+
+
+class TestCollapseChains:
+    def test_pure_chain_collapses_to_one(self, chain_graph):
+        collapsed = collapse_linear_chains(chain_graph)
+        assert collapsed.num_tasks == 1
+        assert collapsed.num_edges == 0
+        only = collapsed.tasks()[0]
+        assert only.name == "t0"
+        assert only.weight == pytest.approx(5.0)  # five unit weights fused
+
+    def test_diamond_untouched(self, diamond_graph):
+        collapsed = collapse_linear_chains(diamond_graph)
+        assert collapsed.num_tasks == 4
+        assert collapsed.num_edges == 4
+
+    def test_mixed_graph(self):
+        # src -> c1 -> c2 -> join ; src -> join  : c1-c2 is a chain but c1
+        # has in-degree 1 from a fan-out node, so only c2 folds into c1
+        graph = TaskGraph("m", 100.0)
+        for name in ("src", "c1", "c2", "join"):
+            graph.add(name, "t")
+        graph.add_edge("src", "c1")
+        graph.add_edge("c1", "c2")
+        graph.add_edge("c2", "join")
+        graph.add_edge("src", "join")
+        collapsed = collapse_linear_chains(graph)
+        assert collapsed.num_tasks == 3
+        assert "c1" in collapsed and "c2" not in collapsed
+        assert collapsed.task("c1").weight == pytest.approx(2.0)
+        assert collapsed.has_edge("c1", "join")
+
+    def test_collapse_preserves_reachability(self):
+        graph = benchmark("Bm2")
+        collapsed = collapse_linear_chains(graph)
+        collapsed.validate()
+        assert collapsed.num_tasks <= graph.num_tasks
+        # total weight is conserved
+        assert sum(t.weight for t in collapsed) == pytest.approx(
+            sum(t.weight for t in graph)
+        )
+
+    def test_idempotent(self):
+        graph = benchmark("Bm3")
+        once = collapse_linear_chains(graph)
+        twice = collapse_linear_chains(once)
+        assert twice.num_tasks == once.num_tasks

@@ -1,0 +1,110 @@
+"""Tests for transient thermal simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.transient import STEPPERS, TransientSimulator
+
+
+def rc_network(resistance=2.0, capacitance=3.0, ambient=45.0):
+    """Single RC node: tau = R*C."""
+    network = ThermalNetwork(ambient)
+    network.add_node("x", capacitance=capacitance, ambient_conductance=1.0 / resistance)
+    return network
+
+
+class TestAgainstAnalyticRC:
+    @pytest.mark.parametrize("stepper", STEPPERS)
+    def test_step_response(self, stepper):
+        """T(t) = T_inf (1 - exp(-t/tau)) for a power step on one RC node."""
+        R, C, P = 2.0, 3.0, 10.0
+        tau = R * C
+        simulator = TransientSimulator(rc_network(R, C), stepper)
+        result = simulator.run([(3.0 * tau, {"x": P})], dt=tau / 200.0)
+        expected = P * R * (1.0 - np.exp(-result.times / tau))
+        measured = result.node_series("x") - 45.0
+        assert np.max(np.abs(measured - expected)) < 0.05 * P * R
+
+    @pytest.mark.parametrize("stepper", STEPPERS)
+    def test_cooldown(self, stepper):
+        """After the power turns off the node decays toward ambient."""
+        simulator = TransientSimulator(rc_network(), stepper)
+        result = simulator.run(
+            [(20.0, {"x": 10.0}), (60.0, {})], dt=0.1
+        )
+        assert result.node_series("x")[-1] == pytest.approx(45.0, abs=0.2)
+
+    def test_exponential_stepper_is_exact_per_step(self):
+        """The expm stepper matches the closed form even with huge steps."""
+        R, C, P = 2.0, 3.0, 10.0
+        tau = R * C
+        simulator = TransientSimulator(rc_network(R, C), "exponential")
+        result = simulator.run([(tau, {"x": P})], dt=tau)  # ONE step
+        expected = P * R * (1.0 - np.exp(-1.0))
+        assert result.node_series("x")[-1] - 45.0 == pytest.approx(expected, rel=1e-9)
+
+
+class TestConvergenceToSteadyState:
+    def test_long_run_matches_steady_solver(self, two_block_plan):
+        from repro.thermal.blockmodel import build_block_network
+        from repro.thermal.steady import SteadyStateSolver
+
+        network = build_block_network(two_block_plan)
+        steady = SteadyStateSolver(network).temperatures({"left": 8.0})
+        simulator = TransientSimulator(network)
+        result = simulator.run([(2000.0, {"left": 8.0})], dt=5.0)
+        final = result.final()
+        for name in network.node_names():
+            assert final[name] == pytest.approx(steady[name], abs=0.3)
+
+
+class TestMechanics:
+    def test_requires_positive_capacitance(self):
+        network = ThermalNetwork(45.0)
+        network.add_node("x", capacitance=0.0, ambient_conductance=1.0)
+        with pytest.raises(ThermalError):
+            TransientSimulator(network)
+
+    def test_unknown_stepper_rejected(self):
+        with pytest.raises(ThermalError):
+            TransientSimulator(rc_network(), "rk4")
+
+    def test_empty_segments_rejected(self):
+        simulator = TransientSimulator(rc_network())
+        with pytest.raises(ThermalError):
+            simulator.run([], dt=0.1)
+
+    def test_zero_duration_segment_skipped(self):
+        simulator = TransientSimulator(rc_network())
+        result = simulator.run([(0.0, {"x": 5.0}), (1.0, {})], dt=0.5)
+        assert result.times[-1] == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self):
+        simulator = TransientSimulator(rc_network())
+        with pytest.raises(ThermalError):
+            simulator.run([(-1.0, {})], dt=0.5)
+
+    def test_bad_dt_rejected(self):
+        simulator = TransientSimulator(rc_network())
+        with pytest.raises(ThermalError):
+            simulator.run([(1.0, {})], dt=0.0)
+
+    def test_initial_condition_respected(self):
+        simulator = TransientSimulator(rc_network())
+        result = simulator.run([(0.001, {})], dt=0.001, initial={"x": 80.0})
+        assert result.temperatures[0, 0] == pytest.approx(80.0)
+
+    def test_result_accessors(self):
+        simulator = TransientSimulator(rc_network())
+        result = simulator.run([(1.0, {"x": 5.0})], dt=0.25)
+        assert result.peak() >= 45.0
+        assert result.peak_of(["x"]) == result.peak()
+        with pytest.raises(ThermalError):
+            result.node_series("ghost")
+
+    def test_times_strictly_increasing(self):
+        simulator = TransientSimulator(rc_network())
+        result = simulator.run([(1.0, {"x": 5.0}), (0.7, {})], dt=0.3)
+        assert (np.diff(result.times) > 0).all()

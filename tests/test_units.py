@@ -1,0 +1,26 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_mm_is_millimetre():
+    assert units.MM == pytest.approx(1e-3)
+    assert units.CM == pytest.approx(1e-2)
+    assert units.UM == pytest.approx(1e-6)
+
+
+def test_area_round_trip():
+    assert units.mm2_to_m2(36.0) == pytest.approx(3.6e-5)
+    assert units.m2_to_mm2(units.mm2_to_m2(123.4)) == pytest.approx(123.4)
+
+
+def test_celsius_kelvin_round_trip():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+
+def test_ambient_is_embedded_enclosure_value():
+    # the calibration constant the whole thermal package builds on
+    assert 25.0 <= units.AMBIENT_C <= 60.0
