@@ -1,22 +1,16 @@
 #!/usr/bin/env python3
 """The full thermal-aware co-synthesis flow (paper Figure 1a) on Bm2.
 
-Walks the framework's stages explicitly: allocation screening over the PE
-catalogue, thermal-aware GA floorplanning, HotSpot-in-the-loop scheduling,
-and the final architecture selection — then prints the screening table, the
-chosen floorplan as ASCII art, and the comparison against the power-aware
-flow.
+Drives the flow API's "cosynthesis" kind twice — power-aware (heuristic 3,
+area floorplanning, power final cost) and thermal-aware (``Avg_Temp`` ASP,
+thermal GA, temperature final cost) — then prints the screening table the
+framework recorded, the chosen floorplan as ASCII art, and the two-row
+comparison (one Table 2 cell).
 
 Run:  python examples/cosynthesis_flow.py
 """
 
-from repro import (
-    benchmark,
-    format_table,
-    library_for_graph,
-    power_aware_cosynthesis,
-    thermal_aware_cosynthesis,
-)
+from repro import cosynthesis_spec, format_table, run_flow
 
 
 def ascii_floorplan(plan, scale=2.0) -> str:
@@ -42,21 +36,21 @@ def ascii_floorplan(plan, scale=2.0) -> str:
 
 
 def main() -> None:
-    graph = benchmark("Bm2")
-    library = library_for_graph(graph)
-    print(f"workload: {graph}\n")
+    print("workload: Bm2\n")
 
     print("== power-aware co-synthesis (heuristic 3, area floorplanning) ==")
-    power = power_aware_cosynthesis(graph, library)
-    print(f"  screened {power.candidates_screened} allocations, "
-          f"fully evaluated {power.candidates_evaluated}")
+    power = run_flow(cosynthesis_spec("Bm2", policy="heuristic3", final_cost="power"))
+    print(f"  screened {power.diagnostics['candidates_screened']} allocations, "
+          f"fully evaluated {power.diagnostics['candidates_evaluated']}")
     print(f"  chosen architecture: {power.architecture.name}")
 
     print("\n== thermal-aware co-synthesis (Avg_Temp ASP, thermal GA) ==")
-    thermal = thermal_aware_cosynthesis(graph, library)
+    thermal = run_flow(cosynthesis_spec("Bm2", policy="thermal", final_cost="thermal"))
     print(f"  chosen architecture: {thermal.architecture.name}")
     print("\n  screening snapshot (top 6 rows):")
-    snapshot = sorted(thermal.screening_rows, key=lambda r: r["screening_cost"])
+    snapshot = sorted(
+        thermal.diagnostics["screening_rows"], key=lambda r: r["screening_cost"]
+    )
     print(format_table(snapshot[:6]))
 
     print("\n  thermal-aware floorplan:")

@@ -1,44 +1,34 @@
 #!/usr/bin/env python3
 """Quickstart: schedule a paper benchmark three ways and compare.
 
-Builds benchmark Bm1 (19 tasks / 19 edges / deadline 790), generates its
-technology library, and runs the platform-based design flow (Figure 1b of
-the paper) under the traditional baseline, the best power heuristic (H3,
-task energy), and the thermal-aware ``Avg_Temp`` policy.
+Uses the declarative flow API: one :class:`repro.FlowSpec` per run of the
+platform-based design flow (Figure 1b of the paper) on benchmark Bm1
+(19 tasks / 19 edges / deadline 790), under the traditional baseline, the
+best power heuristic (H3, task energy), and the thermal-aware
+``Avg_Temp`` policy.  Each spec round-trips through JSON — the printed
+spec is everything needed to reproduce its row.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    BaselinePolicy,
-    TaskEnergyPolicy,
-    ThermalPolicy,
-    benchmark,
-    format_table,
-    library_for_graph,
-    platform_flow,
-)
+from repro import format_table, platform_spec, run_flow
 
 
 def main() -> None:
-    graph = benchmark("Bm1")
-    library = library_for_graph(graph)
-    print(f"workload: {graph}")
-    print(f"library:  {library}\n")
-
     rows = []
-    for policy in (BaselinePolicy(), TaskEnergyPolicy(), ThermalPolicy()):
-        result = platform_flow(graph, library, policy)
+    for policy in ("baseline", "heuristic3", "thermal"):
+        result = run_flow(platform_spec("Bm1", policy=policy))
         evaluation = result.evaluation
         rows.append(
             {
-                "policy": policy.name,
+                "policy": policy,
                 "total_pow_W": round(evaluation.total_power, 2),
                 "max_temp_C": round(evaluation.max_temperature, 2),
                 "avg_temp_C": round(evaluation.avg_temperature, 2),
                 "makespan": round(evaluation.makespan, 1),
-                "deadline": graph.deadline,
+                "deadline": evaluation.deadline,
                 "meets_deadline": evaluation.meets_deadline,
+                "spec": result.provenance["spec_hash"][:8],
             }
         )
     print(
@@ -46,6 +36,8 @@ def main() -> None:
             rows, title="Bm1 on the 4-PE platform (paper Figure 1b flow)"
         )
     )
+    print("\none run, fully declarative and serializable:")
+    print(platform_spec("Bm1", policy="thermal").to_json(indent=2))
     print(
         "\nThe thermal-aware policy trades deadline slack for temperature:"
         "\nit spreads work across PEs and time, lowering both the peak and"

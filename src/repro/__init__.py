@@ -13,15 +13,28 @@ power and thermal dynamic-criticality policies, and the co-synthesis /
 platform design flows.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for paper-vs-measured results.
 
-Quickstart::
+Quickstart — the declarative flow API (the primary public surface)::
 
-    from repro import benchmark, library_for_graph, default_platform
-    from repro import platform_flow, ThermalPolicy
+    from repro import platform_spec, run_flow
 
-    graph = benchmark("Bm1")
-    library = library_for_graph(graph)
-    result = platform_flow(graph, library, ThermalPolicy())
+    result = run_flow(platform_spec("Bm1", policy="thermal"))
     print(result.evaluation.as_row())
+
+Specs are frozen, JSON-serializable descriptions of a whole run; batches
+parallelise and cache::
+
+    from repro import FlowSpec, run_many, cosynthesis_spec
+
+    specs = [cosynthesis_spec(bm, policy=p)
+             for bm in ("Bm1", "Bm2") for p in ("heuristic3", "thermal")]
+    results = run_many(specs, workers=4, cache_dir=".flowcache")
+    spec = FlowSpec.from_json(specs[0].to_json())   # round-trips exactly
+
+The same flows are scriptable from the shell (``python -m repro --help``:
+``run`` / ``sweep`` / ``experiments`` / ``list``).  Legacy entry points
+(``platform_flow``, ``thermal_aware_cosynthesis``, ``reclaim_slack``,
+``schedule_conditional``...) keep working and return results identical to
+the facade; docs/FLOW_API.md maps each onto its FlowSpec equivalent.
 """
 
 from .errors import (
@@ -126,8 +139,34 @@ from .extensions import (
     ThermalPeakPolicy,
     reclaim_slack,
 )
+from .flow import (
+    ArchitectureSpec,
+    CommSpec,
+    ConditionalSpec,
+    CoSynthSpec,
+    DVFSSpec,
+    Flow,
+    FloorplanSpec,
+    FlowResult,
+    FlowSpec,
+    GraphSourceSpec,
+    LeakageSpec,
+    LibrarySpec,
+    PolicySpec,
+    ThermalSpec,
+    cosynthesis_spec,
+    platform_spec,
+    register_flow,
+    register_floorplanner,
+    register_policy,
+    register_thermal_solver,
+    run_flow,
+    run_many,
+    spec_hash,
+)
+from .taskgraph import CONDITIONAL_BENCHMARK_NAMES, conditional_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -234,4 +273,30 @@ __all__ = [
     "ConditionalTaskGraph",
     "ConditionalEvaluation",
     "schedule_conditional",
+    "CONDITIONAL_BENCHMARK_NAMES",
+    "conditional_benchmark",
+    # flow API
+    "FlowSpec",
+    "GraphSourceSpec",
+    "LibrarySpec",
+    "PolicySpec",
+    "ArchitectureSpec",
+    "FloorplanSpec",
+    "ThermalSpec",
+    "CommSpec",
+    "CoSynthSpec",
+    "DVFSSpec",
+    "LeakageSpec",
+    "ConditionalSpec",
+    "platform_spec",
+    "cosynthesis_spec",
+    "spec_hash",
+    "Flow",
+    "FlowResult",
+    "run_flow",
+    "run_many",
+    "register_policy",
+    "register_floorplanner",
+    "register_thermal_solver",
+    "register_flow",
 ]

@@ -1,15 +1,17 @@
-"""Command-line entry point: regenerate the paper's artefacts.
+"""Command-line entry point: the unified flow CLI.
 
 Usage::
 
-    python -m repro                # run every experiment (tables 1-3, fig 1)
-    python -m repro table3         # one artefact
-    python -m repro table1 table2  # several
+    python -m repro run --benchmark Bm1 --policy thermal
+    python -m repro sweep --workers 4 --cache-dir .flowcache
+    python -m repro experiments table1 table3
+    python -m repro list policies
+    python -m repro table3            # legacy shorthand, still works
 
-See ``repro.experiments.runner`` for the registry.
+See ``python -m repro --help`` and :mod:`repro.cli`.
 """
 
-from .experiments.runner import main
+from .cli import main
 
 if __name__ == "__main__":
     raise SystemExit(main())

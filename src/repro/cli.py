@@ -1,0 +1,264 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands over the unified flow API::
+
+    python -m repro run --benchmark Bm1 --policy thermal      # one flow
+    python -m repro run --spec spec.json --json               # from a file
+    python -m repro sweep --benchmarks Bm1 Bm2 --policies \\
+        heuristic3 thermal --workers 4 --cache-dir .flowcache # batch
+    python -m repro experiments table3                        # paper artefacts
+    python -m repro experiments --list
+    python -m repro list policies                             # registries
+
+Exit codes: 0 on success, 2 on unknown names (experiment ids, registry
+keys), 1 on execution failure.  Bare experiment ids keep working for
+backward compatibility (``python -m repro table3`` ==
+``python -m repro experiments table3``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .flow import (
+    DVFSSpec,
+    FlowSpec,
+    LeakageSpec,
+    cosynthesis_spec,
+    flow_names,
+    floorplanner_names,
+    platform_spec,
+    policy_names,
+    run_many,
+    thermal_solver_names,
+)
+from .flow.spec import CommSpec, FloorplanSpec
+
+__all__ = ["build_parser", "main"]
+
+
+def _spec_from_args(args: argparse.Namespace) -> FlowSpec:
+    """Assemble one FlowSpec from ``run`` flags (or load ``--spec``)."""
+    if args.spec is not None:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        return FlowSpec.from_json(text)
+    overrides = {}
+    if args.dvfs:
+        overrides["dvfs"] = DVFSSpec(enabled=True)
+    if args.leakage:
+        overrides["leakage"] = LeakageSpec(enabled=True)
+    if args.comm == "shared-bus":
+        overrides["comm"] = CommSpec(kind="shared-bus")
+    if args.floorplanner is not None:
+        overrides["floorplan"] = FloorplanSpec(kind=args.floorplanner)
+    if args.flow == "cosynthesis":
+        return cosynthesis_spec(
+            args.benchmark, policy=args.policy, weight=args.weight, **overrides
+        )
+    return platform_spec(
+        args.benchmark, policy=args.policy, weight=args.weight, **overrides
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis.report import format_table
+
+    spec = _spec_from_args(args)
+    if args.save_spec:
+        with open(args.save_spec, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json(indent=2) + "\n")
+    results = run_many([spec], cache_dir=args.cache_dir)
+    result = results[0]
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+    else:
+        print(format_table([result.as_row()], title=f"flow: {spec.flow}"))
+        if result.dvfs is not None:
+            print(
+                f"dvfs: {result.dvfs.lowered_tasks} tasks lowered, "
+                f"{100 * result.dvfs.energy_saving_fraction:.1f}% energy saved"
+            )
+        if result.leakage is not None:
+            print(
+                f"leakage: {result.leakage.total_leakage:.2f} W at fixed point "
+                f"({result.leakage.iterations} iterations)"
+            )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.report import format_table
+
+    specs: List[FlowSpec] = []
+    for bench in args.benchmarks:
+        for policy in args.policies:
+            if args.flow == "cosynthesis":
+                specs.append(cosynthesis_spec(bench, policy=policy))
+            else:
+                specs.append(platform_spec(bench, policy=policy))
+    results = run_many(specs, workers=args.workers, cache_dir=args.cache_dir)
+    rows = [r.as_row() for r in results]
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        hits = sum(1 for r in results if r.provenance.get("cache_hit"))
+        print(format_table(rows, title=f"sweep: {len(rows)} flows ({hits} cached)"))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import main as runner_main
+
+    argv = list(args.ids)
+    if args.list:
+        argv.append("--list")
+    return runner_main(argv)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments.runner import EXPERIMENTS
+    from .taskgraph.benchmarks import BENCHMARK_NAMES
+    from .taskgraph.conditional import CONDITIONAL_BENCHMARK_NAMES
+
+    sections = {
+        "flows": flow_names(),
+        "policies": policy_names(),
+        "floorplanners": floorplanner_names(),
+        "thermal-solvers": thermal_solver_names(),
+        "benchmarks": tuple(BENCHMARK_NAMES) + CONDITIONAL_BENCHMARK_NAMES,
+        "experiments": tuple(sorted(EXPERIMENTS)),
+    }
+    wanted = args.what
+    if wanted != "all" and wanted not in sections:
+        print(
+            f"unknown component kind {wanted!r}; "
+            f"available: {('all',) + tuple(sections)}",
+            file=sys.stderr,
+        )
+        return 2
+    for kind, names in sections.items():
+        if wanted in ("all", kind):
+            print(f"{kind}: {', '.join(names)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argparse parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Thermal-aware task allocation and scheduling (DATE 2005 "
+            "reproduction) — declarative flow runner and paper artefacts."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    run_p = sub.add_parser(
+        "run",
+        help="execute one flow from flags or a FlowSpec JSON file",
+        description="Execute one flow and print its evaluation row.",
+    )
+    run_p.add_argument("--spec", help="FlowSpec JSON file ('-' for stdin)")
+    run_p.add_argument(
+        "--flow", choices=("platform", "cosynthesis"), default="platform",
+        help="flow kind (default: platform)",
+    )
+    run_p.add_argument("--benchmark", default="Bm1", help="benchmark name (Bm1-Bm4)")
+    run_p.add_argument("--policy", default="thermal", help="DC policy name")
+    run_p.add_argument("--weight", type=float, default=None, help="policy weight")
+    run_p.add_argument("--floorplanner", default=None, help="floorplanner name")
+    run_p.add_argument(
+        "--comm", choices=("zero", "shared-bus"), default="zero",
+        help="communication model",
+    )
+    run_p.add_argument("--dvfs", action="store_true", help="DVFS slack reclamation")
+    run_p.add_argument("--leakage", action="store_true", help="leakage fixed point")
+    run_p.add_argument("--cache-dir", default=None, help="result cache directory")
+    run_p.add_argument("--save-spec", default=None, help="write the spec JSON here")
+    run_p.add_argument("--json", action="store_true", help="emit JSON")
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a benchmark x policy cross product (parallel, cached)",
+        description="Cross-product sweep through run_many.",
+    )
+    sweep_p.add_argument(
+        "--benchmarks", nargs="+", default=["Bm1", "Bm2", "Bm3", "Bm4"],
+        help="benchmark names (default: the paper suite)",
+    )
+    sweep_p.add_argument(
+        "--policies", nargs="+", default=["heuristic3", "thermal"],
+        help="DC policy names (default: heuristic3 thermal)",
+    )
+    sweep_p.add_argument(
+        "--flow", choices=("platform", "cosynthesis"), default="platform",
+        help="flow kind (default: platform)",
+    )
+    sweep_p.add_argument("--workers", type=int, default=None, help="process count")
+    sweep_p.add_argument("--cache-dir", default=None, help="result cache directory")
+    sweep_p.add_argument("--json", action="store_true", help="emit JSON rows")
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    exp_p = sub.add_parser(
+        "experiments",
+        help="regenerate the paper's artefacts (tables 1-3, figure 1)",
+        description="Run named experiments; no ids runs all of them.",
+    )
+    exp_p.add_argument("ids", nargs="*", metavar="experiment", help="experiment ids")
+    exp_p.add_argument("--list", action="store_true", help="print available ids")
+    exp_p.set_defaults(func=_cmd_experiments)
+
+    list_p = sub.add_parser(
+        "list",
+        help="list registered components (policies, floorplanners, ...)",
+        description="Show the name registries the flow API resolves.",
+    )
+    list_p.add_argument(
+        "what", nargs="?", default="all",
+        help="all | flows | policies | floorplanners | thermal-solvers | "
+        "benchmarks | experiments",
+    )
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args_list = list(argv) if argv is not None else sys.argv[1:]
+
+    # Backward compatibility: `python -m repro table3` ran experiments in
+    # the pre-flow CLI; keep bare experiment ids working.
+    from .experiments.runner import EXPERIMENTS
+
+    if args_list and args_list[0] in EXPERIMENTS:
+        args_list = ["experiments"] + args_list
+
+    parser = build_parser()
+    args = parser.parse_args(args_list)
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 0
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like any CLI
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

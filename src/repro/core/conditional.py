@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from ..analysis.metrics import ScheduleEvaluation, evaluate_schedule
 from ..errors import SchedulingError
 from ..floorplan.geometry import Floorplan
+from ..library.bus import CommunicationModel
 from ..library.pe import Architecture
 from ..library.technology import TechnologyLibrary
 from ..taskgraph.conditional import ConditionalTaskGraph, Scenario
@@ -81,13 +82,15 @@ def schedule_conditional(
     policy: Optional[DCPolicy] = None,
     floorplan: Optional[Floorplan] = None,
     hotspot: Optional[HotSpotModel] = None,
+    comm: Optional[CommunicationModel] = None,
 ) -> ConditionalEvaluation:
     """Schedule every scenario of *ctg* and aggregate the results.
 
     Exactly one of *floorplan* / *hotspot* must be given (the thermal model
     scores every scenario; passing a prebuilt model shares its cached
     factorisation).  Scenario probabilities weight the expected metrics;
-    the worst case is taken over makespans.
+    the worst case is taken over makespans.  *comm* is the communication
+    model applied to every scenario (default: the paper's free model).
     """
     if (floorplan is None) == (hotspot is None):
         raise SchedulingError("pass exactly one of floorplan= or hotspot=")
@@ -105,7 +108,7 @@ def schedule_conditional(
     expected_avg_temp = 0.0
     for scenario in scenarios:
         scheduler = ListScheduler(
-            scenario.graph, architecture, library, thermal=hotspot
+            scenario.graph, architecture, library, thermal=hotspot, comm=comm
         )
         schedule = scheduler.run(policy)
         evaluation = evaluate_schedule(schedule, hotspot=hotspot)

@@ -43,6 +43,7 @@ __all__ = [
     "TaskEnergyPolicy",
     "ThermalPolicy",
     "policy_by_name",
+    "register_dc_policy",
     "POLICY_NAMES",
 ]
 
@@ -212,8 +213,14 @@ class ThermalPolicy(DCPolicy):
         return self.weight * avg_temp
 
 
-#: Name → policy class registry, in the paper's presentation order.
-_REGISTRY = {
+#: Name → policy class registry, in the paper's presentation order.  The
+#: dict is mutable: :func:`register_dc_policy` lets extension modules (and
+#: user code) add policies that then resolve through :func:`policy_by_name`
+#: exactly like the built-ins.  ``repro.extensions.policies`` registers the
+#: thermal-peak / thermal-hybrid variants at import time, and importing any
+#: ``repro`` module imports the package root (which imports extensions), so
+#: the registry is complete by the time user code can call into it.
+_REGISTRY: Dict[str, type] = {
     cls.name: cls
     for cls in (
         BaselinePolicy,
@@ -224,21 +231,93 @@ _REGISTRY = {
     )
 }
 
-#: All registered policy names.
-POLICY_NAMES = tuple(_REGISTRY)
+
+def register_dc_policy(cls: type) -> type:
+    """Register a :class:`DCPolicy` subclass under its ``name`` attribute.
+
+    Usable as a decorator.  Registration is idempotent for the same class;
+    re-using an existing name for a *different* class raises
+    :class:`~repro.errors.SchedulingError` (silent shadowing would change
+    what every spec naming that policy means).
+    """
+    if not (isinstance(cls, type) and issubclass(cls, DCPolicy)):
+        raise SchedulingError(f"can only register DCPolicy subclasses, got {cls!r}")
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise SchedulingError(f"policy class {cls.__name__} needs a `name` attribute")
+    current = _REGISTRY.get(name)
+    if current is not None and current is not cls:
+        raise SchedulingError(
+            f"policy name {name!r} already registered to {current.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
 
 
-def policy_by_name(name: str, weight: Optional[float] = None) -> DCPolicy:
+class _PolicyNames:
+    """Live, ordered view of the registered policy names.
+
+    Behaves like the tuple it replaced (iteration, ``len``, indexing,
+    ``in``, equality with sequences) but always reflects the current
+    registry, including policies registered after this module was imported.
+    """
+
+    def _tuple(self) -> tuple:
+        return tuple(_REGISTRY)
+
+    def __iter__(self):
+        return iter(self._tuple())
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __getitem__(self, index):
+        return self._tuple()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _PolicyNames):
+            return True
+        if isinstance(other, (tuple, list)):
+            return self._tuple() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._tuple())
+
+    def __repr__(self) -> str:
+        return repr(self._tuple())
+
+
+#: All registered policy names (live view — extension policies included).
+POLICY_NAMES = _PolicyNames()
+
+
+def policy_by_name(name: str, weight: Optional[float] = None, **params) -> DCPolicy:
     """Instantiate a policy from its registry name.
 
-    ``weight=None`` keeps each policy's calibrated default.
+    ``weight=None`` keeps each policy's calibrated default.  Underscores
+    and hyphens are interchangeable (``"thermal_peak"`` == ``"thermal-peak"``).
+    Extra keyword arguments are forwarded to the policy constructor (e.g.
+    ``peak_fraction=`` for the hybrid thermal policy).
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
+    text = str(name)
+    cls = (
+        _REGISTRY.get(text)
+        or _REGISTRY.get(text.replace("_", "-"))
+        or _REGISTRY.get(text.replace("-", "_"))
+    )
+    if cls is None:
         raise SchedulingError(
             f"unknown DC policy {name!r}; available: {POLICY_NAMES}"
         )
-    if weight is None:
-        return cls()
-    return cls(weight)
+    if weight is not None:
+        params["weight"] = weight
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise SchedulingError(
+            f"bad parameters for DC policy {name!r}: {exc}"
+        ) from exc

@@ -271,6 +271,8 @@ def power_aware_cosynthesis(
     """Power-aware co-synthesis: area floorplanning, power final cost.
 
     *policy* defaults to heuristic 3 (the paper's best power heuristic).
+    Legacy entry point — see ``cosynthesis_spec(final_cost="power")`` in
+    :mod:`repro.flow` and docs/FLOW_API.md.
     """
     framework = CoSynthesisFramework(catalogue, package, config)
     return framework.run(
@@ -287,7 +289,11 @@ def thermal_aware_cosynthesis(
     config: Optional[CoSynthesisConfig] = None,
 ) -> CoSynthesisResult:
     """Thermal-aware co-synthesis (Figure 1a): thermal floorplanning +
-    ``Avg_Temp`` scheduling + temperature final cost."""
+    ``Avg_Temp`` scheduling + temperature final cost.
+
+    Legacy entry point — see ``cosynthesis_spec(final_cost="thermal")`` in
+    :mod:`repro.flow` and docs/FLOW_API.md.
+    """
     framework = CoSynthesisFramework(catalogue, package, config)
     return framework.run(
         graph, library, policy or ThermalPolicy(), final_cost=thermal_final_cost()
@@ -324,6 +330,11 @@ def platform_flow(
     Architecture defaults to four identical PEs; the floorplan defaults to
     the canonical platform layout.  Works for every policy: thermal ones
     query the HotSpot model that is built here either way.
+
+    Legacy entry point — ``run_flow(platform_spec(...))`` in
+    :mod:`repro.flow` runs the identical computation declaratively (see
+    docs/FLOW_API.md); this function stays for ad-hoc use with pre-built
+    graphs and libraries.
     """
     architecture = architecture or default_platform()
     plan = floorplan if floorplan is not None else platform_floorplan(architecture)

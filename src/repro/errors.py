@@ -23,6 +23,8 @@ __all__ = [
     "InfeasibleAllocationError",
     "CoSynthesisError",
     "ExperimentError",
+    "FlowError",
+    "FlowSpecError",
 ]
 
 
@@ -97,3 +99,11 @@ class CoSynthesisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition is inconsistent or failed to run."""
+
+
+class FlowError(ReproError):
+    """A declarative flow could not be assembled or executed."""
+
+
+class FlowSpecError(FlowError):
+    """A :class:`~repro.flow.FlowSpec` (or its serialized form) is invalid."""

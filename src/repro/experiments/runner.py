@@ -5,10 +5,15 @@ examples, benchmarks and the command line can regenerate any published
 artefact uniformly::
 
     python -m repro.experiments.runner table3
+    python -m repro.experiments.runner --list
+
+Unknown ids exit with status 2 and print the available set; the
+``python -m repro experiments`` subcommand delegates here.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -18,7 +23,7 @@ from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
 from .table3 import format_table3, run_table3
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "build_parser", "main"]
 
 #: id -> (runner, formatter) registry.
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
@@ -41,10 +46,49 @@ def run_experiment(experiment_id: str, **kwargs) -> str:
     return formatter(runner(**kwargs))
 
 
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the experiment runner CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the paper's published artefacts (tables 1-3, "
+            "figure 1).  With no ids, every experiment runs."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="experiment",
+        help=f"experiment ids to run; available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment ids and exit",
+    )
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: run the named experiments (default: all)."""
-    args = list(argv) if argv is not None else sys.argv[1:]
-    targets = args or sorted(EXPERIMENTS)
+    """CLI entry point: run the named experiments (default: all).
+
+    Exit codes: 0 on success, 2 when an unknown experiment id is given
+    (the available set is printed to stderr).
+    """
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    unknown = [target for target in args.ids if target not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment ids {unknown}; "
+            f"available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    targets = args.ids or sorted(EXPERIMENTS)
     for target in targets:
         print(run_experiment(target))
         print()

@@ -12,15 +12,23 @@ ablation bench):
 * :class:`HybridThermalPolicy` — a convex mix of average and peak,
   recovering the paper's policy at ``peak_fraction = 0``.
 
-Both are registered under :func:`extended_policy_by_name` so experiment
-code can sweep them uniformly.
+Both register themselves into the core DC-policy registry at import time,
+so ``repro.policy_by_name("thermal-peak")`` (or ``"thermal_peak"``) works
+like any built-in name and ``repro.POLICY_NAMES`` lists them.  The narrower
+:func:`extended_policy_by_name` registry (thermal variants only) is kept
+for the policy-variant ablation bench.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core.heuristics import DCContext, DCPolicy, ThermalPolicy
+from ..core.heuristics import (
+    DCContext,
+    DCPolicy,
+    ThermalPolicy,
+    register_dc_policy,
+)
 from ..errors import SchedulingError
 
 __all__ = [
@@ -40,6 +48,7 @@ def _candidate_block_powers(ctx: DCContext) -> Dict[str, float]:
     return {mapping.get(pe, pe): watts for pe, watts in averages.items()}
 
 
+@register_dc_policy
 class ThermalPeakPolicy(DCPolicy):
     """Minimise the predicted peak block temperature (extension).
 
@@ -65,6 +74,7 @@ class ThermalPeakPolicy(DCPolicy):
         return self.weight * peak
 
 
+@register_dc_policy
 class HybridThermalPolicy(DCPolicy):
     """Convex mix of average and peak temperature (extension).
 

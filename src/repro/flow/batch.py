@@ -1,0 +1,163 @@
+"""Batch execution: ``run_many(specs, workers=N)`` + an on-disk cache.
+
+Parameter sweeps (the Pareto explorer, the ablation benches, the CLI
+``sweep`` subcommand) evaluate many :class:`~repro.flow.spec.FlowSpec`
+configurations whose inner loops are expensive and fully deterministic.
+``run_many`` therefore
+
+* **deduplicates** — equal specs inside one batch run once and share the
+  result object;
+* **caches** — with ``cache_dir`` set, results are pickled under their
+  :func:`~repro.flow.spec.spec_hash`; a later run of an identical spec
+  loads the pickle and performs *zero* scheduler invocations;
+* **parallelises** — with ``workers > 1``, cache misses execute in a
+  process pool (the substrate is pure CPU-bound Python, so threads would
+  serialise on the GIL).
+
+Results come back in input order, provenance marked with
+``cache_hit``/``worker`` so callers can audit what actually ran.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import FlowError
+from .runner import Flow, FlowResult
+from .spec import FlowSpec, spec_hash
+
+__all__ = ["run_many", "clear_cache"]
+
+_CACHE_SUFFIX = ".flowresult.pkl"
+
+
+def _cache_path(cache_dir: Path, digest: str) -> Path:
+    return cache_dir / f"{digest}{_CACHE_SUFFIX}"
+
+
+def _load_cached(cache_dir: Path, digest: str) -> Optional[FlowResult]:
+    """The cached result for *digest*, or None (corrupt files are misses)."""
+    path = _cache_path(cache_dir, digest)
+    if not path.is_file():
+        return None
+    try:
+        with path.open("rb") as handle:
+            result = pickle.load(handle)
+    except Exception:
+        return None
+    if not isinstance(result, FlowResult):
+        return None
+    result.provenance["cache_hit"] = True
+    return result
+
+
+def _store_cached(cache_dir: Path, digest: str, result: FlowResult) -> None:
+    """Atomically pickle *result* (tmp file + rename survives crashes)."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(cache_dir), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, _cache_path(cache_dir, digest))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _run_spec_json(payload: str) -> FlowResult:
+    """Process-pool entry point (module-level so it pickles)."""
+    return Flow().run(FlowSpec.from_json(payload))
+
+
+def run_many(
+    specs: Sequence[FlowSpec],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> List[FlowResult]:
+    """Run every spec, in order, with dedup / caching / parallelism.
+
+    Parameters
+    ----------
+    specs:
+        The flow configurations to execute.
+    workers:
+        ``None`` or ``1`` runs serially in-process; ``N > 1`` executes
+        cache misses in an ``N``-worker process pool.
+    cache_dir:
+        Optional directory for the persistent result cache.  Identical
+        specs (same :func:`spec_hash`) hit the cache across calls *and*
+        across processes; pass a fresh directory (or ``None``) to force
+        recomputation.
+
+    Returns
+    -------
+    list of FlowResult
+        One per input spec, in input order.  Equal input specs share one
+        result object.
+    """
+    specs = list(specs)
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, FlowSpec):
+            raise FlowError(
+                f"run_many expects FlowSpec items; item {index} is "
+                f"{type(spec).__name__}"
+            )
+    if workers is not None and workers < 1:
+        raise FlowError(f"workers must be >= 1, got {workers}")
+
+    digests = [spec_hash(spec) for spec in specs]
+    results: Dict[str, FlowResult] = {}
+    cache = Path(cache_dir) if cache_dir is not None else None
+
+    # -- cache lookups -------------------------------------------------
+    if cache is not None:
+        for digest in dict.fromkeys(digests):
+            cached = _load_cached(cache, digest)
+            if cached is not None:
+                results[digest] = cached
+
+    # -- execute the misses (deduplicated, input order) ----------------
+    miss_order = [d for d in dict.fromkeys(digests) if d not in results]
+    miss_specs = {d: specs[digests.index(d)] for d in miss_order}
+
+    if miss_order:
+        if workers is not None and workers > 1:
+            payloads = [miss_specs[d].to_json() for d in miss_order]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(_run_spec_json, payloads))
+            for digest, result in zip(miss_order, computed):
+                result.provenance["worker"] = "pool"
+                results[digest] = result
+        else:
+            flow = Flow()
+            for digest in miss_order:
+                result = flow.run(miss_specs[digest])
+                result.provenance["worker"] = "serial"
+                results[digest] = result
+        if cache is not None:
+            for digest in miss_order:
+                _store_cached(cache, digest, results[digest])
+
+    return [results[digest] for digest in digests]
+
+
+def clear_cache(cache_dir: Union[str, Path]) -> int:
+    """Delete every cached flow result under *cache_dir*; returns count."""
+    cache = Path(cache_dir)
+    removed = 0
+    if cache.is_dir():
+        for path in cache.glob(f"*{_CACHE_SUFFIX}"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,245 @@
+"""String-keyed component registries behind the flow facade.
+
+Four registries resolve every pluggable stage of a
+:class:`~repro.flow.spec.FlowSpec`:
+
+* **policies** — the DC policy registry (shared with
+  :func:`repro.core.heuristics.policy_by_name`; registering here makes a
+  policy reachable from legacy code and from specs alike);
+* **floorplanners** — ``(architecture, FloorplanSpec) -> Floorplan``;
+* **thermal solvers** — ``(floorplan, package, ThermalSpec) -> model``
+  exposing the HotSpot facade interface (``block_temperatures`` /
+  ``peak_temperature`` / ``average_temperature`` / ``query_count``);
+* **flows** — ``(FlowSpec, graph, library) -> FlowOutcome`` end-to-end
+  runners (``"platform"`` and ``"cosynthesis"`` built in).
+
+Unknown names raise :class:`~repro.errors.FlowError` carrying the
+available set, mirroring the ``SchedulingError`` shape of the policy
+registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.heuristics import POLICY_NAMES, policy_by_name, register_dc_policy
+from ..errors import FlowError
+from ..floorplan.genetic import evolve_floorplan
+from ..floorplan.annealing import anneal_floorplan
+from ..floorplan.platform import grid_floorplan, platform_floorplan, row_floorplan
+from ..thermal.gridmodel import GridModel
+from ..thermal.hotspot import HotSpotModel
+
+__all__ = [
+    "Registry",
+    "FLOORPLANNERS",
+    "THERMAL_SOLVERS",
+    "FLOWS",
+    "register_policy",
+    "register_floorplanner",
+    "register_thermal_solver",
+    "register_flow",
+    "policy_names",
+    "floorplanner_names",
+    "thermal_solver_names",
+    "flow_names",
+    "build_policy",
+]
+
+
+class Registry:
+    """An ordered name → factory mapping with decorator registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: Dict[str, Callable] = {}
+
+    def register(
+        self, name: str, factory: Optional[Callable] = None
+    ) -> Callable:
+        """Register *factory* under *name*; usable as ``@register(name)``.
+
+        Re-registering an existing name with a different factory raises
+        :class:`FlowError` — shadowing a component silently would change
+        the meaning of every spec that names it.
+        """
+
+        def _add(fn: Callable) -> Callable:
+            current = self._items.get(name)
+            if current is not None and current is not fn:
+                raise FlowError(
+                    f"{self.kind} {name!r} already registered"
+                )
+            self._items[name] = fn
+            return fn
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def get(self, name: str) -> Callable:
+        """The factory for *name*; unknown names raise :class:`FlowError`."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise FlowError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            )
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self._items)})"
+
+
+FLOORPLANNERS = Registry("floorplanner")
+THERMAL_SOLVERS = Registry("thermal solver")
+FLOWS = Registry("flow")
+
+
+# ----------------------------------------------------------------------
+# public registration entry points
+# ----------------------------------------------------------------------
+def register_policy(cls: type) -> type:
+    """Register a DC policy class under its ``name`` (decorator-friendly).
+
+    Delegates to the core registry, so the policy becomes reachable both
+    from ``PolicySpec(name=...)`` and from the legacy
+    :func:`repro.policy_by_name`.
+    """
+    return register_dc_policy(cls)
+
+
+def register_floorplanner(name: str, factory: Optional[Callable] = None) -> Callable:
+    """Register ``factory(architecture, floorplan_spec) -> Floorplan``."""
+    return FLOORPLANNERS.register(name, factory)
+
+
+def register_thermal_solver(name: str, factory: Optional[Callable] = None) -> Callable:
+    """Register ``factory(floorplan, package, thermal_spec) -> model``."""
+    return THERMAL_SOLVERS.register(name, factory)
+
+
+def register_flow(name: str, runner: Optional[Callable] = None) -> Callable:
+    """Register ``runner(spec, graph, library) -> FlowOutcome``."""
+    return FLOWS.register(name, runner)
+
+
+def policy_names() -> Tuple[str, ...]:
+    """All registered DC policy names (extensions included)."""
+    return tuple(POLICY_NAMES)
+
+
+def floorplanner_names() -> Tuple[str, ...]:
+    """All registered floorplanner names."""
+    return FLOORPLANNERS.names()
+
+
+def thermal_solver_names() -> Tuple[str, ...]:
+    """All registered thermal solver names."""
+    return THERMAL_SOLVERS.names()
+
+
+def flow_names() -> Tuple[str, ...]:
+    """All registered flow kinds."""
+    return FLOWS.names()
+
+
+def build_policy(spec) -> object:
+    """Instantiate the DC policy a :class:`PolicySpec` describes.
+
+    Unknown names surface the core registry's ``SchedulingError`` wrapped
+    as :class:`FlowError` is *not* done here on purpose: the error shape
+    of ``policy_by_name`` is part of the public contract.
+    """
+    params = {}
+    if spec.peak_fraction is not None:
+        params["peak_fraction"] = spec.peak_fraction
+    return policy_by_name(spec.name, weight=spec.weight, **params)
+
+
+# ----------------------------------------------------------------------
+# built-in floorplanners
+# ----------------------------------------------------------------------
+@register_floorplanner("platform")
+def _platform_floorplanner(architecture, spec):
+    """The canonical fixed platform layout (near-square grid)."""
+    return platform_floorplan(architecture)
+
+
+@register_floorplanner("grid")
+def _grid_floorplanner(architecture, spec):
+    """Near-square grid of uniform cells."""
+    return grid_floorplan(architecture)
+
+
+@register_floorplanner("row")
+def _row_floorplanner(architecture, spec):
+    """Single-row packing (the ablation baseline)."""
+    return row_floorplan(architecture)
+
+
+@register_floorplanner("genetic")
+def _genetic_floorplanner(architecture, spec):
+    """GA slicing floorplan under the area objective."""
+    return evolve_floorplan(
+        architecture, config=spec.genetic_config(), seed=spec.seed
+    ).floorplan
+
+
+@register_floorplanner("annealing")
+def _annealing_floorplanner(architecture, spec):
+    """Simulated-annealing slicing floorplan under the area objective."""
+    return anneal_floorplan(architecture, seed=spec.seed).floorplan
+
+
+# ----------------------------------------------------------------------
+# built-in thermal solvers
+# ----------------------------------------------------------------------
+@register_thermal_solver("hotspot")
+def _hotspot_solver(floorplan, package, spec):
+    """The HotSpot-style compact RC model (the paper's solver)."""
+    return HotSpotModel(floorplan, package)
+
+
+class _GridSolverAdapter:
+    """Give :class:`GridModel` the HotSpot facade surface the ASP expects."""
+
+    def __init__(self, floorplan, package):
+        self._model = GridModel(floorplan, package=package)
+        self._queries = 0
+
+    @property
+    def query_count(self) -> int:
+        """Solves issued through this adapter."""
+        return self._queries
+
+    def block_temperatures(self, power_by_block):
+        """Per-block temperatures (cell averages) for one power vector."""
+        self._queries += 1
+        return self._model.block_temperatures(power_by_block)
+
+    def peak_temperature(self, power_by_block) -> float:
+        """Hottest block temperature for one power vector."""
+        return max(self.block_temperatures(power_by_block).values())
+
+    def average_temperature(self, power_by_block) -> float:
+        """Mean block temperature for one power vector."""
+        temps = self.block_temperatures(power_by_block)
+        return sum(temps.values()) / len(temps)
+
+
+@register_thermal_solver("gridmodel")
+def _grid_solver(floorplan, package, spec):
+    """Grid-discretised thermal model (finer, slower; validation solver)."""
+    return _GridSolverAdapter(floorplan, package)
+
+
+# The "platform" and "cosynthesis" flow runners are registered by
+# repro.flow.runner at import time (they need FlowOutcome and the
+# workload builders defined there).

@@ -1,0 +1,477 @@
+"""The flow facade: ``Flow.run(spec) -> FlowResult``.
+
+One entry point executes any registered flow kind from a declarative
+:class:`~repro.flow.spec.FlowSpec` and returns one unified
+:class:`FlowResult` — replacing the three incompatible result shapes of
+the legacy entry points (``PlatformResult``, ``CoSynthesisResult``,
+``DVFSResult``) with a single object carrying the schedule, its
+evaluation, the floorplan, optional post-pass results, and provenance +
+stage-timing metadata.
+
+The built-in flow kinds reproduce the paper's two figures exactly:
+
+* ``"platform"`` — Figure 1b.  Fixed architecture and floorplan, ASP with
+  HotSpot inquiries.  Byte-identical to
+  :func:`repro.cosynth.framework.platform_flow` for equal inputs.
+* ``"cosynthesis"`` — Figure 1a.  Allocation screening, thermal/area
+  floorplanning, HotSpot-in-the-loop refinement.  Byte-identical to
+  :class:`repro.cosynth.framework.CoSynthesisFramework` for equal inputs.
+
+Workload construction (graph + technology library) is memoised per
+process, so sweeps over policies do not regenerate identical substrates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.metrics import ScheduleEvaluation, evaluate_schedule
+from ..core.conditional import ConditionalEvaluation, schedule_conditional
+from ..core.scheduler import ListScheduler
+from ..core.schedule import Schedule
+from ..cosynth.cost import (
+    performance_final_cost,
+    performance_screening_cost,
+    power_final_cost,
+    screening_cost,
+    thermal_final_cost,
+)
+from ..cosynth.framework import CoSynthesisConfig, CoSynthesisFramework
+from ..errors import FlowError, FlowSpecError, TaskGraphError
+from ..extensions.dvfs import DEFAULT_LEVELS, DVFSLevel, DVFSResult, reclaim_slack
+from ..floorplan.geometry import Floorplan
+from ..library.bus import shared_bus_comm, zero_cost_comm
+from ..library.pe import Architecture
+from ..library.presets import (
+    default_platform,
+    generate_technology_library,
+    library_for_graph,
+    stable_library_seed,
+)
+from ..taskgraph.benchmarks import benchmark
+from ..taskgraph.conditional import ConditionalTaskGraph, conditional_benchmark
+from ..thermal.leakage import LeakageModel, LeakageSolution, solve_with_leakage
+from ..thermal.package import default_package
+from .registry import FLOORPLANNERS, FLOWS, THERMAL_SOLVERS, build_policy
+from .spec import ArchitectureSpec, FloorplanSpec, FlowSpec, spec_hash
+
+__all__ = ["Flow", "FlowResult", "run_flow"]
+
+
+# ----------------------------------------------------------------------
+# workload construction (memoised per process)
+# ----------------------------------------------------------------------
+_WORKLOAD_CACHE: Dict[Tuple, Tuple[Any, Any]] = {}
+
+
+def _build_workload(spec: FlowSpec) -> Tuple[Any, Any]:
+    """(graph-or-CTG, library) for *spec*, shared across runs in-process."""
+    key = (
+        spec.graph.kind,
+        spec.graph.name,
+        spec.library.seed,
+        spec.conditional.guard_probabilities,
+    )
+    if key in _WORKLOAD_CACHE:
+        return _WORKLOAD_CACHE[key]
+    if spec.graph.kind == "benchmark":
+        graph = benchmark(spec.graph.name)
+        library = library_for_graph(graph, seed=spec.library.seed)
+    else:  # "conditional" (validated by GraphSourceSpec)
+        graph = conditional_benchmark(spec.graph.name)
+        if spec.conditional.guard_probabilities:
+            graph = _override_guards(graph, spec.conditional.guard_probabilities)
+        task_types = sorted({task.task_type for task in graph.tasks()})
+        seed = spec.library.seed
+        if seed is None:
+            seed = stable_library_seed(graph.name)
+        library = generate_technology_library(
+            task_types, seed=seed, name=f"library-{graph.name}"
+        )
+    _WORKLOAD_CACHE[key] = (graph, library)
+    return graph, library
+
+
+def _override_guards(
+    ctg: ConditionalTaskGraph,
+    triples: Tuple[Tuple[str, str, float], ...],
+) -> ConditionalTaskGraph:
+    """Rebuild *ctg* with guard distributions replaced by *triples*.
+
+    An override re-declares a guard's *entire* outcome distribution: a
+    partial override (missing outcomes, unknown outcomes, probabilities
+    not summing to 1) raises :class:`FlowSpecError` — silently merging
+    with the built-in distribution would produce one that sums past 1.
+    """
+    overrides: Dict[str, Dict[str, float]] = {}
+    for guard, outcome, probability in triples:
+        overrides.setdefault(guard, {})[outcome] = probability
+    declared = ctg.guards()
+    unknown_guards = sorted(set(overrides) - set(declared))
+    if unknown_guards:
+        raise FlowSpecError(
+            f"guard overrides reference guards absent from "
+            f"{ctg.name!r}: {unknown_guards}"
+        )
+    for guard, replacement in overrides.items():
+        outcomes = set(declared[guard])
+        missing = sorted(outcomes - set(replacement))
+        extra = sorted(set(replacement) - outcomes)
+        if missing or extra:
+            raise FlowSpecError(
+                f"override for guard {guard!r} must re-specify exactly the "
+                f"outcomes {sorted(outcomes)}; missing {missing}, "
+                f"unknown {extra}"
+            )
+    rebuilt = ConditionalTaskGraph(ctg.name, ctg.deadline)
+    for task in ctg.tasks():
+        rebuilt.add_task(task)
+    for edge in ctg.edges():
+        rebuilt.add_edge(edge.src, edge.dst, edge.data, edge.condition)
+    for guard, probabilities in declared.items():
+        try:
+            rebuilt.declare_guard(guard, overrides.get(guard, probabilities))
+        except TaskGraphError as exc:
+            raise FlowSpecError(
+                f"bad probability override for guard {guard!r}: {exc}"
+            ) from exc
+    rebuilt.validate()
+    return rebuilt
+
+
+def _build_package(spec: FlowSpec):
+    package = default_package()
+    if spec.thermal.ambient_c is not None:
+        package = replace(package, ambient_c=spec.thermal.ambient_c)
+    return package
+
+
+def _build_comm(spec: FlowSpec):
+    if spec.comm.kind == "zero":
+        return zero_cost_comm()
+    return shared_bus_comm(
+        bandwidth=spec.comm.bandwidth, latency=spec.comm.latency
+    )
+
+
+_FINAL_COSTS = {
+    "power": power_final_cost,
+    "thermal": thermal_final_cost,
+    "performance": performance_final_cost,
+}
+_SCREENING_COSTS = {
+    "default": screening_cost,
+    "performance": performance_screening_cost,
+}
+
+
+# ----------------------------------------------------------------------
+# the unified result object
+# ----------------------------------------------------------------------
+@dataclass
+class FlowResult:
+    """Everything one flow execution produced, in one place.
+
+    ``schedule``/``evaluation`` always describe the final design (the
+    worst-case scenario for conditional flows, the retimed schedule when
+    the DVFS post-pass ran).  ``diagnostics`` carries flow-kind-specific
+    counters (HotSpot queries, co-synthesis candidate counts, die area);
+    ``provenance`` identifies the run (spec hash, library version, cache
+    status); ``timings`` maps stage name → seconds.
+    """
+
+    spec: FlowSpec
+    architecture: Architecture
+    floorplan: Floorplan
+    schedule: Schedule
+    evaluation: ScheduleEvaluation
+    conditional: Optional[ConditionalEvaluation] = None
+    dvfs: Optional[DVFSResult] = None
+    leakage: Optional[LeakageSolution] = None
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the final design met its deadline (all scenarios for
+        conditional flows)."""
+        if self.conditional is not None:
+            return self.conditional.meets_deadline
+        return self.evaluation.meets_deadline
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dict for tabular reports (paper column names + flow id)."""
+        row = dict(self.evaluation.as_row())
+        row["flow"] = self.spec.flow
+        row["spec_hash"] = self.provenance.get("spec_hash", "")
+        return row
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (spec + row + diagnostics + provenance)."""
+        payload: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "row": self.as_row(),
+            "diagnostics": dict(self.diagnostics),
+            "provenance": dict(self.provenance),
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+        }
+        if self.conditional is not None:
+            payload["conditional"] = self.conditional.as_row()
+        if self.dvfs is not None:
+            payload["dvfs"] = {
+                "energy_before": self.dvfs.energy_before,
+                "energy_after": self.dvfs.energy_after,
+                "energy_saving_fraction": self.dvfs.energy_saving_fraction,
+                "makespan_before": self.dvfs.makespan_before,
+                "makespan_after": self.dvfs.makespan_after,
+                "lowered_tasks": self.dvfs.lowered_tasks,
+            }
+        if self.leakage is not None:
+            payload["leakage"] = {
+                "total_leakage": self.leakage.total_leakage,
+                "iterations": self.leakage.iterations,
+                "converged": self.leakage.converged,
+            }
+        return payload
+
+
+@dataclass
+class _FlowOutcome:
+    """What a flow-kind runner hands back to the facade."""
+
+    architecture: Architecture
+    floorplan: Floorplan
+    schedule: Schedule
+    evaluation: ScheduleEvaluation
+    thermal_model: Any
+    conditional: Optional[ConditionalEvaluation] = None
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# built-in flow kinds
+# ----------------------------------------------------------------------
+def _platform_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
+    """Figure 1b: fixed architecture + floorplan, ASP with HotSpot."""
+    architecture = default_platform(
+        count=spec.architecture.count, name=spec.architecture.name
+    )
+    floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
+    floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(architecture, floorplan_spec)
+    package = _build_package(spec)
+    thermal = THERMAL_SOLVERS.get(spec.thermal.solver)(floorplan, package, spec.thermal)
+    policy = build_policy(spec.policy)
+
+    if spec.conditional.enabled:
+        conditional = schedule_conditional(
+            graph, architecture, library, policy, hotspot=thermal,
+            comm=_build_comm(spec),
+        )
+        worst = next(
+            r
+            for r in conditional.results
+            if r.scenario.label == conditional.worst_scenario
+        )
+        return _FlowOutcome(
+            architecture=architecture,
+            floorplan=floorplan,
+            schedule=worst.schedule,
+            evaluation=worst.evaluation,
+            thermal_model=thermal,
+            conditional=conditional,
+            diagnostics={
+                "scenarios": len(conditional.results),
+                "hotspot_queries": getattr(thermal, "query_count", 0),
+            },
+        )
+
+    scheduler = ListScheduler(
+        graph, architecture, library, thermal=thermal, comm=_build_comm(spec)
+    )
+    schedule = scheduler.run(policy)
+    evaluation = evaluate_schedule(schedule, hotspot=thermal)
+    return _FlowOutcome(
+        architecture=architecture,
+        floorplan=floorplan,
+        schedule=schedule,
+        evaluation=evaluation,
+        thermal_model=thermal,
+        diagnostics={"hotspot_queries": getattr(thermal, "query_count", 0)},
+    )
+
+
+def _cosynthesis_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
+    """Figure 1a: allocation search + floorplan + HotSpot refinement."""
+    if spec.conditional.enabled:
+        raise FlowError("the cosynthesis flow does not schedule conditional graphs")
+    if spec.comm.kind != "zero":
+        raise FlowError(
+            "the cosynthesis flow uses the paper's free communication model; "
+            "use comm kind 'zero'"
+        )
+    # reject rather than silently ignore settings this flow cannot honour:
+    # a spec must describe the computation that actually ran
+    if spec.thermal.solver != "hotspot":
+        raise FlowError(
+            "the cosynthesis flow queries HotSpot inside its search loop; "
+            f"thermal solver {spec.thermal.solver!r} is not supported here"
+        )
+    if spec.architecture != ArchitectureSpec():
+        raise FlowError(
+            "the cosynthesis flow searches the architecture itself; "
+            "leave spec.architecture at its default"
+        )
+    floorplan_spec = spec.floorplan or FloorplanSpec(kind="genetic")
+    if floorplan_spec.kind != "genetic":
+        raise FlowError(
+            "the cosynthesis flow floorplans every candidate with its "
+            "thermal/area GA; floorplan kind must be 'genetic', got "
+            f"{floorplan_spec.kind!r}"
+        )
+    config = CoSynthesisConfig(
+        max_pes=spec.cosynth.max_pes,
+        min_pes=spec.cosynth.min_pes,
+        screening_keep=spec.cosynth.screening_keep,
+        refine_iterations=spec.cosynth.refine_iterations,
+        thermal_floorplanning=spec.cosynth.thermal_floorplanning,
+        floorplan_seed=floorplan_spec.seed,
+        genetic_config=floorplan_spec.genetic_config(),
+    )
+    package = _build_package(spec)
+    framework = CoSynthesisFramework(package=package, config=config)
+    policy = build_policy(spec.policy)
+    final_cost = (
+        _FINAL_COSTS[spec.cosynth.final_cost]() if spec.cosynth.final_cost else None
+    )
+    screening = (
+        _SCREENING_COSTS[spec.cosynth.screening]() if spec.cosynth.screening else None
+    )
+    result = framework.run(
+        graph, library, policy, final_cost=final_cost, screening=screening
+    )
+    return _FlowOutcome(
+        architecture=result.architecture,
+        floorplan=result.floorplan,
+        schedule=result.schedule,
+        evaluation=result.evaluation,
+        thermal_model=None,
+        diagnostics={
+            "candidates_screened": result.candidates_screened,
+            "candidates_evaluated": result.candidates_evaluated,
+            "hotspot_queries": result.hotspot_queries,
+            "screening_rows": list(result.screening_rows),
+        },
+    )
+
+
+FLOWS.register("platform", _platform_runner)
+FLOWS.register("cosynthesis", _cosynthesis_runner)
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+class Flow:
+    """Facade executing declarative :class:`FlowSpec` configurations.
+
+    Stateless apart from the process-wide workload memo; one instance can
+    run any number of specs (and is what :func:`~repro.flow.batch.run_many`
+    workers use).
+    """
+
+    def run(self, spec: FlowSpec) -> FlowResult:
+        """Execute *spec* and return the unified :class:`FlowResult`."""
+        if not isinstance(spec, FlowSpec):
+            raise FlowError(
+                f"Flow.run expects a FlowSpec, got {type(spec).__name__} "
+                f"(build one with FlowSpec/platform_spec/cosynthesis_spec)"
+            )
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+
+        tick = time.perf_counter()
+        graph, library = _build_workload(spec)
+        timings["build"] = time.perf_counter() - tick
+
+        tick = time.perf_counter()
+        runner = FLOWS.get(spec.flow)
+        outcome = runner(spec, graph, library)
+        timings["run"] = time.perf_counter() - tick
+
+        dvfs_result: Optional[DVFSResult] = None
+        schedule = outcome.schedule
+        evaluation = outcome.evaluation
+        if spec.dvfs.enabled:
+            tick = time.perf_counter()
+            if outcome.conditional is not None:
+                raise FlowError(
+                    "the DVFS post-pass needs a single schedule; conditional "
+                    "flows aggregate many"
+                )
+            levels: Tuple[DVFSLevel, ...] = DEFAULT_LEVELS
+            if spec.dvfs.levels:
+                levels = tuple(
+                    DVFSLevel(l.name, l.frequency, l.voltage) for l in spec.dvfs.levels
+                )
+            dvfs_result = reclaim_slack(schedule, levels=levels)
+            schedule = dvfs_result.schedule
+            thermal = outcome.thermal_model
+            if thermal is not None:
+                evaluation = evaluate_schedule(schedule, hotspot=thermal)
+            else:
+                evaluation = evaluate_schedule(
+                    schedule,
+                    floorplan=outcome.floorplan,
+                    package=_build_package(spec),
+                )
+            timings["dvfs"] = time.perf_counter() - tick
+
+        leakage_result: Optional[LeakageSolution] = None
+        if spec.leakage.enabled:
+            tick = time.perf_counter()
+            model = LeakageModel(
+                leakage_fraction=spec.leakage.leakage_fraction,
+                beta=spec.leakage.beta,
+                t_ref_c=spec.leakage.t_ref_c,
+            )
+            thermal = outcome.thermal_model
+            if thermal is None or not hasattr(thermal, "block_names"):
+                from ..thermal.hotspot import HotSpotModel
+
+                thermal = HotSpotModel(outcome.floorplan, _build_package(spec))
+            leakage_result = solve_with_leakage(
+                thermal, evaluation.pe_powers, leakage=model
+            )
+            timings["leakage"] = time.perf_counter() - tick
+
+        import repro as _repro  # late: the package root imports this module
+
+        provenance = {
+            "spec_hash": spec_hash(spec),
+            "flow": spec.flow,
+            "policy": spec.policy.name,
+            "repro_version": getattr(_repro, "__version__", "unknown"),
+            "cache_hit": False,
+            "elapsed_s": round(time.perf_counter() - started, 6),
+        }
+        return FlowResult(
+            spec=spec,
+            architecture=outcome.architecture,
+            floorplan=outcome.floorplan,
+            schedule=schedule,
+            evaluation=evaluation,
+            conditional=outcome.conditional,
+            dvfs=dvfs_result,
+            leakage=leakage_result,
+            diagnostics=dict(outcome.diagnostics),
+            provenance=provenance,
+            timings=timings,
+        )
+
+
+def run_flow(spec: FlowSpec) -> FlowResult:
+    """Run one spec through a fresh :class:`Flow` facade."""
+    return Flow().run(spec)

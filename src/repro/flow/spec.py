@@ -1,0 +1,515 @@
+"""Declarative flow specifications — the serializable front door.
+
+A :class:`FlowSpec` is a frozen dataclass tree describing one complete
+run of the reproduction's substrate: which graph, which technology
+library, which DC policy, which architecture/floorplanner/thermal solver,
+which communication model, and which optional post-passes (DVFS slack
+reclamation, leakage fixed-point, conditional-scenario aggregation).
+
+Specs are *data*: two equal specs describe the same computation, every
+spec round-trips losslessly through ``dict`` and JSON, and
+:func:`spec_hash` gives a stable content address used by the
+:func:`~repro.flow.batch.run_many` result cache.
+
+Quick construction helpers mirror the two paper flows::
+
+    spec = platform_spec("Bm1", policy="thermal")
+    spec = cosynthesis_spec("Bm2", policy="heuristic3")
+
+Serialization is **strict**: unknown keys raise
+:class:`~repro.errors.FlowSpecError` (a silently ignored typo in a sweep
+config would quietly run the wrong experiment), and ``from_dict(to_dict)``
+is the identity for every valid spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import FlowSpecError
+
+__all__ = [
+    "GraphSourceSpec",
+    "LibrarySpec",
+    "PolicySpec",
+    "ArchitectureSpec",
+    "FloorplanSpec",
+    "ThermalSpec",
+    "CommSpec",
+    "CoSynthSpec",
+    "DVFSLevelSpec",
+    "DVFSSpec",
+    "LeakageSpec",
+    "ConditionalSpec",
+    "FlowSpec",
+    "platform_spec",
+    "cosynthesis_spec",
+    "spec_hash",
+]
+
+
+# ----------------------------------------------------------------------
+# serialization plumbing
+# ----------------------------------------------------------------------
+def _require_mapping(cls: type, data: Any) -> Dict[str, Any]:
+    """Validate *data* is a mapping with only known keys for *cls*."""
+    if not isinstance(data, Mapping):
+        raise FlowSpecError(
+            f"{cls.__name__} expects a mapping, got {type(data).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise FlowSpecError(
+            f"unknown {cls.__name__} keys {unknown}; known: {sorted(known)}"
+        )
+    return dict(data)
+
+
+def _scalar_fields_to_dict(spec: Any) -> Dict[str, Any]:
+    """``asdict`` for flat (scalar-field-only) spec dataclasses."""
+    return {f.name: getattr(spec, f.name) for f in fields(spec)}
+
+
+class _FlatSpec:
+    """Shared to/from-dict for spec nodes whose fields are all scalars."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return _scalar_fields_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "_FlatSpec":
+        """Rebuild from :meth:`to_dict` output; strict on unknown keys."""
+        return cls(**_require_mapping(cls, data))
+
+
+# ----------------------------------------------------------------------
+# spec nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphSourceSpec(_FlatSpec):
+    """Where the workload graph comes from.
+
+    ``kind="benchmark"`` names one of the paper's Bm1–Bm4 graphs;
+    ``kind="conditional"`` names a built-in conditional task graph (the
+    video-pipeline CTG used by the conditional-scheduling extension).
+    """
+
+    kind: str = "benchmark"
+    name: str = "Bm1"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("benchmark", "conditional"):
+            raise FlowSpecError(
+                f"graph source kind must be 'benchmark' or 'conditional', "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LibrarySpec(_FlatSpec):
+    """Technology-library generation knobs.
+
+    ``seed=None`` keeps the stable per-graph default (each benchmark gets
+    its own reproducible library, as in the seed reproduction).
+    """
+
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PolicySpec(_FlatSpec):
+    """The DC policy by registry name (see ``repro.POLICY_NAMES``).
+
+    ``weight=None`` keeps the policy's calibrated default weight;
+    ``peak_fraction`` applies to the ``thermal-hybrid`` variant only.
+    """
+
+    name: str = "thermal"
+    weight: Optional[float] = None
+    peak_fraction: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec(_FlatSpec):
+    """The fixed platform architecture (Figure 1b flows).
+
+    ``count`` identical :data:`~repro.library.presets.PLATFORM_PE` cores,
+    exactly like :func:`~repro.library.presets.default_platform`.
+    """
+
+    count: int = 4
+    name: str = "platform"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise FlowSpecError(f"architecture count must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class FloorplanSpec(_FlatSpec):
+    """Which registered floorplanner lays out the die, and its budget.
+
+    The GA fields mirror :class:`~repro.floorplan.genetic.GeneticConfig`
+    one-for-one; they apply to the genetic floorplanner (and to the
+    per-candidate floorplans of the co-synthesis flow), the other kinds
+    ignore them.
+    """
+
+    kind: str = "platform"
+    seed: int = 2005
+    population_size: int = 16
+    generations: int = 20
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.35
+    elite_count: int = 2
+    init_shuffle_moves: int = 4
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise FlowSpecError("floorplan population_size must be >= 2")
+        if self.generations < 1:
+            raise FlowSpecError("floorplan generations must be >= 1")
+
+    def genetic_config(self):
+        """The equivalent :class:`GeneticConfig` (validates the fields)."""
+        from ..floorplan.genetic import GeneticConfig
+
+        return GeneticConfig(
+            population_size=self.population_size,
+            generations=self.generations,
+            tournament_size=self.tournament_size,
+            crossover_rate=self.crossover_rate,
+            mutation_rate=self.mutation_rate,
+            elite_count=self.elite_count,
+            init_shuffle_moves=self.init_shuffle_moves,
+        )
+
+
+@dataclass(frozen=True)
+class ThermalSpec(_FlatSpec):
+    """Which registered thermal solver scores the floorplan.
+
+    ``ambient_c=None`` keeps the calibrated package ambient.
+    """
+
+    solver: str = "hotspot"
+    ambient_c: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CommSpec(_FlatSpec):
+    """Communication-cost model: the paper's free model or a shared bus."""
+
+    kind: str = "zero"
+    bandwidth: float = 4.0
+    latency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("zero", "shared-bus"):
+            raise FlowSpecError(
+                f"comm kind must be 'zero' or 'shared-bus', got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CoSynthSpec(_FlatSpec):
+    """Co-synthesis search knobs (Figure 1a flows).
+
+    ``final_cost`` / ``screening`` name cost functions ("power",
+    "thermal", "performance" / "default", "performance"); ``None`` keeps
+    the framework's policy-driven defaults.
+    """
+
+    max_pes: int = 4
+    min_pes: int = 1
+    screening_keep: int = 6
+    refine_iterations: int = 2
+    thermal_floorplanning: bool = True
+    final_cost: Optional[str] = None
+    screening: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.final_cost not in (None, "power", "thermal", "performance"):
+            raise FlowSpecError(
+                f"final_cost must be power/thermal/performance, got "
+                f"{self.final_cost!r}"
+            )
+        if self.screening not in (None, "default", "performance"):
+            raise FlowSpecError(
+                f"screening must be default/performance, got {self.screening!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DVFSLevelSpec(_FlatSpec):
+    """One DVFS operating point (fractions of the nominal V/F)."""
+
+    name: str
+    frequency: float
+    voltage: float
+
+
+@dataclass(frozen=True)
+class DVFSSpec:
+    """DVFS slack-reclamation post-pass.
+
+    An empty ``levels`` tuple means the calibrated
+    :data:`~repro.extensions.dvfs.DEFAULT_LEVELS` ladder.
+    """
+
+    enabled: bool = False
+    levels: Tuple[DVFSLevelSpec, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "enabled": self.enabled,
+            "levels": [level.to_dict() for level in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DVFSSpec":
+        """Rebuild from :meth:`to_dict` output; strict on unknown keys."""
+        payload = _require_mapping(cls, data)
+        levels = payload.pop("levels", ())
+        if not isinstance(levels, (list, tuple)):
+            raise FlowSpecError("dvfs levels must be a list")
+        return cls(
+            levels=tuple(DVFSLevelSpec.from_dict(level) for level in levels),
+            **payload,
+        )
+
+
+@dataclass(frozen=True)
+class LeakageSpec(_FlatSpec):
+    """Leakage-thermal fixed-point post-pass (exponential leakage fit)."""
+
+    enabled: bool = False
+    leakage_fraction: float = 0.15
+    beta: float = 0.02
+    t_ref_c: float = 65.0
+
+
+@dataclass(frozen=True)
+class ConditionalSpec:
+    """Conditional-scenario aggregation for conditional graph sources.
+
+    ``guard_probabilities`` optionally re-declares guard outcome
+    probabilities as ``(guard, outcome, probability)`` triples.  An
+    override replaces a guard's *entire* distribution — every declared
+    outcome must appear and the probabilities must sum to 1 (partial
+    overrides raise :class:`~repro.errors.FlowSpecError`).
+    """
+
+    enabled: bool = False
+    guard_probabilities: Tuple[Tuple[str, str, float], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return {
+            "enabled": self.enabled,
+            "guard_probabilities": [list(entry) for entry in self.guard_probabilities],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConditionalSpec":
+        """Rebuild from :meth:`to_dict` output; strict on unknown keys."""
+        payload = _require_mapping(cls, data)
+        triples = payload.pop("guard_probabilities", ())
+        if not isinstance(triples, (list, tuple)):
+            raise FlowSpecError("guard_probabilities must be a list of triples")
+        converted = []
+        for entry in triples:
+            if len(entry) != 3:
+                raise FlowSpecError(
+                    f"guard probability entries are (guard, outcome, p) "
+                    f"triples, got {entry!r}"
+                )
+            guard, outcome, probability = entry
+            converted.append((str(guard), str(outcome), float(probability)))
+        return cls(guard_probabilities=tuple(converted), **payload)
+
+
+#: FlowSpec field name -> nested spec class (serialization table).
+_NESTED = {
+    "graph": GraphSourceSpec,
+    "library": LibrarySpec,
+    "policy": PolicySpec,
+    "architecture": ArchitectureSpec,
+    "floorplan": FloorplanSpec,
+    "thermal": ThermalSpec,
+    "comm": CommSpec,
+    "cosynth": CoSynthSpec,
+    "dvfs": DVFSSpec,
+    "leakage": LeakageSpec,
+    "conditional": ConditionalSpec,
+}
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One declarative, serializable flow configuration.
+
+    ``flow`` names a registered flow kind (``"platform"`` or
+    ``"cosynthesis"`` built in; see :func:`~repro.flow.register_flow`).
+    ``floorplan=None`` resolves to the flow kind's canonical layout: the
+    fixed grid for platform flows, the thermal/area GA for co-synthesis.
+    """
+
+    flow: str = "platform"
+    graph: GraphSourceSpec = field(default_factory=GraphSourceSpec)
+    library: LibrarySpec = field(default_factory=LibrarySpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    architecture: ArchitectureSpec = field(default_factory=ArchitectureSpec)
+    floorplan: Optional[FloorplanSpec] = None
+    thermal: ThermalSpec = field(default_factory=ThermalSpec)
+    comm: CommSpec = field(default_factory=CommSpec)
+    cosynth: CoSynthSpec = field(default_factory=CoSynthSpec)
+    dvfs: DVFSSpec = field(default_factory=DVFSSpec)
+    leakage: LeakageSpec = field(default_factory=LeakageSpec)
+    conditional: ConditionalSpec = field(default_factory=ConditionalSpec)
+
+    def __post_init__(self) -> None:
+        if not self.flow or not isinstance(self.flow, str):
+            raise FlowSpecError(f"flow kind must be a non-empty string, got {self.flow!r}")
+        if self.conditional.enabled and self.graph.kind != "conditional":
+            raise FlowSpecError(
+                "conditional aggregation needs graph.kind == 'conditional' "
+                f"(got {self.graph.kind!r})"
+            )
+        if self.graph.kind == "conditional" and not self.conditional.enabled:
+            raise FlowSpecError(
+                "conditional graph sources need conditional.enabled = True"
+            )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form; ``from_dict`` restores it exactly."""
+        payload: Dict[str, Any] = {"flow": self.flow}
+        for name, _ in _NESTED.items():
+            value = getattr(self, name)
+            payload[name] = None if value is None else value.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowSpec":
+        """Rebuild a spec from :meth:`to_dict` output (strict)."""
+        payload = _require_mapping(cls, data)
+        kwargs: Dict[str, Any] = {}
+        if "flow" in payload:
+            kwargs["flow"] = payload.pop("flow")
+        for name, value in payload.items():
+            spec_cls = _NESTED[name]
+            if value is None:
+                if name != "floorplan":
+                    raise FlowSpecError(f"FlowSpec field {name!r} may not be null")
+                kwargs[name] = None
+            else:
+                kwargs[name] = spec_cls.from_dict(value)
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON (sorted keys, so equal specs hash identically)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowSpec":
+        """Parse :meth:`to_json` output back into an equal spec."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FlowSpecError(f"invalid FlowSpec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- convenience ---------------------------------------------------
+    def with_(self, **changes: Any) -> "FlowSpec":
+        """A copy with top-level fields replaced (specs are immutable)."""
+        return replace(self, **changes)
+
+
+def spec_hash(spec: FlowSpec) -> str:
+    """Stable content address of a spec (prefix of SHA-256 of its JSON)."""
+    digest = hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+    return digest[:20]
+
+
+# ----------------------------------------------------------------------
+# quick constructors for the two paper flows
+# ----------------------------------------------------------------------
+def platform_spec(
+    benchmark: str = "Bm1",
+    policy: str = "thermal",
+    weight: Optional[float] = None,
+    count: int = 4,
+    **overrides: Any,
+) -> FlowSpec:
+    """A platform-based design flow spec (paper Figure 1b).
+
+    Extra keyword arguments replace top-level :class:`FlowSpec` fields
+    (e.g. ``dvfs=DVFSSpec(enabled=True)``).
+    """
+    return FlowSpec(
+        flow="platform",
+        graph=GraphSourceSpec(kind="benchmark", name=benchmark),
+        policy=PolicySpec(name=policy, weight=weight),
+        architecture=ArchitectureSpec(count=count),
+        **overrides,
+    )
+
+
+def cosynthesis_spec(
+    benchmark: str = "Bm1",
+    policy: str = "thermal",
+    weight: Optional[float] = None,
+    config: Optional[object] = None,
+    final_cost: Optional[str] = None,
+    screening: Optional[str] = None,
+    **overrides: Any,
+) -> FlowSpec:
+    """A thermal/power-aware co-synthesis flow spec (paper Figure 1a).
+
+    *config* accepts a legacy
+    :class:`~repro.cosynth.framework.CoSynthesisConfig` and translates it
+    into the equivalent declarative fields, so experiment drivers migrate
+    without changing their own signatures.
+    """
+    cosynth = CoSynthSpec(final_cost=final_cost, screening=screening)
+    floorplan = None
+    if config is not None:
+        cosynth = CoSynthSpec(
+            max_pes=config.max_pes,
+            min_pes=config.min_pes,
+            screening_keep=config.screening_keep,
+            refine_iterations=config.refine_iterations,
+            thermal_floorplanning=config.thermal_floorplanning,
+            final_cost=final_cost,
+            screening=screening,
+        )
+        genetic = config.genetic_config
+        floorplan = FloorplanSpec(
+            kind="genetic",
+            seed=config.floorplan_seed,
+            population_size=genetic.population_size,
+            generations=genetic.generations,
+            tournament_size=genetic.tournament_size,
+            crossover_rate=genetic.crossover_rate,
+            mutation_rate=genetic.mutation_rate,
+            elite_count=genetic.elite_count,
+            init_shuffle_moves=genetic.init_shuffle_moves,
+        )
+    # an explicit floorplan override beats the config translation
+    floorplan = overrides.pop("floorplan", floorplan)
+    return FlowSpec(
+        flow="cosynthesis",
+        graph=GraphSourceSpec(kind="benchmark", name=benchmark),
+        policy=PolicySpec(name=policy, weight=weight),
+        cosynth=cosynth,
+        floorplan=floorplan,
+        **overrides,
+    )

@@ -34,6 +34,7 @@ __all__ = [
     "default_platform",
     "generate_technology_library",
     "library_for_graph",
+    "stable_library_seed",
 ]
 
 #: The identical PE used by the paper's platform-based architecture
@@ -154,6 +155,15 @@ def generate_technology_library(
     return library
 
 
+def stable_library_seed(name: str) -> int:
+    """The default library seed for a graph called *name*.
+
+    Stable across processes (unlike ``hash()``) and distinct per benchmark,
+    so every workload gets its own — but reproducible — library.
+    """
+    return (sum((i + 1) * ord(c) for i, c in enumerate(name)) * 2654435761) % 2**32
+
+
 def library_for_graph(
     graph: TaskGraph,
     catalogue: Optional[Sequence[PEType]] = None,
@@ -161,15 +171,12 @@ def library_for_graph(
 ) -> TechnologyLibrary:
     """Build a library covering exactly the task types appearing in *graph*.
 
-    The seed defaults to a stable hash of the graph name, so each benchmark
-    gets its own — but reproducible — library, mirroring how TGFF emits a
-    fresh table per generated graph.
+    The seed defaults to :func:`stable_library_seed` of the graph name,
+    mirroring how TGFF emits a fresh table per generated graph.
     """
     task_types = sorted({task.task_type for task in graph})
     if seed is None:
-        # stable across processes (unlike hash()) and distinct per benchmark
-        seed = sum((i + 1) * ord(c) for i, c in enumerate(graph.name)) * 2654435761
-        seed %= 2**32
+        seed = stable_library_seed(graph.name)
     return generate_technology_library(
         task_types,
         catalogue=catalogue,

@@ -25,7 +25,14 @@ from .io import (
     save_graph,
 )
 from .analysis import GraphStats, graph_stats, parallelism_profile, type_histogram
-from .conditional import Condition, ConditionalEdge, ConditionalTaskGraph, Scenario
+from .conditional import (
+    CONDITIONAL_BENCHMARK_NAMES,
+    Condition,
+    ConditionalEdge,
+    ConditionalTaskGraph,
+    Scenario,
+    conditional_benchmark,
+)
 from .transforms import (
     collapse_linear_chains,
     merge_graphs,
@@ -62,4 +69,6 @@ __all__ = [
     "ConditionalEdge",
     "ConditionalTaskGraph",
     "Scenario",
+    "CONDITIONAL_BENCHMARK_NAMES",
+    "conditional_benchmark",
 ]

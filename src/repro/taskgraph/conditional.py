@@ -32,7 +32,14 @@ from ..errors import TaskGraphError
 from .graph import TaskGraph
 from .task import Task
 
-__all__ = ["Condition", "ConditionalEdge", "ConditionalTaskGraph", "Scenario"]
+__all__ = [
+    "Condition",
+    "ConditionalEdge",
+    "ConditionalTaskGraph",
+    "Scenario",
+    "CONDITIONAL_BENCHMARK_NAMES",
+    "conditional_benchmark",
+]
 
 
 @dataclass(frozen=True)
@@ -288,3 +295,58 @@ class ConditionalTaskGraph:
             graph.add_edge(edge.src, edge.dst, edge.data)
         graph.validate()
         return graph
+
+
+# ----------------------------------------------------------------------
+# built-in conditional benchmarks (addressable by the flow API)
+# ----------------------------------------------------------------------
+def _video_frame() -> ConditionalTaskGraph:
+    """One frame of a simplified video encoder with a scene-change branch."""
+    ctg = ConditionalTaskGraph("video-frame", deadline=900.0)
+    ctg.add("capture", "io")
+    ctg.add("preproc", "filter")
+    ctg.add("scene_detect", "detect")
+    ctg.add("intra_code", "encode", weight=2.0)   # scene change: full frame
+    ctg.add("motion_est", "search", weight=1.2)   # no change: motion search
+    ctg.add("inter_code", "encode", weight=0.8)
+    ctg.add("entropy", "pack")
+    ctg.add("writeback", "io")
+
+    ctg.add_edge("capture", "preproc", data=16.0)
+    ctg.add_edge("preproc", "scene_detect", data=8.0)
+    ctg.add_edge("scene_detect", "intra_code", data=16.0,
+                 condition=Condition("scene", "change"))
+    ctg.add_edge("scene_detect", "motion_est", data=16.0,
+                 condition=Condition("scene", "same"))
+    ctg.add_edge("motion_est", "inter_code", data=8.0)
+    ctg.add_edge("intra_code", "entropy", data=8.0)
+    ctg.add_edge("inter_code", "entropy", data=8.0)
+    ctg.add_edge("entropy", "writeback", data=4.0)
+    ctg.declare_guard("scene", {"change": 0.1, "same": 0.9})
+    ctg.validate()
+    return ctg
+
+
+#: name -> builder for the built-in conditional benchmarks.
+_CONDITIONAL_BENCHMARKS = {
+    "video-frame": _video_frame,
+}
+
+#: Names accepted by :func:`conditional_benchmark`.
+CONDITIONAL_BENCHMARK_NAMES: Tuple[str, ...] = tuple(_CONDITIONAL_BENCHMARKS)
+
+
+def conditional_benchmark(name: str = "video-frame") -> ConditionalTaskGraph:
+    """Build a built-in conditional benchmark by name.
+
+    Freshly constructed (CTGs are mutable) but bit-for-bit identical
+    across calls, like :func:`repro.taskgraph.benchmarks.benchmark`.
+    """
+    try:
+        builder = _CONDITIONAL_BENCHMARKS[name]
+    except KeyError:
+        raise TaskGraphError(
+            f"unknown conditional benchmark {name!r}; "
+            f"available: {CONDITIONAL_BENCHMARK_NAMES}"
+        )
+    return builder()

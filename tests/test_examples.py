@@ -22,6 +22,7 @@ EXAMPLES = [
     ("hotspot_map.py", "thermally even"),
     ("transient_profile.py", "transient peak"),
     ("pareto_explorer.py", "Pareto"),
+    ("flow_sweep.py", "cache hits"),
     ("leakage_reliability.py", "electromigration"),
     ("conditional_graph.py", "scenario"),
 ]

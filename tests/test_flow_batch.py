@@ -1,0 +1,92 @@
+"""run_many: ordering, dedup, the on-disk cache, and worker pools."""
+
+import pytest
+
+import repro.core.scheduler as scheduler_module
+from repro.errors import FlowError
+from repro.flow import clear_cache, platform_spec, run_many, spec_hash
+
+
+def sweep_specs():
+    return [
+        platform_spec(bench, policy=policy)
+        for bench in ("Bm1", "Bm2")
+        for policy in ("heuristic3", "thermal")
+    ]
+
+
+class TestRunMany:
+    def test_results_in_input_order(self):
+        specs = sweep_specs()
+        results = run_many(specs)
+        assert [r.spec for r in results] == specs
+        assert [r.evaluation.benchmark for r in results] == [
+            "Bm1", "Bm1", "Bm2", "Bm2",
+        ]
+
+    def test_duplicate_specs_share_one_result(self):
+        spec = platform_spec("Bm1", policy="heuristic3")
+        results = run_many([spec, spec, spec])
+        assert results[0] is results[1] is results[2]
+
+    def test_rejects_non_spec_items(self):
+        with pytest.raises(FlowError):
+            run_many([platform_spec("Bm1"), "Bm2"])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(FlowError):
+            run_many([platform_spec("Bm1")], workers=0)
+
+    def test_pool_matches_serial(self):
+        specs = sweep_specs()[:2]
+        serial = run_many(specs)
+        pooled = run_many(specs, workers=2)
+        assert [r.evaluation for r in serial] == [r.evaluation for r in pooled]
+        assert all(r.provenance["worker"] == "pool" for r in pooled)
+
+
+class TestCache:
+    def test_cache_roundtrip_and_hit_flags(self, tmp_path):
+        specs = sweep_specs()[:2]
+        first = run_many(specs, cache_dir=tmp_path)
+        second = run_many(specs, cache_dir=tmp_path)
+        assert all(not r.provenance["cache_hit"] for r in first)
+        assert all(r.provenance["cache_hit"] for r in second)
+        assert [r.evaluation for r in first] == [r.evaluation for r in second]
+
+    def test_cache_hit_invokes_zero_scheduler_runs(self, tmp_path, monkeypatch):
+        """Satellite acceptance: a warm cache never re-enters the ASP."""
+        spec = platform_spec("Bm1", policy="thermal")
+        run_many([spec], cache_dir=tmp_path)
+
+        calls = {"n": 0}
+        original = scheduler_module.ListScheduler.run
+
+        def counting_run(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(scheduler_module.ListScheduler, "run", counting_run)
+        results = run_many([spec], cache_dir=tmp_path)
+        assert calls["n"] == 0
+        assert results[0].provenance["cache_hit"]
+        assert results[0].evaluation.benchmark == "Bm1"
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        spec = platform_spec("Bm1", policy="heuristic3")
+        run_many([spec], cache_dir=tmp_path)
+        [entry] = list(tmp_path.glob("*.flowresult.pkl"))
+        entry.write_bytes(b"not a pickle")
+        results = run_many([spec], cache_dir=tmp_path)
+        assert not results[0].provenance["cache_hit"]
+
+    def test_cache_keyed_by_spec_hash(self, tmp_path):
+        spec = platform_spec("Bm1", policy="heuristic3")
+        run_many([spec], cache_dir=tmp_path)
+        assert (tmp_path / f"{spec_hash(spec)}.flowresult.pkl").is_file()
+
+    def test_clear_cache(self, tmp_path):
+        specs = sweep_specs()[:2]
+        run_many(specs, cache_dir=tmp_path)
+        assert clear_cache(tmp_path) == 2
+        assert clear_cache(tmp_path) == 0

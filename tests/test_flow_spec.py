@@ -1,0 +1,205 @@
+"""FlowSpec serialization: dict/JSON round-trips, strictness, hashing."""
+
+import json
+
+import pytest
+
+from repro.cosynth.framework import CoSynthesisConfig
+from repro.errors import FlowSpecError
+from repro.flow import (
+    ConditionalSpec,
+    CoSynthSpec,
+    DVFSLevelSpec,
+    DVFSSpec,
+    FloorplanSpec,
+    FlowSpec,
+    GraphSourceSpec,
+    LeakageSpec,
+    LibrarySpec,
+    PolicySpec,
+    cosynthesis_spec,
+    platform_spec,
+    spec_hash,
+)
+from repro.floorplan.genetic import GeneticConfig
+
+
+def rich_spec() -> FlowSpec:
+    """A spec exercising every nested config, including post-passes."""
+    return FlowSpec(
+        flow="platform",
+        graph=GraphSourceSpec(kind="conditional", name="video-frame"),
+        library=LibrarySpec(seed=77),
+        policy=PolicySpec(name="thermal-hybrid", weight=12.5, peak_fraction=0.3),
+        floorplan=FloorplanSpec(kind="genetic", seed=11, population_size=8,
+                                generations=5),
+        dvfs=DVFSSpec(
+            enabled=False,
+            levels=(
+                DVFSLevelSpec("nominal", 1.0, 1.0),
+                DVFSLevelSpec("slow", 0.6, 0.72),
+            ),
+        ),
+        leakage=LeakageSpec(enabled=True, leakage_fraction=0.2, beta=0.03),
+        conditional=ConditionalSpec(
+            enabled=True,
+            guard_probabilities=(("scene", "change", 0.25), ("scene", "same", 0.75)),
+        ),
+    )
+
+
+SPECS = [
+    FlowSpec(),
+    platform_spec("Bm2", policy="heuristic1", weight=2.0),
+    platform_spec("Bm1", policy="thermal", dvfs=DVFSSpec(enabled=True)),
+    cosynthesis_spec("Bm3", policy="thermal", final_cost="thermal"),
+    cosynthesis_spec(
+        "Bm1",
+        policy="baseline",
+        config=CoSynthesisConfig(
+            max_pes=3,
+            screening_keep=2,
+            refine_iterations=1,
+            genetic_config=GeneticConfig(population_size=8, generations=4),
+        ),
+        final_cost="performance",
+        screening="performance",
+    ),
+    rich_spec(),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.flow + "/" + s.policy.name)
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self, spec):
+        assert FlowSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self, spec):
+        assert FlowSpec.from_json(spec.to_json()) == spec
+
+    def test_double_round_trip_stable(self, spec):
+        once = FlowSpec.from_json(spec.to_json())
+        assert once.to_json() == spec.to_json()
+
+    def test_hash_stable_across_round_trip(self, spec):
+        assert spec_hash(FlowSpec.from_json(spec.to_json())) == spec_hash(spec)
+
+    def test_json_is_plain_data(self, spec):
+        payload = json.loads(spec.to_json())
+        assert isinstance(payload, dict)
+        assert payload["flow"] == spec.flow
+
+
+class TestStrictness:
+    def test_unknown_top_level_key_rejected(self):
+        data = FlowSpec().to_dict()
+        data["turbo"] = True
+        with pytest.raises(FlowSpecError):
+            FlowSpec.from_dict(data)
+
+    def test_unknown_nested_key_rejected(self):
+        data = FlowSpec().to_dict()
+        data["policy"]["voltage"] = 3
+        with pytest.raises(FlowSpecError):
+            FlowSpec.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FlowSpecError):
+            FlowSpec.from_json("{not json")
+
+    def test_null_nested_section_rejected(self):
+        data = FlowSpec().to_dict()
+        data["policy"] = None
+        with pytest.raises(FlowSpecError):
+            FlowSpec.from_dict(data)
+
+    def test_missing_sections_get_defaults(self):
+        data = {"flow": "platform", "graph": {"kind": "benchmark", "name": "Bm2"}}
+        spec = FlowSpec.from_dict(data)
+        assert spec.graph.name == "Bm2"
+        assert spec.policy == PolicySpec()
+
+    def test_bad_graph_kind_rejected(self):
+        with pytest.raises(FlowSpecError):
+            GraphSourceSpec(kind="spreadsheet")
+
+    def test_conditional_needs_conditional_graph(self):
+        with pytest.raises(FlowSpecError):
+            FlowSpec(conditional=ConditionalSpec(enabled=True))
+
+    def test_conditional_graph_needs_enabled_flag(self):
+        with pytest.raises(FlowSpecError):
+            FlowSpec(graph=GraphSourceSpec(kind="conditional", name="video-frame"))
+
+    def test_bad_final_cost_rejected(self):
+        with pytest.raises(FlowSpecError):
+            CoSynthSpec(final_cost="cheapest")
+
+
+class TestHashing:
+    def test_equal_specs_equal_hashes(self):
+        assert spec_hash(platform_spec("Bm1")) == spec_hash(platform_spec("Bm1"))
+
+    def test_different_specs_different_hashes(self):
+        hashes = {spec_hash(spec) for spec in SPECS}
+        assert len(hashes) == len(SPECS)
+
+    def test_floorplan_none_serializes(self):
+        spec = platform_spec("Bm1")
+        assert spec.floorplan is None
+        assert FlowSpec.from_json(spec.to_json()).floorplan is None
+
+
+class TestConfigTranslation:
+    def test_legacy_cosynthesis_config_maps_onto_spec(self):
+        config = CoSynthesisConfig(
+            max_pes=3,
+            min_pes=2,
+            screening_keep=4,
+            refine_iterations=1,
+            thermal_floorplanning=False,
+            floorplan_seed=99,
+            genetic_config=GeneticConfig(population_size=10, generations=6),
+        )
+        spec = cosynthesis_spec("Bm2", policy="heuristic2", config=config)
+        assert spec.cosynth.max_pes == 3
+        assert spec.cosynth.min_pes == 2
+        assert spec.cosynth.screening_keep == 4
+        assert spec.cosynth.refine_iterations == 1
+        assert spec.cosynth.thermal_floorplanning is False
+        assert spec.floorplan.seed == 99
+        assert spec.floorplan.population_size == 10
+        assert spec.floorplan.generations == 6
+
+    def test_every_genetic_config_field_translates(self):
+        """No GA knob may be silently dropped by the config translation."""
+        genetic = GeneticConfig(
+            population_size=8,
+            generations=4,
+            tournament_size=4,
+            crossover_rate=0.7,
+            mutation_rate=0.9,
+            elite_count=3,
+            init_shuffle_moves=7,
+        )
+        config = CoSynthesisConfig(genetic_config=genetic)
+        spec = cosynthesis_spec("Bm1", config=config)
+        assert spec.floorplan.genetic_config() == genetic
+
+    def test_explicit_floorplan_override_beats_config(self):
+        config = CoSynthesisConfig(
+            genetic_config=GeneticConfig(population_size=8, generations=4)
+        )
+        spec = cosynthesis_spec(
+            "Bm1",
+            config=config,
+            floorplan=FloorplanSpec(kind="genetic", population_size=12,
+                                    generations=3),
+        )
+        assert spec.floorplan.population_size == 12
+        assert spec.floorplan.generations == 3
+
+    def test_with_replaces_top_level_fields(self):
+        spec = platform_spec("Bm1").with_(dvfs=DVFSSpec(enabled=True))
+        assert spec.dvfs.enabled
+        assert spec.graph.name == "Bm1"

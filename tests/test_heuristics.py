@@ -40,12 +40,15 @@ def make_ctx(**overrides):
 
 class TestRegistry:
     def test_all_names_registered(self):
+        # paper policies first, then the registered extension variants
         assert POLICY_NAMES == (
             "baseline",
             "heuristic1",
             "heuristic2",
             "heuristic3",
             "thermal",
+            "thermal-peak",
+            "thermal-hybrid",
         )
 
     def test_policy_by_name_default_weight(self):
@@ -56,9 +59,38 @@ class TestRegistry:
     def test_policy_by_name_custom_weight(self):
         assert policy_by_name("heuristic3", weight=0.5).weight == 0.5
 
+    def test_extension_policies_reachable_by_name(self):
+        from repro.extensions.policies import HybridThermalPolicy, ThermalPeakPolicy
+
+        assert isinstance(policy_by_name("thermal-peak"), ThermalPeakPolicy)
+        # underscores are interchangeable with hyphens
+        assert isinstance(policy_by_name("thermal_peak"), ThermalPeakPolicy)
+        hybrid = policy_by_name("thermal_hybrid", peak_fraction=0.25)
+        assert isinstance(hybrid, HybridThermalPolicy)
+        assert hybrid.peak_fraction == 0.25
+
+    def test_hyphen_resolves_underscore_registered_names(self, monkeypatch):
+        from repro.core import heuristics
+
+        monkeypatch.setitem(heuristics._REGISTRY, "tmp_policy", TaskPowerPolicy)
+        assert isinstance(policy_by_name("tmp-policy"), TaskPowerPolicy)
+
     def test_unknown_name_rejected(self):
         with pytest.raises(SchedulingError):
             policy_by_name("voodoo")
+
+    def test_bad_params_raise_scheduling_error(self):
+        with pytest.raises(SchedulingError):
+            policy_by_name("baseline", nonsense_param=1.0)
+
+    def test_register_rejects_name_collisions(self):
+        from repro.core.heuristics import register_dc_policy
+
+        class Impostor(TaskPowerPolicy):
+            name = "heuristic1"
+
+        with pytest.raises(SchedulingError):
+            register_dc_policy(Impostor)
 
     def test_negative_weight_rejected(self):
         with pytest.raises(SchedulingError):

@@ -67,3 +67,109 @@ def test_errors_module_documented():
 
     for name in errors.__all__:
         assert getattr(errors, name).__doc__, name
+
+
+#: Symbols the pre-flow API exported; they must all keep importing.
+LEGACY_SURFACE = [
+    "platform_flow",
+    "power_aware_cosynthesis",
+    "thermal_aware_cosynthesis",
+    "CoSynthesisFramework",
+    "reclaim_slack",
+    "schedule_conditional",
+    "policy_by_name",
+    "POLICY_NAMES",
+    "PlatformResult",
+    "CoSynthesisResult",
+    "DVFSResult",
+    "explore_allocations",
+    "pareto_front",
+]
+
+
+def test_legacy_surface_still_exported():
+    missing = [name for name in LEGACY_SURFACE if not hasattr(repro, name)]
+    assert missing == []
+    assert set(LEGACY_SURFACE) <= set(repro.__all__)
+
+
+class TestLegacyWrappersMatchFacade:
+    """Deprecated-but-working: legacy entry points == flow facade on Bm1."""
+
+    @pytest.fixture(scope="class")
+    def bm1(self):
+        graph = repro.benchmark("Bm1")
+        return graph, repro.library_for_graph(graph)
+
+    def test_platform_flow_matches_facade(self, bm1):
+        graph, library = bm1
+        legacy = repro.platform_flow(graph, library, repro.ThermalPolicy())
+        facade = repro.run_flow(repro.platform_spec("Bm1", policy="thermal"))
+        assert legacy.evaluation == facade.evaluation
+        assert legacy.architecture.name == facade.architecture.name
+
+    def test_reclaim_slack_matches_facade(self, bm1):
+        graph, library = bm1
+        schedule = repro.platform_flow(
+            graph, library, repro.ThermalPolicy()
+        ).schedule
+        legacy = repro.reclaim_slack(schedule)
+        facade = repro.run_flow(
+            repro.platform_spec(
+                "Bm1", policy="thermal", dvfs=repro.DVFSSpec(enabled=True)
+            )
+        )
+        assert facade.dvfs is not None
+        assert legacy.energy_after == pytest.approx(facade.dvfs.energy_after)
+        assert legacy.makespan_after == pytest.approx(facade.dvfs.makespan_after)
+
+    def test_thermal_aware_cosynthesis_matches_facade(self, bm1):
+        from repro.cosynth.framework import CoSynthesisConfig
+        from repro.floorplan.genetic import GeneticConfig
+
+        graph, library = bm1
+        fast = CoSynthesisConfig(
+            max_pes=3,
+            screening_keep=2,
+            refine_iterations=1,
+            genetic_config=GeneticConfig(population_size=8, generations=4),
+        )
+        legacy = repro.thermal_aware_cosynthesis(graph, library, config=fast)
+        facade = repro.run_flow(
+            repro.cosynthesis_spec(
+                "Bm1", policy="thermal", config=fast, final_cost="thermal"
+            )
+        )
+        assert legacy.evaluation == facade.evaluation
+
+    def test_schedule_conditional_matches_facade(self):
+        ctg = repro.conditional_benchmark("video-frame")
+        from repro.library.presets import (
+            generate_technology_library,
+            stable_library_seed,
+        )
+
+        library = generate_technology_library(
+            sorted({t.task_type for t in ctg.tasks()}),
+            seed=stable_library_seed(ctg.name),
+            name=f"library-{ctg.name}",
+        )
+        architecture = repro.default_platform()
+        floorplan = repro.platform_floorplan(architecture)
+        legacy = repro.schedule_conditional(
+            ctg, architecture, library, repro.ThermalPolicy(), floorplan=floorplan
+        )
+        facade = repro.run_flow(
+            repro.FlowSpec(
+                flow="platform",
+                graph=repro.GraphSourceSpec(kind="conditional", name="video-frame"),
+                conditional=repro.ConditionalSpec(enabled=True),
+            )
+        )
+        assert facade.conditional is not None
+        assert legacy.worst_makespan == pytest.approx(
+            facade.conditional.worst_makespan
+        )
+        assert legacy.expected_total_power == pytest.approx(
+            facade.conditional.expected_total_power
+        )
