@@ -1,0 +1,114 @@
+"""Benchmark: scenario grid expansion overhead and cached suite replay.
+
+Two contracts guard the scenario layer's performance story:
+
+* **expansion is free** — expanding and hashing a ≥200-spec grid (the
+  strict dict round-trip runs per grid point) stays well under a second,
+  so suites can be (re-)expanded interactively and inside every CLI
+  call;
+* **suite replay is cache-bound** — re-running a scenario through
+  ``run_many`` with a warm on-disk cache performs zero scheduler
+  invocations and beats the cold run ≥ 2x.
+
+The measured numbers are emitted as one JSON object on stdout (marker
+``SCENARIOS_BENCH_JSON``): ``pytest benchmarks/bench_scenarios.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+import pytest
+
+from repro import POLICY_NAMES
+from repro.flow import platform_spec, run_many, spec_hash
+from repro.scenarios import scenario
+
+from conftest import print_report
+
+
+def _big_suite():
+    """A ≥200-point grid over policies, benchmarks, DVFS and width."""
+    return scenario(
+        "bench-expansion",
+        platform_spec("Bm1", policy="baseline"),
+        grid={
+            "graph.name": ("Bm1", "Bm2", "Bm3", "Bm4"),
+            "policy.name": tuple(POLICY_NAMES),
+            "dvfs.enabled": (False, True),
+            "architecture.count": (2, 4),
+            "thermal.solver": ("hotspot", "gridmodel"),
+        },
+    )
+
+
+def _replay_suite():
+    return scenario(
+        "bench-replay",
+        platform_spec("Bm1", policy="baseline"),
+        grid={"graph.name": ("Bm1", "Bm2"), "policy.name": ("baseline", "heuristic3")},
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    suite = _big_suite()
+
+    started = time.perf_counter()
+    specs = suite.expand()
+    digests = [spec_hash(spec) for spec in specs]
+    expand_s = time.perf_counter() - started
+
+    replay = _replay_suite()
+    with tempfile.TemporaryDirectory(prefix="scenariobench-") as cache:
+        started = time.perf_counter()
+        run_many(replay.expand(), cache_dir=cache)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_results = run_many(replay.expand(), cache_dir=cache)
+        warm_s = time.perf_counter() - started
+
+    data = {
+        "grid_specs": len(specs),
+        "grid_distinct_hashes": len(set(digests)),
+        "expand_and_hash_s": round(expand_s, 6),
+        "specs_per_second": round(len(specs) / expand_s, 1),
+        "replay_specs": len(warm_results),
+        "replay_cold_s": round(cold_s, 4),
+        "replay_warm_s": round(warm_s, 6),
+        "replay_speedup": round(cold_s / warm_s, 1),
+        "replay_all_cached": all(
+            r.provenance.get("cache_hit") for r in warm_results
+        ),
+    }
+    print_report(
+        "Scenario expansion / cached replay",
+        "SCENARIOS_BENCH_JSON " + json.dumps(data, indent=2),
+    )
+    return data
+
+
+def test_grid_has_at_least_200_specs(measurements):
+    assert measurements["grid_specs"] >= 200, measurements
+    assert measurements["grid_distinct_hashes"] == measurements["grid_specs"]
+
+
+def test_expansion_well_under_a_second(measurements):
+    assert measurements["expand_and_hash_s"] < 1.0, measurements
+
+
+def test_cached_replay_hits_everywhere(measurements):
+    assert measurements["replay_all_cached"], measurements
+
+
+def test_cached_replay_at_least_2x(measurements):
+    assert measurements["replay_speedup"] >= 2.0, measurements
+
+
+def test_benchmark_expansion(benchmark):
+    """pytest-benchmark hook for the expansion hot path."""
+    suite = _big_suite()
+    benchmark(suite.expand)

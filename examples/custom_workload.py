@@ -1,32 +1,57 @@
 #!/usr/bin/env python3
-"""Domain scenario: an engine-control unit built through the public API.
+"""Domain scenario: an engine-control unit through the scenario API.
 
 Models a (simplified) automotive engine-management application — sensor
-fusion, knock detection, injection and ignition timing — as a task graph
-with hard real-time deadline, defines a custom two-type technology library
-(a lockstep safety core and a DSP), and lets the thermal-aware ASP place
-the work on a three-PE board.
+fusion, knock detection, injection and ignition timing — as a *registered
+workload* with its own hand-built technology library, plus a *registered
+PE catalogue* (a lockstep safety core and a DSP), then drives the whole
+thing declaratively: one ``FlowSpec`` naming the workload, the catalogue
+and a heterogeneous platform, executed by ``run_flow``.
 
-Demonstrates: hand-built TaskGraph, hand-built TechnologyLibrary, custom
-Architecture, thermal_scheduler, schedule inspection (a text Gantt chart).
+Demonstrates: register_workload, register_catalogue, heterogeneous
+``ArchitectureSpec(pes=...)``, ``GraphSourceSpec(kind="registered")``,
+spec JSON round-trip, schedule inspection (a text Gantt chart).
 
 Run:  python examples/custom_workload.py
 """
 
 from repro import (
-    Architecture,
+    ArchitectureSpec,
+    CatalogueSpec,
+    FlowSpec,
+    LibrarySpec,
     PEType,
     TaskGraph,
     TechnologyLibrary,
-    ThermalPolicy,
-    evaluate_schedule,
-    platform_floorplan,
-    thermal_scheduler,
+    register_catalogue,
+    register_workload,
+    registered_source,
+    run_flow,
+)
+
+LOCKSTEP = PEType("lockstep-core", 5.0, 5.0, idle_power=0.2, cost=1.0)
+DSP = PEType("engine-dsp", 4.0, 4.5, idle_power=0.15, cost=1.5)
+
+register_catalogue(
+    CatalogueSpec(
+        name="ecu",
+        pe_types=(LOCKSTEP, DSP),
+        general_purpose=frozenset({"lockstep-core"}),
+        platform_pe="lockstep-core",
+        description="engine-control board: lockstep safety cores + a DSP",
+    )
 )
 
 
-def build_engine_control_graph() -> TaskGraph:
-    """One control period of an engine-management application (ms units)."""
+@register_workload("engine-control")
+def build_engine_control():
+    """One control period of an engine-management application (ms units).
+
+    Returns the graph *and* its hand-built library: WCET/WCPC numbers
+    come from the (imaginary) datasheet, not from the seeded generator.
+    The DSP crushes the FFT but cannot run the safety-critical actuation
+    tasks at all.
+    """
     graph = TaskGraph("engine-control", deadline=40.0)
     graph.add("crank_decode", "decode")
     graph.add("cam_decode", "decode")
@@ -47,22 +72,9 @@ def build_engine_control_graph() -> TaskGraph:
     graph.add_edge("knock_detect", "ignition", data=1.0)
     graph.add_edge("sensor_fusion", "diagnostics", data=2.0)
     graph.validate()
-    return graph
-
-
-def build_board():
-    """A safety core, a second safety core, and a DSP."""
-    lockstep = PEType("lockstep-core", 5.0, 5.0, idle_power=0.2, cost=1.0)
-    dsp = PEType("engine-dsp", 4.0, 4.5, idle_power=0.15, cost=1.5)
-    board = Architecture("ecu-board")
-    board.add_instance(lockstep, name="safety0")
-    board.add_instance(lockstep, name="safety1")
-    board.add_instance(dsp, name="dsp0")
 
     library = TechnologyLibrary("ecu-lib")
-    # (task type, pe type) -> WCET ms, WCPC W.  The DSP crushes the FFT but
-    # cannot run the safety-critical actuation tasks at all.
-    entries = [
+    entries = [  # (task type, pe type) -> WCET ms, WCPC W
         ("decode", "lockstep-core", 3.0, 2.5),
         ("decode", "engine-dsp", 2.5, 3.0),
         ("fusion", "lockstep-core", 5.0, 3.0),
@@ -78,7 +90,7 @@ def build_board():
     ]
     for task_type, pe_type, wcet, wcpc in entries:
         library.add_entry(task_type, pe_type, wcet, wcpc)
-    return board, library
+    return graph, library
 
 
 def gantt(schedule, width=64) -> str:
@@ -100,21 +112,28 @@ def gantt(schedule, width=64) -> str:
 
 
 def main() -> None:
-    graph = build_engine_control_graph()
-    board, library = build_board()
-    print(f"workload:     {graph}")
-    print(f"architecture: {board}\n")
-
-    scheduler = thermal_scheduler(graph, board, library)
-    schedule = scheduler.run(ThermalPolicy())
-    schedule.validate(library)
-
-    print(gantt(schedule))
-    evaluation = evaluate_schedule(
-        schedule, floorplan=platform_floorplan(board)
+    # The whole scenario is one declarative, JSON-serializable spec:
+    # two lockstep safety cores plus the DSP, thermal-aware scheduling.
+    spec = FlowSpec(
+        flow="platform",
+        graph=registered_source("engine-control"),
+        library=LibrarySpec(catalogue="ecu"),
+        architecture=ArchitectureSpec(
+            name="ecu-board",
+            pes=("lockstep-core", "lockstep-core", "engine-dsp"),
+        ),
     )
+    assert FlowSpec.from_json(spec.to_json()) == spec  # round-trips exactly
+
+    result = run_flow(spec)
+    print(f"workload:     {result.schedule.graph}")
+    print(f"architecture: {result.architecture}\n")
+    print(gantt(result.schedule))
+
+    evaluation = result.evaluation
     print(
-        f"\nmakespan {evaluation.makespan:.1f} ms of {graph.deadline} ms budget"
+        f"\nmakespan {evaluation.makespan:.1f} ms of "
+        f"{evaluation.deadline:.0f} ms budget"
         f" | total power {evaluation.total_power:.2f} W"
         f" | peak {evaluation.max_temperature:.1f} C"
         f" | avg {evaluation.avg_temperature:.1f} C"

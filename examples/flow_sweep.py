@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Batch flows: a cached, declarative sweep over the benchmark suite.
+"""Batch flows: a declarative scenario grid with an on-disk result cache.
 
-Builds the 8-spec ablation sweep (four benchmarks x {power, thermal}
-policy) as plain :class:`repro.FlowSpec` values, runs it through
-:func:`repro.run_many` with an on-disk result cache, then runs the same
-sweep again to show every result coming back as a cache hit — zero
-scheduler invocations the second time.  Also demonstrates the DVFS
-post-pass as a one-line spec toggle.
+Declares the 8-run ablation sweep (four benchmarks x {power, thermal}
+policy) as one :func:`repro.scenario` — a base ``FlowSpec`` plus a
+parameter grid of dotted-path overrides — expands it to deduplicated
+specs, and runs it through :func:`repro.run_many` with an on-disk result
+cache.  Running the same scenario again shows every result coming back
+as a cache hit: zero scheduler invocations the second time.  Also
+demonstrates the DVFS post-pass as a one-line grid axis.
+
+The same suite is scriptable from the shell::
+
+    python -m repro scenarios run thermal-vs-power ...   # once registered
 
 Run:  python examples/flow_sweep.py
 """
@@ -14,15 +19,24 @@ Run:  python examples/flow_sweep.py
 import tempfile
 import time
 
-from repro import DVFSSpec, format_table, platform_spec, run_flow, run_many
+from repro import format_table, platform_spec, run_many, scenario
+
+BENCHMARKS = ("Bm1", "Bm2", "Bm3", "Bm4")
 
 
 def main() -> None:
-    specs = [
-        platform_spec(bench, policy=policy)
-        for bench in ("Bm1", "Bm2", "Bm3", "Bm4")
-        for policy in ("heuristic3", "thermal")
-    ]
+    sweep = scenario(
+        "thermal-vs-power",
+        platform_spec("Bm1", policy="thermal"),
+        grid={
+            "graph.name": BENCHMARKS,
+            "policy.name": ("heuristic3", "thermal"),
+        },
+        description="the Table-3 comparison as a declarative grid",
+    )
+    specs = sweep.expand()
+    assert len(specs) == len(BENCHMARKS) * 2  # deduped cross product
+
     with tempfile.TemporaryDirectory(prefix="flowcache-") as cache:
         started = time.perf_counter()
         results = run_many(specs, cache_dir=cache)
@@ -33,16 +47,20 @@ def main() -> None:
         warm = time.perf_counter() - started
 
     rows = [r.as_row() for r in results]
-    print(format_table(rows, title="8-spec sweep (platform flow)"))
+    print(format_table(rows, title=f"scenario {sweep.name}: 8-spec sweep"))
     hits = sum(1 for r in again if r.provenance.get("cache_hit"))
     print(
         f"\ncold sweep {cold * 1000:.0f} ms; identical sweep from cache "
         f"{warm * 1000:.0f} ms ({hits}/{len(again)} cache hits)"
     )
 
-    dvfs = run_flow(
-        platform_spec("Bm1", policy="thermal", dvfs=DVFSSpec(enabled=True))
-    )
+    # one more grid axis turns the same suite into a DVFS study
+    dvfs_suite = sweep.with_grid({"dvfs.enabled": (True,)})
+    dvfs_specs = [
+        s for s in dvfs_suite.expand()
+        if s.graph.name == "Bm1" and s.policy.name == "thermal"
+    ]
+    dvfs = run_many(dvfs_specs)[0]
     assert dvfs.dvfs is not None
     print(
         f"\nDVFS post-pass on Bm1/thermal: {dvfs.dvfs.lowered_tasks} tasks "

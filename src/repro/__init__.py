@@ -155,18 +155,44 @@ from .flow import (
     PolicySpec,
     ThermalSpec,
     cosynthesis_spec,
+    file_source,
+    generated_source,
     platform_spec,
     register_flow,
     register_floorplanner,
     register_policy,
     register_thermal_solver,
+    registered_source,
     run_flow,
     run_many,
     spec_hash,
 )
-from .taskgraph import CONDITIONAL_BENCHMARK_NAMES, conditional_benchmark
+from .taskgraph import (
+    CONDITIONAL_BENCHMARK_NAMES,
+    conditional_benchmark,
+    family_names,
+    generate_family_graph,
+)
+from .library import (
+    CatalogueSpec,
+    catalogue_by_name,
+    catalogue_names,
+    register_catalogue,
+)
+from .scenarios import (
+    ScenarioCase,
+    ScenarioSpec,
+    apply_overrides,
+    register_scenario,
+    register_workload,
+    run_scenario,
+    scenario,
+    scenario_by_name,
+    scenario_names,
+    workload_names,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -278,6 +304,9 @@ __all__ = [
     # flow API
     "FlowSpec",
     "GraphSourceSpec",
+    "generated_source",
+    "file_source",
+    "registered_source",
     "LibrarySpec",
     "PolicySpec",
     "ArchitectureSpec",
@@ -299,4 +328,23 @@ __all__ = [
     "register_floorplanner",
     "register_thermal_solver",
     "register_flow",
+    # generated workload families
+    "family_names",
+    "generate_family_graph",
+    # catalogues
+    "CatalogueSpec",
+    "register_catalogue",
+    "catalogue_by_name",
+    "catalogue_names",
+    # scenario API
+    "ScenarioCase",
+    "ScenarioSpec",
+    "scenario",
+    "apply_overrides",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
+    "run_scenario",
+    "register_workload",
+    "workload_names",
 ]

@@ -1,18 +1,28 @@
 """The ``python -m repro`` command line.
 
-Four subcommands over the unified flow API::
+Six subcommands over the unified flow + scenario API::
 
     python -m repro run --benchmark Bm1 --policy thermal      # one flow
     python -m repro run --spec spec.json --json               # from a file
+    python -m repro run --set graph.kind=generated \\
+        --set graph.name=gen30 --set graph.tasks=30 --set graph.seed=7
     python -m repro sweep --benchmarks Bm1 Bm2 --policies \\
         heuristic3 thermal --workers 4 --cache-dir .flowcache # batch
+    python -m repro scenarios list                            # named suites
+    python -m repro scenarios show paper-tables
+    python -m repro scenarios run paper-tables --set graph.name=Bm1
+    python -m repro workloads list                            # graph sources
     python -m repro experiments table3                        # paper artefacts
-    python -m repro experiments --list
     python -m repro list policies                             # registries
 
+``--set key=value[,value...]`` applies dotted-path overrides: single
+values on ``run``, grid axes on ``scenarios show``/``run`` (each value
+list becomes one swept axis).  ``--json`` on ``run``/``sweep``/
+``scenarios run`` emits machine-readable results to stdout.
+
 Exit codes: 0 on success, 2 on unknown names (experiment ids, registry
-keys), 1 on execution failure.  Bare experiment ids keep working for
-backward compatibility (``python -m repro table3`` ==
+keys, scenario names), 1 on execution failure.  Bare experiment ids keep
+working for backward compatibility (``python -m repro table3`` ==
 ``python -m repro experiments table3``).
 """
 
@@ -21,9 +31,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .errors import ReproError
+from .errors import FlowError, ReproError
 from .flow import (
     DVFSSpec,
     FlowSpec,
@@ -41,31 +51,117 @@ from .flow.spec import CommSpec, FloorplanSpec
 __all__ = ["build_parser", "main"]
 
 
+def _parse_set_value(text: str) -> Any:
+    """One ``--set`` value: JSON where it parses, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_set_args(
+    items: Optional[Sequence[str]],
+) -> Dict[str, Tuple[Any, ...]]:
+    """``--set key=v1,v2`` arguments → ``{dotted.path: (values...)}``.
+
+    Values are JSON where they parse, bare strings otherwise.  A value
+    that *is* JSON array/object syntax (``[...]``/``{...}``) is one
+    value — commas split grid points only outside JSON containers.
+    """
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    for item in items or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise FlowError(
+                f"--set expects key=value[,value...], got {item!r}"
+            )
+        if key in grid:
+            raise FlowError(
+                f"--set {key} given twice; put every value in one "
+                f"comma-separated list"
+            )
+        if raw[:1] in ("[", "{"):
+            try:
+                grid[key] = (json.loads(raw),)
+                continue
+            except json.JSONDecodeError as exc:
+                raise FlowError(f"--set {key}: invalid JSON value: {exc}")
+        grid[key] = tuple(_parse_set_value(v) for v in raw.split(","))
+    return grid
+
+
+#: run-flag name -> its effective default.  The run subparser registers
+#: these flags with ``default=argparse.SUPPRESS``, so a flag appears on
+#: the namespace only when the user actually passed it — which is what
+#: lets ``--spec`` reject clashing flags without a second hand-kept list
+#: of argparse defaults that could drift.
+_RUN_FLAG_DEFAULTS = {
+    "flow": "platform",
+    "benchmark": "Bm1",
+    "policy": "thermal",
+    "weight": None,
+    "floorplanner": None,
+    "comm": "zero",
+    "dvfs": False,
+    "leakage": False,
+}
+
+
 def _spec_from_args(args: argparse.Namespace) -> FlowSpec:
     """Assemble one FlowSpec from ``run`` flags (or load ``--spec``)."""
+    flags = {
+        name: getattr(args, name, default)
+        for name, default in _RUN_FLAG_DEFAULTS.items()
+    }
     if args.spec is not None:
+        # a spec file is a complete description — silently dropping the
+        # other flags would run a different computation than asked for
+        clashing = [
+            f"--{name}" for name in _RUN_FLAG_DEFAULTS if hasattr(args, name)
+        ]
+        if clashing:
+            raise FlowError(
+                f"--spec is a complete flow description; {', '.join(clashing)} "
+                f"would be ignored — use --set dotted-path overrides instead"
+            )
         if args.spec == "-":
             text = sys.stdin.read()
         else:
             with open(args.spec, "r", encoding="utf-8") as handle:
                 text = handle.read()
-        return FlowSpec.from_json(text)
-    overrides = {}
-    if args.dvfs:
-        overrides["dvfs"] = DVFSSpec(enabled=True)
-    if args.leakage:
-        overrides["leakage"] = LeakageSpec(enabled=True)
-    if args.comm == "shared-bus":
-        overrides["comm"] = CommSpec(kind="shared-bus")
-    if args.floorplanner is not None:
-        overrides["floorplan"] = FloorplanSpec(kind=args.floorplanner)
-    if args.flow == "cosynthesis":
-        return cosynthesis_spec(
-            args.benchmark, policy=args.policy, weight=args.weight, **overrides
+        spec = FlowSpec.from_json(text)
+    else:
+        overrides = {}
+        if flags["dvfs"]:
+            overrides["dvfs"] = DVFSSpec(enabled=True)
+        if flags["leakage"]:
+            overrides["leakage"] = LeakageSpec(enabled=True)
+        if flags["comm"] == "shared-bus":
+            overrides["comm"] = CommSpec(kind="shared-bus")
+        if flags["floorplanner"] is not None:
+            overrides["floorplan"] = FloorplanSpec(kind=flags["floorplanner"])
+        builder = (
+            cosynthesis_spec if flags["flow"] == "cosynthesis" else platform_spec
         )
-    return platform_spec(
-        args.benchmark, policy=args.policy, weight=args.weight, **overrides
-    )
+        spec = builder(
+            flags["benchmark"], policy=flags["policy"], weight=flags["weight"],
+            **overrides,
+        )
+    sets = _parse_set_args(getattr(args, "set", None))
+    if sets:
+        from .scenarios.spec import apply_overrides
+
+        single: Dict[str, Any] = {}
+        for key, values in sets.items():
+            if len(values) != 1:
+                raise FlowError(
+                    f"run --set takes one value per key (got {len(values)} "
+                    f"for {key!r}); value lists sweep grids under "
+                    f"'scenarios run'"
+                )
+            single[key] = values[0]
+        spec = apply_overrides(spec, single)
+    return spec
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -123,10 +219,157 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner_main(argv)
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
-    from .experiments.runner import EXPERIMENTS
+def _summarize_spec(spec: FlowSpec) -> Dict[str, Any]:
+    """One compact table row describing a spec (for ``scenarios show``)."""
+    from .flow import spec_hash
+
+    graph = spec.graph.name or spec.graph.path
+    if spec.graph.kind == "generated":
+        # surface the swept generator knobs — rows must be tellable apart
+        knobs = []
+        if graph:  # explicit name: family/tasks/seed are not in it
+            knobs = [spec.graph.family or "layered", f"{spec.graph.tasks}t"]
+            if spec.graph.seed is not None:
+                knobs.append(f"s{spec.graph.seed}")
+        else:  # auto name already encodes family/tasks/seed
+            from .taskgraph.generator import default_family_graph_name
+
+            graph = default_family_graph_name(
+                spec.graph.family or "layered", spec.graph.tasks, spec.graph.seed
+            )
+        for field_name, prefix in (
+            ("width", "w"), ("density", "d"), ("ccr", "ccr"),
+            ("deadline_slack", "slack"),
+        ):
+            value = getattr(spec.graph, field_name)
+            if value is not None:
+                knobs.append(f"{prefix}{value}")
+        if knobs:
+            graph = f"{graph}[{','.join(knobs)}]"
+    return {
+        "spec_hash": spec_hash(spec),
+        "flow": spec.flow,
+        "graph": graph,
+        "kind": spec.graph.kind,
+        "policy": spec.policy.name,
+        "catalogue": spec.library.catalogue,
+        "pes": spec.architecture.count,
+        "dvfs": spec.dvfs.enabled,
+    }
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    """The named scenario with ``--set`` grid overrides, or ``None``.
+
+    Unknown scenario names print to stderr and map to exit code 2 (like
+    unknown experiment ids); grid errors propagate as ``ReproError``.
+    """
+    from .scenarios import scenario_by_name
+
+    try:
+        spec = scenario_by_name(args.name)
+    except FlowError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    sets = _parse_set_args(args.set)
+    if sets:
+        spec = spec.with_grid(sets)
+    return spec
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from .scenarios import scenario_by_name, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        suite = scenario_by_name(name)
+        rows.append(
+            {
+                "scenario": name,
+                "cases": len(suite.cases),
+                "specs": len(suite.expand()),
+                "description": suite.description,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        from .analysis.report import format_table
+
+        print(format_table(rows, title="registered scenarios"))
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    suite = _scenario_from_args(args)
+    if suite is None:
+        return 2
+    specs = suite.expand()
+    if args.json:
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+        return 0
+    from .analysis.report import format_table
+
+    rows = [_summarize_spec(spec) for spec in specs]
+    print(
+        format_table(
+            rows,
+            title=f"scenario {suite.name}: {len(specs)} specs "
+            f"({suite.size()} grid points)",
+        )
+    )
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    suite = _scenario_from_args(args)
+    if suite is None:
+        return 2
+    specs = suite.expand()
+    results = run_many(specs, workers=args.workers, cache_dir=args.cache_dir)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2, default=str))
+        return 0
+    from .analysis.report import format_table
+
+    rows = [r.as_row() for r in results]
+    hits = sum(1 for r in results if r.provenance.get("cache_hit"))
+    print(
+        format_table(
+            rows,
+            title=f"scenario {suite.name}: {len(rows)} flows ({hits} cached)",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads_list(args: argparse.Namespace) -> int:
+    from .scenarios import catalogue_names, workload_names
     from .taskgraph.benchmarks import BENCHMARK_NAMES
     from .taskgraph.conditional import CONDITIONAL_BENCHMARK_NAMES
+    from .taskgraph.generator import family_names
+
+    sections = {
+        "benchmarks": tuple(BENCHMARK_NAMES),
+        "conditional": CONDITIONAL_BENCHMARK_NAMES,
+        "generator-families": family_names(),
+        "registered": workload_names(),
+        "catalogues": catalogue_names(),
+    }
+    if args.json:
+        print(json.dumps({k: list(v) for k, v in sections.items()}, indent=2))
+        return 0
+    for kind, names in sections.items():
+        print(f"{kind}: {', '.join(names) if names else '(none)'}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments.runner import EXPERIMENTS
+    from .scenarios import catalogue_names, scenario_names
+    from .taskgraph.benchmarks import BENCHMARK_NAMES
+    from .taskgraph.conditional import CONDITIONAL_BENCHMARK_NAMES
+    from .taskgraph.generator import family_names
 
     sections = {
         "flows": flow_names(),
@@ -134,6 +377,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "floorplanners": floorplanner_names(),
         "thermal-solvers": thermal_solver_names(),
         "benchmarks": tuple(BENCHMARK_NAMES) + CONDITIONAL_BENCHMARK_NAMES,
+        "generator-families": family_names(),
+        "catalogues": catalogue_names(),
+        "scenarios": scenario_names(),
         "experiments": tuple(sorted(EXPERIMENTS)),
     }
     wanted = args.what
@@ -166,23 +412,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute one flow from flags or a FlowSpec JSON file",
         description="Execute one flow and print its evaluation row.",
     )
+    # these flags use SUPPRESS so --spec can tell "explicitly passed"
+    # from "default"; effective defaults live in _RUN_FLAG_DEFAULTS
+    suppress = argparse.SUPPRESS
     run_p.add_argument("--spec", help="FlowSpec JSON file ('-' for stdin)")
     run_p.add_argument(
-        "--flow", choices=("platform", "cosynthesis"), default="platform",
+        "--flow", choices=("platform", "cosynthesis"), default=suppress,
         help="flow kind (default: platform)",
     )
-    run_p.add_argument("--benchmark", default="Bm1", help="benchmark name (Bm1-Bm4)")
-    run_p.add_argument("--policy", default="thermal", help="DC policy name")
-    run_p.add_argument("--weight", type=float, default=None, help="policy weight")
-    run_p.add_argument("--floorplanner", default=None, help="floorplanner name")
     run_p.add_argument(
-        "--comm", choices=("zero", "shared-bus"), default="zero",
-        help="communication model",
+        "--benchmark", default=suppress, help="benchmark name (default: Bm1)"
     )
-    run_p.add_argument("--dvfs", action="store_true", help="DVFS slack reclamation")
-    run_p.add_argument("--leakage", action="store_true", help="leakage fixed point")
+    run_p.add_argument(
+        "--policy", default=suppress, help="DC policy name (default: thermal)"
+    )
+    run_p.add_argument("--weight", type=float, default=suppress, help="policy weight")
+    run_p.add_argument("--floorplanner", default=suppress, help="floorplanner name")
+    run_p.add_argument(
+        "--comm", choices=("zero", "shared-bus"), default=suppress,
+        help="communication model (default: zero)",
+    )
+    run_p.add_argument(
+        "--dvfs", action="store_true", default=suppress,
+        help="DVFS slack reclamation",
+    )
+    run_p.add_argument(
+        "--leakage", action="store_true", default=suppress,
+        help="leakage fixed point",
+    )
     run_p.add_argument("--cache-dir", default=None, help="result cache directory")
     run_p.add_argument("--save-spec", default=None, help="write the spec JSON here")
+    run_p.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", default=None,
+        help="dotted-path spec override, e.g. graph.kind=generated "
+        "(repeatable)",
+    )
     run_p.add_argument("--json", action="store_true", help="emit JSON")
     run_p.set_defaults(func=_cmd_run)
 
@@ -207,6 +471,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--cache-dir", default=None, help="result cache directory")
     sweep_p.add_argument("--json", action="store_true", help="emit JSON rows")
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    scen_p = sub.add_parser(
+        "scenarios",
+        help="named scenario suites: list, show the grid, run it",
+        description=(
+            "Declarative scenario suites (base spec x parameter grid). "
+            "--set KEY=V1[,V2...] replaces or adds a grid axis."
+        ),
+    )
+    scen_p.set_defaults(func=lambda _args: (scen_p.print_help(), 0)[1])
+    scen_sub = scen_p.add_subparsers(dest="scenarios_command", metavar="action")
+
+    scen_list = scen_sub.add_parser("list", help="list registered scenarios")
+    scen_list.add_argument("--json", action="store_true", help="emit JSON")
+    scen_list.set_defaults(func=_cmd_scenarios_list)
+
+    scen_show = scen_sub.add_parser(
+        "show", help="print the expanded spec grid of one scenario"
+    )
+    scen_show.add_argument("name", help="scenario name")
+    scen_show.add_argument(
+        "--set", action="append", metavar="KEY=V1[,V2...]", default=None,
+        help="grid axis override (repeatable)",
+    )
+    scen_show.add_argument("--json", action="store_true", help="emit spec JSON")
+    scen_show.set_defaults(func=_cmd_scenarios_show)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="expand one scenario and run it through run_many"
+    )
+    scen_run.add_argument("name", help="scenario name")
+    scen_run.add_argument(
+        "--set", action="append", metavar="KEY=V1[,V2...]", default=None,
+        help="grid axis override (repeatable)",
+    )
+    scen_run.add_argument("--workers", type=int, default=None, help="process count")
+    scen_run.add_argument("--cache-dir", default=None, help="result cache directory")
+    scen_run.add_argument("--json", action="store_true", help="emit JSON rows")
+    scen_run.set_defaults(func=_cmd_scenarios_run)
+
+    wl_p = sub.add_parser(
+        "workloads",
+        help="workload sources: benchmarks, families, registered graphs",
+        description="Show every graph source and PE catalogue specs can name.",
+    )
+    wl_p.set_defaults(func=lambda _args: (wl_p.print_help(), 0)[1])
+    wl_sub = wl_p.add_subparsers(dest="workloads_command", metavar="action")
+    wl_list = wl_sub.add_parser("list", help="list workload sources")
+    wl_list.add_argument("--json", action="store_true", help="emit JSON")
+    wl_list.set_defaults(func=_cmd_workloads_list)
 
     exp_p = sub.add_parser(
         "experiments",

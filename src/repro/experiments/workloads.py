@@ -1,18 +1,20 @@
 """Benchmark workloads: graph + technology library pairs.
 
 One benchmark = one TGFF-style graph (Bm1–Bm4, exact paper shape) plus its
-generated technology library over the full PE catalogue.  Pairs are cached
-module-wide: the graphs and libraries are deterministic, and sharing them
-across experiments keeps every table evaluated on identical inputs.
+generated technology library over the full PE catalogue.  Construction is
+delegated to the scenario layer's shared, memoised builder
+(:func:`repro.scenarios.workloads.build_workload`), so experiments, the
+flow facade and the CLI all evaluate on identical cached substrates.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from ..library.presets import library_for_graph
+from ..flow.spec import GraphSourceSpec, LibrarySpec
 from ..library.technology import TechnologyLibrary
-from ..taskgraph.benchmarks import BENCHMARK_NAMES, benchmark
+from ..scenarios.workloads import build_workload
+from ..taskgraph.benchmarks import BENCHMARK_NAMES
 from ..taskgraph.graph import TaskGraph
 
 __all__ = ["workload", "all_workloads", "WORKLOAD_NAMES"]
@@ -20,15 +22,15 @@ __all__ = ["workload", "all_workloads", "WORKLOAD_NAMES"]
 #: Benchmark names in the paper's order.
 WORKLOAD_NAMES: List[str] = list(BENCHMARK_NAMES)
 
-_cache: Dict[str, Tuple[TaskGraph, TechnologyLibrary]] = {}
+#: The default library configuration every experiment evaluates on.
+_DEFAULT_LIBRARY = LibrarySpec()
 
 
 def workload(name: str) -> Tuple[TaskGraph, TechnologyLibrary]:
     """The (graph, library) pair for one benchmark (cached)."""
-    if name not in _cache:
-        graph = benchmark(name)
-        _cache[name] = (graph, library_for_graph(graph))
-    return _cache[name]
+    return build_workload(
+        GraphSourceSpec(kind="benchmark", name=name), _DEFAULT_LIBRARY
+    )
 
 
 def all_workloads() -> List[Tuple[TaskGraph, TechnologyLibrary]]:

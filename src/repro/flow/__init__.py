@@ -28,6 +28,7 @@ spec equivalent.
 """
 
 from .spec import (
+    GRAPH_SOURCE_KINDS,
     ArchitectureSpec,
     CommSpec,
     ConditionalSpec,
@@ -42,7 +43,10 @@ from .spec import (
     PolicySpec,
     ThermalSpec,
     cosynthesis_spec,
+    file_source,
+    generated_source,
     platform_spec,
+    registered_source,
     spec_hash,
 )
 from .registry import (
@@ -65,7 +69,11 @@ from .batch import clear_cache, run_many
 __all__ = [
     # specs
     "FlowSpec",
+    "GRAPH_SOURCE_KINDS",
     "GraphSourceSpec",
+    "generated_source",
+    "file_source",
+    "registered_source",
     "LibrarySpec",
     "PolicySpec",
     "ArchitectureSpec",

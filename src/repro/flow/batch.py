@@ -35,6 +35,17 @@ __all__ = ["run_many", "clear_cache"]
 
 _CACHE_SUFFIX = ".flowresult.pkl"
 
+#: Graph-source kinds whose workload lives outside the spec (a file on
+#: disk, a registered factory).  ``spec_hash`` cannot see their content,
+#: so the persistent cache would happily replay a stale result after the
+#: file or factory changed — these kinds always recompute.
+_UNCACHEABLE_GRAPH_KINDS = ("file", "registered")
+
+
+def _cacheable(spec: FlowSpec) -> bool:
+    """Whether *spec* is fully determined by its own JSON."""
+    return spec.graph.kind not in _UNCACHEABLE_GRAPH_KINDS
+
 
 def _cache_path(cache_dir: Path, digest: str) -> Path:
     return cache_dir / f"{digest}{_CACHE_SUFFIX}"
@@ -119,7 +130,9 @@ def run_many(
 
     # -- cache lookups -------------------------------------------------
     if cache is not None:
-        for digest in dict.fromkeys(digests):
+        for digest, spec in dict(zip(digests, specs)).items():
+            if not _cacheable(spec):
+                continue
             cached = _load_cached(cache, digest)
             if cached is not None:
                 results[digest] = cached
@@ -144,7 +157,8 @@ def run_many(
                 results[digest] = result
         if cache is not None:
             for digest in miss_order:
-                _store_cached(cache, digest, results[digest])
+                if _cacheable(miss_specs[digest]):
+                    _store_cached(cache, digest, results[digest])
 
     return [results[digest] for digest in digests]
 

@@ -15,18 +15,20 @@ Four registries resolve every pluggable stage of a
 
 Unknown names raise :class:`~repro.errors.FlowError` carrying the
 available set, mirroring the ``SchedulingError`` shape of the policy
-registry.
+registry.  Lookup treats hyphens and underscores as interchangeable (the
+shared :class:`repro.registry.Registry` behaviour), again mirroring the
+policy registry.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..core.heuristics import POLICY_NAMES, policy_by_name, register_dc_policy
-from ..errors import FlowError
 from ..floorplan.genetic import evolve_floorplan
 from ..floorplan.annealing import anneal_floorplan
 from ..floorplan.platform import grid_floorplan, platform_floorplan, row_floorplan
+from ..registry import Registry
 from ..thermal.gridmodel import GridModel
 from ..thermal.hotspot import HotSpotModel
 
@@ -45,56 +47,6 @@ __all__ = [
     "flow_names",
     "build_policy",
 ]
-
-
-class Registry:
-    """An ordered name → factory mapping with decorator registration."""
-
-    def __init__(self, kind: str):
-        self.kind = kind
-        self._items: Dict[str, Callable] = {}
-
-    def register(
-        self, name: str, factory: Optional[Callable] = None
-    ) -> Callable:
-        """Register *factory* under *name*; usable as ``@register(name)``.
-
-        Re-registering an existing name with a different factory raises
-        :class:`FlowError` — shadowing a component silently would change
-        the meaning of every spec that names it.
-        """
-
-        def _add(fn: Callable) -> Callable:
-            current = self._items.get(name)
-            if current is not None and current is not fn:
-                raise FlowError(
-                    f"{self.kind} {name!r} already registered"
-                )
-            self._items[name] = fn
-            return fn
-
-        if factory is None:
-            return _add
-        return _add(factory)
-
-    def get(self, name: str) -> Callable:
-        """The factory for *name*; unknown names raise :class:`FlowError`."""
-        try:
-            return self._items[name]
-        except KeyError:
-            raise FlowError(
-                f"unknown {self.kind} {name!r}; available: {self.names()}"
-            )
-
-    def names(self) -> Tuple[str, ...]:
-        """Registered names, in registration order."""
-        return tuple(self._items)
-
-    def __contains__(self, name: object) -> bool:
-        return name in self._items
-
-    def __repr__(self) -> str:
-        return f"Registry({self.kind!r}, {list(self._items)})"
 
 
 FLOORPLANNERS = Registry("floorplanner")
@@ -212,7 +164,17 @@ class _GridSolverAdapter:
 
     def __init__(self, floorplan, package):
         self._model = GridModel(floorplan, package=package)
+        self._block_names = floorplan.block_names()
         self._queries = 0
+
+    @property
+    def block_names(self):
+        """Names of the queryable blocks (PE instances).
+
+        Exposed so post-passes (the leakage fixed point) run on *this*
+        model rather than silently substituting another solver.
+        """
+        return list(self._block_names)
 
     @property
     def query_count(self) -> int:

@@ -17,7 +17,8 @@ The built-in flow kinds reproduce the paper's two figures exactly:
   floorplanning, HotSpot-in-the-loop refinement.  Byte-identical to
   :class:`repro.cosynth.framework.CoSynthesisFramework` for equal inputs.
 
-Workload construction (graph + technology library) is memoised per
+Workload construction (graph + technology library) is delegated to
+:func:`repro.scenarios.workloads.build_workload`, which memoises per
 process, so sweeps over policies do not regenerate identical substrates.
 """
 
@@ -39,19 +40,13 @@ from ..cosynth.cost import (
     thermal_final_cost,
 )
 from ..cosynth.framework import CoSynthesisConfig, CoSynthesisFramework
-from ..errors import FlowError, FlowSpecError, TaskGraphError
+from ..errors import FlowError
 from ..extensions.dvfs import DEFAULT_LEVELS, DVFSLevel, DVFSResult, reclaim_slack
 from ..floorplan.geometry import Floorplan
 from ..library.bus import shared_bus_comm, zero_cost_comm
+from ..library.catalogues import catalogue_by_name
 from ..library.pe import Architecture
-from ..library.presets import (
-    default_platform,
-    generate_technology_library,
-    library_for_graph,
-    stable_library_seed,
-)
-from ..taskgraph.benchmarks import benchmark
-from ..taskgraph.conditional import ConditionalTaskGraph, conditional_benchmark
+from ..taskgraph.conditional import ConditionalTaskGraph
 from ..thermal.leakage import LeakageModel, LeakageSolution, solve_with_leakage
 from ..thermal.package import default_package
 from .registry import FLOORPLANNERS, FLOWS, THERMAL_SOLVERS, build_policy
@@ -60,85 +55,50 @@ from .spec import ArchitectureSpec, FloorplanSpec, FlowSpec, spec_hash
 __all__ = ["Flow", "FlowResult", "run_flow"]
 
 
-# ----------------------------------------------------------------------
-# workload construction (memoised per process)
-# ----------------------------------------------------------------------
-_WORKLOAD_CACHE: Dict[Tuple, Tuple[Any, Any]] = {}
-
-
 def _build_workload(spec: FlowSpec) -> Tuple[Any, Any]:
     """(graph-or-CTG, library) for *spec*, shared across runs in-process."""
-    key = (
-        spec.graph.kind,
-        spec.graph.name,
-        spec.library.seed,
-        spec.conditional.guard_probabilities,
+    # late import: repro.scenarios imports repro.flow.spec for its grid
+    # layer, so binding it at module import time would be cyclic
+    from ..scenarios.workloads import build_workload
+
+    graph, library = build_workload(
+        spec.graph, spec.library, spec.conditional.guard_probabilities
     )
-    if key in _WORKLOAD_CACHE:
-        return _WORKLOAD_CACHE[key]
-    if spec.graph.kind == "benchmark":
-        graph = benchmark(spec.graph.name)
-        library = library_for_graph(graph, seed=spec.library.seed)
-    else:  # "conditional" (validated by GraphSourceSpec)
-        graph = conditional_benchmark(spec.graph.name)
-        if spec.conditional.guard_probabilities:
-            graph = _override_guards(graph, spec.conditional.guard_probabilities)
-        task_types = sorted({task.task_type for task in graph.tasks()})
-        seed = spec.library.seed
-        if seed is None:
-            seed = stable_library_seed(graph.name)
-        library = generate_technology_library(
-            task_types, seed=seed, name=f"library-{graph.name}"
+    is_ctg = isinstance(graph, ConditionalTaskGraph)
+    if spec.conditional.enabled and not is_ctg:
+        raise FlowError(
+            f"conditional aggregation is enabled but workload "
+            f"{graph.name!r} is a plain task graph"
         )
-    _WORKLOAD_CACHE[key] = (graph, library)
+    if is_ctg and not spec.conditional.enabled:
+        raise FlowError(
+            f"workload {graph.name!r} is a conditional task graph; "
+            f"set conditional.enabled = True"
+        )
     return graph, library
 
 
-def _override_guards(
-    ctg: ConditionalTaskGraph,
-    triples: Tuple[Tuple[str, str, float], ...],
-) -> ConditionalTaskGraph:
-    """Rebuild *ctg* with guard distributions replaced by *triples*.
+def _build_architecture(spec: FlowSpec) -> Architecture:
+    """The platform architecture *spec* describes, from its catalogue.
 
-    An override re-declares a guard's *entire* outcome distribution: a
-    partial override (missing outcomes, unknown outcomes, probabilities
-    not summing to 1) raises :class:`FlowSpecError` — silently merging
-    with the built-in distribution would produce one that sums past 1.
+    The default spec resolves to the catalogue's platform PE —
+    byte-identical to :func:`repro.library.presets.default_platform` for
+    the default catalogue.
     """
-    overrides: Dict[str, Dict[str, float]] = {}
-    for guard, outcome, probability in triples:
-        overrides.setdefault(guard, {})[outcome] = probability
-    declared = ctg.guards()
-    unknown_guards = sorted(set(overrides) - set(declared))
-    if unknown_guards:
-        raise FlowSpecError(
-            f"guard overrides reference guards absent from "
-            f"{ctg.name!r}: {unknown_guards}"
+    catalogue = catalogue_by_name(spec.library.catalogue)
+    arch = spec.architecture
+    if arch.pes:
+        architecture = Architecture(arch.name)
+        for type_name in arch.pes:
+            architecture.add_instance(catalogue.pe_type(type_name))
+        return architecture
+    pe_name = arch.pe or catalogue.platform_pe
+    if pe_name is None:
+        raise FlowError(
+            f"catalogue {catalogue.name!r} declares no platform PE; "
+            f"set architecture.pe (available: {catalogue.type_names()})"
         )
-    for guard, replacement in overrides.items():
-        outcomes = set(declared[guard])
-        missing = sorted(outcomes - set(replacement))
-        extra = sorted(set(replacement) - outcomes)
-        if missing or extra:
-            raise FlowSpecError(
-                f"override for guard {guard!r} must re-specify exactly the "
-                f"outcomes {sorted(outcomes)}; missing {missing}, "
-                f"unknown {extra}"
-            )
-    rebuilt = ConditionalTaskGraph(ctg.name, ctg.deadline)
-    for task in ctg.tasks():
-        rebuilt.add_task(task)
-    for edge in ctg.edges():
-        rebuilt.add_edge(edge.src, edge.dst, edge.data, edge.condition)
-    for guard, probabilities in declared.items():
-        try:
-            rebuilt.declare_guard(guard, overrides.get(guard, probabilities))
-        except TaskGraphError as exc:
-            raise FlowSpecError(
-                f"bad probability override for guard {guard!r}: {exc}"
-            ) from exc
-    rebuilt.validate()
-    return rebuilt
+    return Architecture.homogeneous(arch.name, catalogue.pe_type(pe_name), arch.count)
 
 
 def _build_package(spec: FlowSpec):
@@ -256,9 +216,7 @@ class _FlowOutcome:
 # ----------------------------------------------------------------------
 def _platform_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
     """Figure 1b: fixed architecture + floorplan, ASP with HotSpot."""
-    architecture = default_platform(
-        count=spec.architecture.count, name=spec.architecture.name
-    )
+    architecture = _build_architecture(spec)
     floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
     floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(architecture, floorplan_spec)
     package = _build_package(spec)
@@ -341,7 +299,10 @@ def _cosynthesis_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
         genetic_config=floorplan_spec.genetic_config(),
     )
     package = _build_package(spec)
-    framework = CoSynthesisFramework(package=package, config=config)
+    catalogue = catalogue_by_name(spec.library.catalogue)
+    framework = CoSynthesisFramework(
+        catalogue=list(catalogue.pe_types), package=package, config=config
+    )
     policy = build_policy(spec.policy)
     final_cost = (
         _FINAL_COSTS[spec.cosynth.final_cost]() if spec.cosynth.final_cost else None

@@ -29,10 +29,16 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..errors import FlowSpecError
+from ..errors import FlowSpecError, TaskGraphError
+from ..taskgraph.benchmarks import BENCHMARK_SPECS
+from ..taskgraph.generator import default_family_graph_name, family_graph_spec
 
 __all__ = [
+    "GRAPH_SOURCE_KINDS",
     "GraphSourceSpec",
+    "generated_source",
+    "file_source",
+    "registered_source",
     "LibrarySpec",
     "PolicySpec",
     "ArchitectureSpec",
@@ -90,24 +96,134 @@ class _FlatSpec:
 # ----------------------------------------------------------------------
 # spec nodes
 # ----------------------------------------------------------------------
+#: Workload source kinds a :class:`GraphSourceSpec` may name.
+GRAPH_SOURCE_KINDS = ("benchmark", "conditional", "generated", "file", "registered")
+
+#: GraphSourceSpec fields meaningful only for ``kind="generated"``.
+_GENERATED_FIELDS = (
+    "family", "tasks", "seed", "width", "density", "ccr", "deadline_slack",
+)
+
+
 @dataclass(frozen=True)
 class GraphSourceSpec(_FlatSpec):
     """Where the workload graph comes from.
 
-    ``kind="benchmark"`` names one of the paper's Bm1–Bm4 graphs;
-    ``kind="conditional"`` names a built-in conditional task graph (the
-    video-pipeline CTG used by the conditional-scheduling extension).
+    * ``kind="benchmark"`` — one of the paper's Bm1–Bm4 graphs
+      (``name`` defaults to ``"Bm1"``);
+    * ``kind="conditional"`` — a built-in conditional task graph (the
+      video-pipeline CTG used by the conditional-scheduling extension);
+    * ``kind="generated"`` — a seeded TGFF-style family from
+      :mod:`repro.taskgraph.generator` (``family``/``tasks``/``seed``
+      plus optional ``width``/``density``/``ccr``/``deadline_slack``);
+      ``name`` becomes the generated graph's name — an empty name means
+      the self-describing ``"<family>-<tasks>t[-s<seed>]"`` default,
+      derived at build time so grid overrides of ``tasks``/``seed``
+      always relabel the graph;
+    * ``kind="file"`` — a graph loaded through
+      :func:`repro.taskgraph.io.load_graph` from ``path`` (the graph's
+      name comes from the file, so ``name`` must stay empty);
+    * ``kind="registered"`` — a workload registered by name through
+      :func:`repro.scenarios.register_workload`.
+
+    Fields that do not apply to the chosen kind must be left at ``None``
+    — a ``tasks=`` on a benchmark source would silently describe a
+    different computation than the one that runs.  Generated knobs are
+    validated here, at spec construction, so an invalid grid axis fails
+    at ``expand()`` time rather than mid-sweep.
     """
 
     kind: str = "benchmark"
-    name: str = "Bm1"
+    name: str = ""
+    # generated-workload knobs (kind="generated" only)
+    family: Optional[str] = None
+    tasks: Optional[int] = None
+    seed: Optional[int] = None
+    width: Optional[int] = None
+    density: Optional[float] = None
+    ccr: Optional[float] = None
+    deadline_slack: Optional[float] = None
+    # file source (kind="file" only)
+    path: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("benchmark", "conditional"):
+        if self.kind not in GRAPH_SOURCE_KINDS:
             raise FlowSpecError(
-                f"graph source kind must be 'benchmark' or 'conditional', "
+                f"graph source kind must be one of {GRAPH_SOURCE_KINDS}, "
                 f"got {self.kind!r}"
             )
+        if self.kind != "generated":
+            stray = [f for f in _GENERATED_FIELDS if getattr(self, f) is not None]
+            if stray:
+                raise FlowSpecError(
+                    f"graph source fields {stray} apply to kind='generated' "
+                    f"only, not {self.kind!r}"
+                )
+        else:
+            for field_name, kinds in (
+                ("family", str),
+                ("tasks", int),
+                ("seed", int),
+                ("width", int),
+                ("density", (int, float)),
+                ("ccr", (int, float)),
+                ("deadline_slack", (int, float)),
+            ):
+                value = getattr(self, field_name)
+                if value is not None and (
+                    isinstance(value, bool) or not isinstance(value, kinds)
+                ):
+                    raise FlowSpecError(
+                        f"generated graph source field {field_name!r} must "
+                        f"be a {getattr(kinds, '__name__', 'number')}, got "
+                        f"{value!r}"
+                    )
+            if self.tasks is None or self.tasks < 1:
+                raise FlowSpecError(
+                    f"generated graph sources need tasks >= 1, got {self.tasks!r}"
+                )
+            if self.name in BENCHMARK_SPECS:
+                # e.g. --set graph.kind=generated on a benchmark base:
+                # a generated graph wearing a paper benchmark's name
+                # would misattribute every reported row
+                raise FlowSpecError(
+                    f"generated graph sources may not reuse the benchmark "
+                    f"name {self.name!r}; set graph.name (empty picks the "
+                    f"self-describing default)"
+                )
+            # full family validation now: a bad width/density/family in a
+            # grid axis must fail at expand() time, not mid-sweep
+            try:
+                family_graph_spec(
+                    self.family or "layered",
+                    self.name
+                    or default_family_graph_name(
+                        self.family or "layered", self.tasks, self.seed
+                    ),
+                    self.tasks,
+                    width=self.width,
+                    density=self.density,
+                    ccr=self.ccr,
+                    deadline_slack=self.deadline_slack,
+                )
+            except TaskGraphError as exc:
+                raise FlowSpecError(f"invalid generated graph source: {exc}") from exc
+        if self.kind == "benchmark" and not self.name:
+            object.__setattr__(self, "name", "Bm1")
+        if self.kind == "file":
+            if not self.path:
+                raise FlowSpecError("file graph sources need a path")
+            if self.name:
+                raise FlowSpecError(
+                    "file graph sources take their name from the file; "
+                    "leave name empty (see file_source())"
+                )
+        elif self.path is not None:
+            raise FlowSpecError(
+                f"graph source path applies to kind='file' only, not {self.kind!r}"
+            )
+        if self.kind in ("conditional", "registered") and not self.name:
+            raise FlowSpecError(f"{self.kind} graph sources need a name")
 
 
 @dataclass(frozen=True)
@@ -116,9 +232,22 @@ class LibrarySpec(_FlatSpec):
 
     ``seed=None`` keeps the stable per-graph default (each benchmark gets
     its own reproducible library, as in the seed reproduction).
+    ``catalogue`` names a registered PE catalogue (see
+    :func:`repro.library.register_catalogue`); the default is the paper's
+    five-type embedded catalogue.  The catalogue also supplies the PE
+    types the platform architecture and the co-synthesis search draw
+    from.
     """
 
     seed: Optional[int] = None
+    catalogue: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.catalogue or not isinstance(self.catalogue, str):
+            raise FlowSpecError(
+                f"library catalogue must be a non-empty name, got "
+                f"{self.catalogue!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -138,16 +267,62 @@ class PolicySpec(_FlatSpec):
 class ArchitectureSpec(_FlatSpec):
     """The fixed platform architecture (Figure 1b flows).
 
-    ``count`` identical :data:`~repro.library.presets.PLATFORM_PE` cores,
-    exactly like :func:`~repro.library.presets.default_platform`.
+    The default is ``count`` identical cores of the library catalogue's
+    platform PE type — for the default catalogue that is
+    :data:`~repro.library.presets.PLATFORM_PE`, exactly like
+    :func:`~repro.library.presets.default_platform`.
+
+    ``pe`` names a different catalogue PE type for a homogeneous
+    platform; ``pes`` lists catalogue type names one-per-core for a
+    heterogeneous platform.  With ``pes`` set, ``count`` is derived from
+    it (``None`` or ``len(pes)`` accepted; anything else raises — a
+    count sweep over a heterogeneous base would otherwise silently
+    collapse).
     """
 
-    count: int = 4
+    count: Optional[int] = None
     name: str = "platform"
+    pe: Optional[str] = None
+    pes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.pes, tuple):
+            object.__setattr__(self, "pes", tuple(self.pes))
+        if self.pes:
+            if self.pe is not None:
+                raise FlowSpecError(
+                    "architecture pe and pes are mutually exclusive"
+                )
+            if any(not isinstance(entry, str) or not entry for entry in self.pes):
+                raise FlowSpecError(
+                    f"architecture pes must be PE type names, got {self.pes!r}"
+                )
+            if self.count is not None and self.count != len(self.pes):
+                raise FlowSpecError(
+                    f"architecture count {self.count} contradicts the "
+                    f"{len(self.pes)} explicit pes entries; drop count or "
+                    f"make them agree"
+                )
+            object.__setattr__(self, "count", len(self.pes))
+        elif self.count is None:
+            object.__setattr__(self, "count", 4)
         if self.count < 1:
             raise FlowSpecError(f"architecture count must be >= 1, got {self.count}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        payload = _scalar_fields_to_dict(self)
+        payload["pes"] = list(self.pes)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchitectureSpec":
+        """Rebuild from :meth:`to_dict` output; strict on unknown keys."""
+        payload = _require_mapping(cls, data)
+        pes = payload.pop("pes", ())
+        if not isinstance(pes, (list, tuple)):
+            raise FlowSpecError("architecture pes must be a list")
+        return cls(pes=tuple(pes), **payload)
 
 
 @dataclass(frozen=True)
@@ -378,10 +553,19 @@ class FlowSpec:
     def __post_init__(self) -> None:
         if not self.flow or not isinstance(self.flow, str):
             raise FlowSpecError(f"flow kind must be a non-empty string, got {self.flow!r}")
-        if self.conditional.enabled and self.graph.kind != "conditional":
+        if self.dvfs.enabled and self.graph.kind == "conditional":
             raise FlowSpecError(
-                "conditional aggregation needs graph.kind == 'conditional' "
-                f"(got {self.graph.kind!r})"
+                "the DVFS post-pass needs a single schedule; conditional "
+                "flows aggregate many (disable dvfs or conditional)"
+            )
+        if self.conditional.enabled and self.graph.kind not in (
+            "conditional",
+            "registered",
+        ):
+            raise FlowSpecError(
+                "conditional aggregation needs a conditional graph source "
+                "(graph.kind 'conditional', or 'registered' naming a "
+                f"conditional workload); got {self.graph.kind!r}"
             )
         if self.graph.kind == "conditional" and not self.conditional.enabled:
             raise FlowSpecError(
@@ -440,8 +624,47 @@ def spec_hash(spec: FlowSpec) -> str:
 
 
 # ----------------------------------------------------------------------
-# quick constructors for the two paper flows
+# quick constructors for graph sources and the two paper flows
 # ----------------------------------------------------------------------
+def generated_source(
+    family: str = "layered",
+    tasks: int = 20,
+    seed: Optional[int] = None,
+    *,
+    name: Optional[str] = None,
+    width: Optional[int] = None,
+    density: Optional[float] = None,
+    ccr: Optional[float] = None,
+    deadline_slack: Optional[float] = None,
+) -> GraphSourceSpec:
+    """A seeded generated-workload source (see ``repro.family_names()``).
+
+    The graph name defaults to ``"<family>-<tasks>t[-s<seed>]"`` so that
+    distinct parameterizations get distinct, self-describing names.
+    """
+    return GraphSourceSpec(
+        kind="generated",
+        name=name or "",
+        family=family,
+        tasks=tasks,
+        seed=seed,
+        width=width,
+        density=density,
+        ccr=ccr,
+        deadline_slack=deadline_slack,
+    )
+
+
+def file_source(path: str) -> GraphSourceSpec:
+    """A graph-file source (``.tg`` or ``.json``, see ``taskgraph.io``)."""
+    return GraphSourceSpec(kind="file", name="", path=str(path))
+
+
+def registered_source(name: str) -> GraphSourceSpec:
+    """A source naming a workload registered via ``register_workload``."""
+    return GraphSourceSpec(kind="registered", name=name)
+
+
 def platform_spec(
     benchmark: str = "Bm1",
     policy: str = "thermal",
@@ -452,13 +675,23 @@ def platform_spec(
     """A platform-based design flow spec (paper Figure 1b).
 
     Extra keyword arguments replace top-level :class:`FlowSpec` fields
-    (e.g. ``dvfs=DVFSSpec(enabled=True)``).
+    (e.g. ``dvfs=DVFSSpec(enabled=True)``); a ``graph=`` override (e.g.
+    :func:`generated_source`) replaces the benchmark source entirely.
     """
+    graph = overrides.pop(
+        "graph", GraphSourceSpec(kind="benchmark", name=benchmark)
+    )
+    architecture = overrides.pop("architecture", None)
+    if architecture is not None and count != 4:
+        raise FlowSpecError(
+            "pass either a full architecture= spec or the count "
+            "shorthand, not both"
+        )
     return FlowSpec(
         flow="platform",
-        graph=GraphSourceSpec(kind="benchmark", name=benchmark),
+        graph=graph,
         policy=PolicySpec(name=policy, weight=weight),
-        architecture=ArchitectureSpec(count=count),
+        architecture=architecture or ArchitectureSpec(count=count),
         **overrides,
     )
 
@@ -477,8 +710,25 @@ def cosynthesis_spec(
     *config* accepts a legacy
     :class:`~repro.cosynth.framework.CoSynthesisConfig` and translates it
     into the equivalent declarative fields, so experiment drivers migrate
-    without changing their own signatures.
+    without changing their own signatures.  A full ``cosynth=`` override
+    is honoured too, but is mutually exclusive with the
+    *final_cost*/*screening*/*config* shorthands it would shadow.
     """
+    graph = overrides.pop(
+        "graph", GraphSourceSpec(kind="benchmark", name=benchmark)
+    )
+    if "cosynth" in overrides:
+        if final_cost is not None or screening is not None or config is not None:
+            raise FlowSpecError(
+                "pass either a full cosynth= spec or the "
+                "final_cost/screening/config shorthands, not both"
+            )
+        return FlowSpec(
+            flow="cosynthesis",
+            graph=graph,
+            policy=PolicySpec(name=policy, weight=weight),
+            **overrides,
+        )
     cosynth = CoSynthSpec(final_cost=final_cost, screening=screening)
     floorplan = None
     if config is not None:
@@ -507,7 +757,7 @@ def cosynthesis_spec(
     floorplan = overrides.pop("floorplan", floorplan)
     return FlowSpec(
         flow="cosynthesis",
-        graph=GraphSourceSpec(kind="benchmark", name=benchmark),
+        graph=graph,
         policy=PolicySpec(name=policy, weight=weight),
         cosynth=cosynth,
         floorplan=floorplan,

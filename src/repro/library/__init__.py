@@ -1,5 +1,5 @@
 """Technology-library substrate (S2): PEs, architectures, WCET/WCPC tables,
-and the shared-bus communication model."""
+named PE catalogues, and the shared-bus communication model."""
 
 from .bus import Bus, CommunicationModel, shared_bus_comm, zero_cost_comm
 from .pe import Architecture, PEInstance, PEType
@@ -10,6 +10,14 @@ from .presets import (
     default_platform,
     generate_technology_library,
     library_for_graph,
+    stable_library_seed,
+)
+from .catalogues import (
+    CATALOGUES,
+    CatalogueSpec,
+    catalogue_by_name,
+    catalogue_names,
+    register_catalogue,
 )
 
 __all__ = [
@@ -22,6 +30,12 @@ __all__ = [
     "default_platform",
     "generate_technology_library",
     "library_for_graph",
+    "stable_library_seed",
+    "CatalogueSpec",
+    "CATALOGUES",
+    "register_catalogue",
+    "catalogue_by_name",
+    "catalogue_names",
     "Bus",
     "CommunicationModel",
     "zero_cost_comm",

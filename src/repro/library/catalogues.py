@@ -1,0 +1,265 @@
+"""Named PE catalogues — the platform side of the scenario space.
+
+The paper evaluates one five-type embedded catalogue.  This module makes
+the catalogue a first-class, registered component so specs can name
+alternatives (``LibrarySpec(catalogue="big-little")``) the same way they
+name policies or floorplanners:
+
+* a :class:`CatalogueSpec` bundles the PE types with the support rule the
+  library generator needs (which types run every task type, how sparse
+  the accelerator coverage is) and the default platform PE;
+* the registry resolves names with the shared hyphen/underscore
+  normalization and rejects silent shadowing;
+* four catalogues ship built in: the paper's ``default``, a
+  ``big-little`` two-tier mobile catalogue, an ``accel-heavy`` catalogue
+  (one general-purpose core among specialized accelerators), and a
+  ``many-core`` catalogue of small identical tiles for scaled platforms.
+
+The default catalogue is byte-compatible with
+:func:`repro.library.presets.default_catalogue`: libraries generated
+through either path are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+from ..errors import LibraryError
+from ..registry import Registry
+from .pe import PEType
+from .presets import _CATALOGUE, _GENERAL_PURPOSE, PLATFORM_PE
+
+__all__ = [
+    "CatalogueSpec",
+    "CATALOGUES",
+    "register_catalogue",
+    "catalogue_by_name",
+    "catalogue_names",
+]
+
+
+@dataclass(frozen=True)
+class CatalogueSpec:
+    """One named PE catalogue plus its library-generation support rule.
+
+    ``general_purpose`` names the PE types that support every task type;
+    the remaining (accelerator-like) types support only task types whose
+    index is a multiple of ``accel_coverage``, mirroring the preset
+    generator's ASIC-coverage rule.  ``platform_pe`` is the type the
+    platform flow instantiates when :class:`~repro.flow.ArchitectureSpec`
+    does not name one.
+    """
+
+    name: str
+    pe_types: Tuple[PEType, ...]
+    general_purpose: FrozenSet[str] = field(default_factory=frozenset)
+    accel_coverage: int = 3
+    platform_pe: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LibraryError("catalogue name must be non-empty")
+        if not isinstance(self.pe_types, tuple):
+            object.__setattr__(self, "pe_types", tuple(self.pe_types))
+        if not self.pe_types:
+            raise LibraryError(f"catalogue {self.name!r} has no PE types")
+        if not isinstance(self.general_purpose, frozenset):
+            object.__setattr__(
+                self, "general_purpose", frozenset(self.general_purpose)
+            )
+        names = [pe.name for pe in self.pe_types]
+        if len(set(names)) != len(names):
+            raise LibraryError(
+                f"catalogue {self.name!r} has duplicate PE type names"
+            )
+        unknown = sorted(self.general_purpose - set(names))
+        if unknown:
+            raise LibraryError(
+                f"catalogue {self.name!r}: general_purpose names {unknown} "
+                f"are not in the catalogue"
+            )
+        if not self.general_purpose:
+            raise LibraryError(
+                f"catalogue {self.name!r} needs at least one general-purpose "
+                f"PE type (otherwise some workloads are unschedulable)"
+            )
+        if self.accel_coverage < 1:
+            raise LibraryError(
+                f"catalogue {self.name!r}: accel_coverage must be >= 1"
+            )
+        if self.platform_pe is not None and self.platform_pe not in names:
+            raise LibraryError(
+                f"catalogue {self.name!r}: platform_pe {self.platform_pe!r} "
+                f"is not in the catalogue"
+            )
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[PEType]:
+        return iter(self.pe_types)
+
+    def __len__(self) -> int:
+        return len(self.pe_types)
+
+    def type_names(self) -> Tuple[str, ...]:
+        """PE type names, in catalogue order."""
+        return tuple(pe.name for pe in self.pe_types)
+
+    def pe_type(self, name: str) -> PEType:
+        """The catalogue entry called *name*."""
+        for pe in self.pe_types:
+            if pe.name == name:
+                return pe
+        raise LibraryError(
+            f"catalogue {self.name!r} has no PE type {name!r}; "
+            f"available: {self.type_names()}"
+        )
+
+    def supports(self, pe_name: str, task_index: int) -> bool:
+        """Whether *pe_name* supports the task type at *task_index*.
+
+        General-purpose types support everything; accelerator-like types
+        cover every ``accel_coverage``-th task type (the preset
+        generator's rule).
+        """
+        if pe_name in self.general_purpose:
+            return True
+        return task_index % self.accel_coverage == 0
+
+
+CATALOGUES = Registry("catalogue")
+
+
+def register_catalogue(catalogue: CatalogueSpec) -> CatalogueSpec:
+    """Register *catalogue* under its name (shadowing raises)."""
+    if not isinstance(catalogue, CatalogueSpec):
+        raise LibraryError(
+            f"register_catalogue expects a CatalogueSpec, got "
+            f"{type(catalogue).__name__}"
+        )
+    CATALOGUES.register(catalogue.name, catalogue)
+    return catalogue
+
+
+def catalogue_by_name(name: str) -> CatalogueSpec:
+    """The registered catalogue called *name* (``-``/``_`` interchangeable)."""
+    return CATALOGUES.get(name)
+
+
+def catalogue_names() -> Tuple[str, ...]:
+    """All registered catalogue names, in registration order."""
+    return CATALOGUES.names()
+
+
+# ----------------------------------------------------------------------
+# built-in catalogues
+# ----------------------------------------------------------------------
+register_catalogue(
+    CatalogueSpec(
+        name="default",
+        pe_types=tuple(_CATALOGUE),
+        general_purpose=frozenset(_GENERAL_PURPOSE),
+        accel_coverage=3,
+        platform_pe=PLATFORM_PE.name,
+        description="the paper's five-type embedded catalogue",
+    )
+)
+
+register_catalogue(
+    CatalogueSpec(
+        name="big-little",
+        pe_types=(
+            PEType(
+                name="big-core",  # out-of-order performance core
+                width_mm=7.0,
+                height_mm=7.0,
+                speed=2.0,
+                power_scale=2.3,
+                idle_power=0.30,
+                cost=2.2,
+            ),
+            PEType(
+                name="little-core",  # in-order efficiency core
+                width_mm=4.0,
+                height_mm=4.0,
+                speed=0.6,
+                power_scale=0.45,
+                idle_power=0.06,
+                cost=0.6,
+            ),
+        ),
+        general_purpose=frozenset({"big-core", "little-core"}),
+        platform_pe="big-core",
+        description="two-tier mobile catalogue (performance vs efficiency)",
+    )
+)
+
+register_catalogue(
+    CatalogueSpec(
+        name="accel-heavy",
+        pe_types=(
+            PLATFORM_PE,  # the one core that can run anything
+            PEType(
+                name="stream-accel",  # wide SIMD streaming engine
+                width_mm=4.0,
+                height_mm=3.5,
+                speed=3.4,
+                power_scale=0.9,
+                idle_power=0.06,
+                cost=2.6,
+            ),
+            PEType(
+                name="codec-accel",  # fixed-function media block
+                width_mm=3.0,
+                height_mm=3.0,
+                speed=2.6,
+                power_scale=0.6,
+                idle_power=0.04,
+                cost=2.0,
+            ),
+            PEType(
+                name="crypto-accel",  # narrow but extremely efficient
+                width_mm=2.5,
+                height_mm=2.5,
+                speed=2.2,
+                power_scale=0.4,
+                idle_power=0.03,
+                cost=1.8,
+            ),
+        ),
+        general_purpose=frozenset({PLATFORM_PE.name}),
+        accel_coverage=2,
+        platform_pe=PLATFORM_PE.name,
+        description="one GP core among specialized accelerators",
+    )
+)
+
+register_catalogue(
+    CatalogueSpec(
+        name="many-core",
+        pe_types=(
+            PEType(
+                name="tile-core",  # small tile replicated across the die
+                width_mm=3.0,
+                height_mm=3.0,
+                speed=0.8,
+                power_scale=0.5,
+                idle_power=0.04,
+                cost=0.5,
+            ),
+            PEType(
+                name="fat-tile",  # sparser, beefier tile variant
+                width_mm=4.5,
+                height_mm=4.5,
+                speed=1.3,
+                power_scale=1.0,
+                idle_power=0.10,
+                cost=1.1,
+            ),
+        ),
+        general_purpose=frozenset({"tile-core", "fat-tile"}),
+        platform_pe="tile-core",
+        description="small identical tiles for scaled platforms",
+    )
+)

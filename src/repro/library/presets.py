@@ -131,6 +131,12 @@ def generate_technology_library(
 
     so fast PEs finish sooner but burn more power — the paper's
     heuristic-3 (energy) trade-off emerges naturally.
+
+    *catalogue* accepts a plain PE-type sequence (legacy; the preset
+    support rule applies) or a :class:`~repro.library.CatalogueSpec`,
+    whose own general-purpose / accelerator-coverage rule decides which
+    (task type, PE type) entries exist.  For the default catalogue both
+    paths generate byte-identical libraries.
     """
     if not task_types:
         raise LibraryError("task_types must be non-empty")
@@ -138,17 +144,27 @@ def generate_technology_library(
         raise LibraryError("task_types contains duplicates")
     if catalogue is None:
         catalogue = default_catalogue()
-    if not catalogue:
+    if hasattr(catalogue, "pe_types"):  # CatalogueSpec (duck-typed: no cycle)
+        pe_types = catalogue.pe_types
+        supports = catalogue.supports
+    else:
+        pe_types = list(catalogue)
+
+        def supports(pe_name: str, index: int) -> bool:
+            if pe_name in _GENERAL_PURPOSE:
+                return True
+            return index % _ACCEL_COVERAGE == 0
+
+    if not pe_types:
         raise LibraryError("catalogue must be non-empty")
     rng = as_random(seed)
     library = TechnologyLibrary(name)
     for index, task_type in enumerate(task_types):
         base_time = rng.uniform(*base_time_range)
         base_power = rng.uniform(*base_power_range)
-        for pe_type in catalogue:
-            if pe_type.name not in _GENERAL_PURPOSE:
-                if index % _ACCEL_COVERAGE != 0:
-                    continue  # accelerator does not support this task type
+        for pe_type in pe_types:
+            if not supports(pe_type.name, index):
+                continue  # this PE type does not support this task type
             wcet = base_time / pe_type.speed * rng.uniform(*time_jitter)
             wcpc = base_power * pe_type.power_scale * rng.uniform(*power_jitter)
             library.add_entry(task_type, pe_type.name, round(wcet, 3), round(wcpc, 3))

@@ -1,0 +1,231 @@
+"""Scenario specifications: a base :class:`FlowSpec` plus parameter grids.
+
+A :class:`ScenarioSpec` describes a whole *family* of runs declaratively:
+one or more :class:`ScenarioCase` entries, each a base spec plus a grid
+of dotted-path overrides (``"policy.name"``, ``"dvfs.enabled"``,
+``"graph.tasks"``...).  :meth:`ScenarioSpec.expand` produces the
+deduplicated, deterministically-ordered ``FlowSpec`` list that feeds
+straight into :func:`repro.flow.run_many`::
+
+    suite = scenario(
+        "thermal-vs-power",
+        platform_spec("Bm1", policy="thermal"),
+        grid={"graph.name": ("Bm1", "Bm2"), "policy.name": ("heuristic3", "thermal")},
+    )
+    results = run_many(suite.expand(), workers=4)
+
+Overrides go through the strict ``FlowSpec`` dict round-trip, so a typo
+in a path or an invalid value raises
+:class:`~repro.errors.FlowSpecError` instead of silently sweeping the
+wrong knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from itertools import product
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from ..errors import FlowSpecError
+from ..flow.spec import FloorplanSpec, FlowSpec, GraphSourceSpec
+
+__all__ = [
+    "ScenarioCase",
+    "ScenarioSpec",
+    "scenario",
+    "apply_overrides",
+]
+
+#: One grid axis: a dotted override path and its values, in sweep order.
+Axis = Tuple[str, Tuple[Any, ...]]
+
+GridLike = Union[Mapping[str, Sequence[Any]], Sequence[Axis], None]
+
+
+def _freeze_grid(grid: GridLike) -> Tuple[Axis, ...]:
+    """Normalize a mapping / pair-sequence grid into ordered axis tuples."""
+    if grid is None:
+        return ()
+    items = grid.items() if isinstance(grid, Mapping) else grid
+    axes: List[Axis] = []
+    seen = set()
+    for key, values in items:
+        if not isinstance(key, str) or not key:
+            raise FlowSpecError(f"grid keys must be dotted paths, got {key!r}")
+        if key in seen:
+            raise FlowSpecError(f"duplicate grid axis {key!r}")
+        seen.add(key)
+        values = tuple(values) if isinstance(values, (list, tuple)) else (values,)
+        if not values:
+            raise FlowSpecError(f"grid axis {key!r} has no values")
+        axes.append((key, values))
+    return tuple(axes)
+
+
+def apply_overrides(
+    spec: FlowSpec, overrides: Mapping[str, Any]
+) -> FlowSpec:
+    """A copy of *spec* with dotted-path *overrides* applied (strict).
+
+    Paths address the spec's dict form (``"policy.name"``, ``"flow"``,
+    ``"conditional.guard_probabilities"``); values are the JSON values
+    the target field serializes to.  A ``floorplan.*`` override on a
+    spec whose floorplan is ``None`` materializes the flow kind's
+    default :class:`FloorplanSpec` first (the thermal/area GA for
+    co-synthesis, the fixed platform layout otherwise).  Overriding
+    ``graph.kind`` to a *different* kind resets the graph section to its
+    defaults first — the old kind's name/knobs describe a workload that
+    no longer exists (a benchmark name on a generated graph would
+    mislabel every result row).  Unknown paths raise
+    :class:`FlowSpecError`.
+    """
+    payload = spec.to_dict()
+    new_kind = overrides.get("graph.kind")
+    if new_kind is not None and new_kind != payload["graph"]["kind"]:
+        payload["graph"] = {
+            field.name: field.default for field in fields(GraphSourceSpec)
+        }
+    for path, value in overrides.items():
+        parts = path.split(".")
+        node: Dict[str, Any] = payload
+        for part in parts[:-1]:
+            if part not in node:
+                raise FlowSpecError(
+                    f"unknown override path {path!r}: no section {part!r} "
+                    f"(available: {sorted(node)})"
+                )
+            child = node[part]
+            if child is None:  # only floorplan may be null
+                kind = "genetic" if payload.get("flow") == "cosynthesis" else "platform"
+                child = FloorplanSpec(kind=kind).to_dict()
+                node[part] = child
+            if not isinstance(child, dict):
+                raise FlowSpecError(
+                    f"override path {path!r}: {part!r} is a value, "
+                    f"not a section"
+                )
+            node = child
+        leaf = parts[-1]
+        if leaf not in node:
+            raise FlowSpecError(
+                f"unknown override path {path!r}: no field {leaf!r} "
+                f"(available: {sorted(node)})"
+            )
+        if isinstance(node[leaf], dict) and not isinstance(value, Mapping):
+            raise FlowSpecError(
+                f"override path {path!r} names a whole section; "
+                f"override its fields instead (e.g. {path}.{next(iter(node[leaf]))})"
+            )
+        node[leaf] = value
+    return FlowSpec.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One base spec and the grid swept around it."""
+
+    base: FlowSpec
+    grid: Tuple[Axis, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, FlowSpec):
+            raise FlowSpecError(
+                f"ScenarioCase base must be a FlowSpec, got "
+                f"{type(self.base).__name__}"
+            )
+        object.__setattr__(self, "grid", _freeze_grid(self.grid))
+
+    def size(self) -> int:
+        """Number of grid points (before cross-case deduplication)."""
+        total = 1
+        for _, values in self.grid:
+            total *= len(values)
+        return total
+
+    def expand(self) -> List[FlowSpec]:
+        """All grid points of this case, axes varying rightmost-fastest."""
+        keys = [key for key, _ in self.grid]
+        combos = product(*(values for _, values in self.grid))
+        return [
+            apply_overrides(self.base, dict(zip(keys, combo)))
+            for combo in combos
+        ]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named suite of flow runs: cases × grids, expanded on demand."""
+
+    name: str
+    cases: Tuple[ScenarioCase, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FlowSpecError("scenario name must be non-empty")
+        cases = self.cases
+        if isinstance(cases, ScenarioCase):
+            cases = (cases,)
+        if not isinstance(cases, tuple):
+            cases = tuple(cases)
+        if not cases or not all(isinstance(c, ScenarioCase) for c in cases):
+            raise FlowSpecError(
+                f"scenario {self.name!r} needs at least one ScenarioCase"
+            )
+        object.__setattr__(self, "cases", cases)
+
+    def size(self) -> int:
+        """Total grid points across cases (expand() may dedup below this)."""
+        return sum(case.size() for case in self.cases)
+
+    def expand(self) -> List[FlowSpec]:
+        """Every distinct spec, first occurrence first.
+
+        Cases expand in declaration order; equal specs produced by
+        several grid points collapse onto the earliest one, so the
+        result feeds ``run_many`` without redundant cache keys.
+        """
+        seen = set()
+        specs: List[FlowSpec] = []
+        for case in self.cases:
+            for spec in case.expand():
+                fingerprint = spec.to_json()
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    specs.append(spec)
+        return specs
+
+    def with_grid(self, overrides: Mapping[str, Sequence[Any]]) -> "ScenarioSpec":
+        """A copy with grid axes replaced/added on **every** case.
+
+        This is the CLI's ``--set key=val,val``: an axis that already
+        exists in a case is replaced in place (keeping its sweep
+        position); new axes append.  Single non-sequence values become
+        one-point axes.
+        """
+        frozen = _freeze_grid(overrides)
+        cases = []
+        for case in self.cases:
+            axes = list(case.grid)
+            existing = {key: index for index, (key, _) in enumerate(axes)}
+            for key, values in frozen:
+                if key in existing:
+                    axes[existing[key]] = (key, values)
+                else:
+                    axes.append((key, values))
+            cases.append(replace(case, grid=tuple(axes)))
+        return replace(self, cases=tuple(cases))
+
+
+def scenario(
+    name: str,
+    base: FlowSpec,
+    grid: GridLike = None,
+    description: str = "",
+) -> ScenarioSpec:
+    """A single-case :class:`ScenarioSpec` (the common shape)."""
+    return ScenarioSpec(
+        name=name,
+        cases=(ScenarioCase(base=base, grid=_freeze_grid(grid)),),
+        description=description,
+    )

@@ -14,7 +14,15 @@ Public surface:
 
 from .task import Task, Edge
 from .graph import TaskGraph
-from .generator import GraphSpec, generate_task_graph, random_graph_spec
+from .generator import (
+    FAMILY_NAMES,
+    GraphSpec,
+    family_graph_spec,
+    family_names,
+    generate_family_graph,
+    generate_task_graph,
+    random_graph_spec,
+)
 from .benchmarks import BENCHMARK_NAMES, BENCHMARK_SPECS, benchmark, benchmark_suite
 from .io import (
     dumps_tg,
@@ -47,6 +55,10 @@ __all__ = [
     "GraphSpec",
     "generate_task_graph",
     "random_graph_spec",
+    "FAMILY_NAMES",
+    "family_names",
+    "family_graph_spec",
+    "generate_family_graph",
     "BENCHMARK_NAMES",
     "BENCHMARK_SPECS",
     "benchmark",

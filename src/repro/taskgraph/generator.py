@@ -26,7 +26,16 @@ from ..rng import SeedLike, as_random
 from .graph import TaskGraph
 from .task import Task
 
-__all__ = ["GraphSpec", "generate_task_graph", "random_graph_spec"]
+__all__ = [
+    "GraphSpec",
+    "generate_task_graph",
+    "random_graph_spec",
+    "FAMILY_NAMES",
+    "family_names",
+    "family_graph_spec",
+    "generate_family_graph",
+    "default_family_graph_name",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +59,11 @@ class GraphSpec:
         Bounds on the number of tasks per level (after the entry task).
     data_low, data_high:
         Range for edge data volumes (uniform).
+    width_pattern:
+        Optional fixed level-width sequence, cycled after the entry
+        level (``(3, 1)`` alternates fan-out-3 and join levels — the
+        fork–join family).  When set, level widths consume no
+        randomness; ``min_width``/``max_width`` are ignored.
     """
 
     name: str
@@ -61,8 +75,19 @@ class GraphSpec:
     max_width: int = 5
     data_low: float = 1.0
     data_high: float = 16.0
+    width_pattern: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.width_pattern is not None:
+            if not isinstance(self.width_pattern, tuple):
+                object.__setattr__(self, "width_pattern", tuple(self.width_pattern))
+            if not self.width_pattern or any(
+                int(w) != w or w < 1 for w in self.width_pattern
+            ):
+                raise TaskGraphError(
+                    f"{self.name}: width_pattern entries must be integers >= 1, "
+                    f"got {self.width_pattern!r}"
+                )
         if self.num_tasks < 1:
             raise TaskGraphError(f"num_tasks must be >= 1, got {self.num_tasks}")
         if self.num_edges < self.num_tasks - 1:
@@ -100,7 +125,11 @@ def _build_levels(spec: GraphSpec, rng) -> List[List[int]]:
     next_index = 1
     while next_index < spec.num_tasks:
         remaining = spec.num_tasks - next_index
-        width = min(remaining, rng.randint(spec.min_width, spec.max_width))
+        if spec.width_pattern is not None:
+            width = spec.width_pattern[(len(levels) - 1) % len(spec.width_pattern)]
+        else:
+            width = rng.randint(spec.min_width, spec.max_width)
+        width = min(remaining, width)
         levels.append(list(range(next_index, next_index + width)))
         next_index += width
     return levels
@@ -135,6 +164,15 @@ def generate_task_graph(spec: GraphSpec, seed: SeedLike = None) -> TaskGraph:
     rng = as_random(seed)
     levels = _build_levels(spec, rng)
     if spec.num_edges > _max_cross_edges(levels):
+        if spec.width_pattern is not None:
+            # a fixed pattern IS the family's shape — falling back to a
+            # chain would silently deliver the opposite topology
+            raise TaskGraphError(
+                f"{spec.name}: the width pattern {spec.width_pattern} "
+                f"cannot host {spec.num_edges} edges over {spec.num_tasks} "
+                f"tasks (capacity {_max_cross_edges(levels)}); lower the "
+                f"edge density or raise the task count"
+            )
         # the sampled layering is too wide to host this edge density; fall
         # back to the maximum-capacity layering (a chain of width-1 levels,
         # which exposes every one of the C(n, 2) forward pairs)
@@ -209,3 +247,199 @@ def random_graph_spec(
     num_edges = max(num_tasks - 1, int(round(num_tasks * density)))
     deadline = round(num_tasks * deadline_slack, 1)
     return GraphSpec(name, num_tasks, num_edges, deadline)
+
+
+# ----------------------------------------------------------------------
+# workload families — named, parameterized TGFF-style recipes
+# ----------------------------------------------------------------------
+#: Edge-data range at CCR 1.0 (the historical generator default).
+_BASE_DATA = (1.0, 16.0)
+
+#: Deadline budget per task at slack 1.0 (≈ the paper's benchmarks).
+_BASE_SLACK = 40.0
+
+
+def _pattern_capacity(tasks: int, pattern: Tuple[int, ...]) -> int:
+    """Forward-pair capacity of the deterministic patterned layering."""
+    widths = [1]
+    remaining = tasks - 1
+    index = 0
+    while remaining:
+        width = min(pattern[index % len(pattern)], remaining)
+        widths.append(width)
+        remaining -= width
+        index += 1
+    capacity = 0
+    deeper = tasks
+    for width in widths:
+        deeper -= width
+        capacity += width * deeper
+    return capacity
+
+
+def _edge_count(
+    tasks: int, density: float, pattern: Optional[Tuple[int, ...]] = None
+) -> int:
+    """Edges for *tasks* at *density*, clamped into the feasible range.
+
+    Small graphs cannot host the family's default density (a 2-task DAG
+    holds one edge; a patterned layering holds fewer forward pairs than
+    ``C(n, 2)``); clamping to the actual capacity keeps small grid
+    points in a task-count sweep valid instead of failing mid-suite.
+    """
+    cap = tasks * (tasks - 1) // 2
+    if pattern is not None:
+        cap = min(cap, _pattern_capacity(tasks, pattern))
+    return min(max(tasks - 1, int(round(tasks * density))), cap)
+
+
+def default_family_graph_name(
+    family: str, tasks: int, seed: Optional[int] = None
+) -> str:
+    """The self-describing default name for a generated family graph."""
+    return f"{family}-{tasks}t" + ("" if seed is None else f"-s{seed}")
+
+
+def _family_layered(name, tasks, width, density, ccr, deadline_slack):
+    """TGFF's series-parallel fan-out mode — the benchmark recipe."""
+    return GraphSpec(
+        name,
+        tasks,
+        _edge_count(tasks, 1.15 if density is None else density),
+        deadline=round(tasks * _BASE_SLACK * deadline_slack, 1),
+        max_width=5 if width is None else width,
+        data_low=_BASE_DATA[0] * ccr,
+        data_high=_BASE_DATA[1] * ccr,
+    )
+
+
+def _family_chain(name, tasks, width, density, ccr, deadline_slack):
+    """A pure pipeline: width-1 levels, exactly ``tasks - 1`` edges."""
+    if width not in (None, 1):
+        raise TaskGraphError(f"{name}: the chain family has width 1")
+    if density is not None:
+        raise TaskGraphError(
+            f"{name}: the chain family has fixed density (tasks - 1 edges)"
+        )
+    return GraphSpec(
+        name,
+        tasks,
+        tasks - 1,
+        deadline=round(tasks * _BASE_SLACK * deadline_slack, 1),
+        data_low=_BASE_DATA[0] * ccr,
+        data_high=_BASE_DATA[1] * ccr,
+        width_pattern=(1,),
+    )
+
+
+def _family_wide(name, tasks, width, density, ccr, deadline_slack):
+    """Constant-width levels: shallow, parallelism-rich graphs."""
+    fixed = max(2, round(tasks ** 0.5)) if width is None else width
+    if fixed < 2:
+        raise TaskGraphError(f"{name}: the wide family needs width >= 2")
+    pattern = (fixed,)
+    return GraphSpec(
+        name,
+        tasks,
+        _edge_count(tasks, 1.1 if density is None else density, pattern),
+        deadline=round(tasks * _BASE_SLACK * deadline_slack, 1),
+        data_low=_BASE_DATA[0] * ccr,
+        data_high=_BASE_DATA[1] * ccr,
+        width_pattern=pattern,
+    )
+
+
+def _family_forkjoin(name, tasks, width, density, ccr, deadline_slack):
+    """Alternating fan-out / join levels (map-reduce-shaped phases)."""
+    fan = 3 if width is None else width
+    if fan < 2:
+        raise TaskGraphError(f"{name}: the forkjoin family needs width >= 2")
+    pattern = (fan, 1)
+    return GraphSpec(
+        name,
+        tasks,
+        _edge_count(tasks, 1.25 if density is None else density, pattern),
+        deadline=round(tasks * _BASE_SLACK * deadline_slack, 1),
+        data_low=_BASE_DATA[0] * ccr,
+        data_high=_BASE_DATA[1] * ccr,
+        width_pattern=pattern,
+    )
+
+
+#: family name -> GraphSpec recipe.
+_FAMILIES = {
+    "layered": _family_layered,
+    "chain": _family_chain,
+    "wide": _family_wide,
+    "forkjoin": _family_forkjoin,
+}
+
+#: Registered generator family names.
+FAMILY_NAMES: Tuple[str, ...] = tuple(_FAMILIES)
+
+
+def family_names() -> Tuple[str, ...]:
+    """All generator family names."""
+    return FAMILY_NAMES
+
+
+def family_graph_spec(
+    family: str,
+    name: str,
+    tasks: int,
+    width: Optional[int] = None,
+    density: Optional[float] = None,
+    ccr: Optional[float] = None,
+    deadline_slack: Optional[float] = None,
+) -> GraphSpec:
+    """The :class:`GraphSpec` a family produces for these parameters.
+
+    ``ccr`` scales edge data volumes relative to the family default of
+    1.0 (communication-to-computation ratio; it only changes schedules
+    under a non-free communication model).  ``deadline_slack`` scales
+    the family's per-task deadline budget (≈40 time units per task, the
+    paper's ballpark) — 0.5 halves every deadline, 2.0 doubles it.
+    """
+    try:
+        recipe = _FAMILIES[family]
+    except KeyError:
+        raise TaskGraphError(
+            f"unknown generator family {family!r}; available: {FAMILY_NAMES}"
+        )
+    if tasks < 1:
+        raise TaskGraphError(f"{name}: tasks must be >= 1, got {tasks}")
+    if ccr is not None and ccr < 0.0:
+        raise TaskGraphError(f"{name}: ccr must be >= 0, got {ccr}")
+    if deadline_slack is not None and deadline_slack <= 0.0:
+        raise TaskGraphError(
+            f"{name}: deadline_slack must be positive, got {deadline_slack}"
+        )
+    return recipe(
+        name,
+        tasks,
+        width,
+        density,
+        1.0 if ccr is None else ccr,
+        1.0 if deadline_slack is None else deadline_slack,
+    )
+
+
+def generate_family_graph(
+    family: str,
+    tasks: int,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+    width: Optional[int] = None,
+    density: Optional[float] = None,
+    ccr: Optional[float] = None,
+    deadline_slack: Optional[float] = None,
+) -> TaskGraph:
+    """Generate one graph of *family*; ``(family, tasks, seed)`` plus the
+    optional knobs fully determine the result across processes."""
+    if name is None:
+        name = default_family_graph_name(family, tasks, seed)
+    spec = family_graph_spec(
+        family, name, tasks, width=width, density=density, ccr=ccr,
+        deadline_slack=deadline_slack,
+    )
+    return generate_task_graph(spec, seed)

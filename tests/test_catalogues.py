@@ -1,0 +1,199 @@
+"""Named PE catalogues: registry, support rules, spec wiring."""
+
+import pytest
+
+from repro.errors import FlowError, LibraryError
+from repro.flow import LibrarySpec, platform_spec, run_flow
+from repro.library import (
+    PLATFORM_PE,
+    CatalogueSpec,
+    PEType,
+    catalogue_by_name,
+    catalogue_names,
+    default_catalogue,
+    library_for_graph,
+    register_catalogue,
+)
+from repro.taskgraph import benchmark
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = catalogue_names()
+        for name in ("default", "big-little", "accel-heavy", "many-core"):
+            assert name in names
+
+    def test_hyphen_underscore_interchangeable(self):
+        assert catalogue_by_name("big_little") is catalogue_by_name("big-little")
+        assert catalogue_by_name("many_core").name == "many-core"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(FlowError, match="available"):
+            catalogue_by_name("quantum")
+
+    def test_shadowing_rejected_across_spellings(self):
+        cat = catalogue_by_name("default")
+        with pytest.raises(FlowError, match="already registered"):
+            register_catalogue(
+                CatalogueSpec(
+                    name="big_little",
+                    pe_types=cat.pe_types,
+                    general_purpose=cat.general_purpose,
+                )
+            )
+
+    def test_reregistering_same_object_is_idempotent(self):
+        register_catalogue(catalogue_by_name("default"))
+
+
+class TestCatalogueSpec:
+    def test_builtins_are_well_formed(self):
+        for name in catalogue_names():
+            cat = catalogue_by_name(name)
+            assert cat.general_purpose <= set(cat.type_names())
+            assert cat.platform_pe in cat.type_names()
+            assert len(cat) == len(cat.type_names())
+
+    def test_default_mirrors_preset_catalogue(self):
+        cat = catalogue_by_name("default")
+        assert list(cat.pe_types) == default_catalogue()
+        assert cat.platform_pe == PLATFORM_PE.name
+
+    def test_unknown_pe_type_listed(self):
+        with pytest.raises(LibraryError, match="available"):
+            catalogue_by_name("default").pe_type("mainframe")
+
+    def test_needs_general_purpose_type(self):
+        with pytest.raises(LibraryError, match="general-purpose"):
+            CatalogueSpec(name="broken", pe_types=(PLATFORM_PE,))
+
+    def test_general_purpose_must_exist(self):
+        with pytest.raises(LibraryError, match="not in the catalogue"):
+            CatalogueSpec(
+                name="broken",
+                pe_types=(PLATFORM_PE,),
+                general_purpose=frozenset({"ghost"}),
+            )
+
+    def test_supports_rule(self):
+        cat = catalogue_by_name("accel-heavy")
+        assert cat.supports(PLATFORM_PE.name, 1)
+        assert cat.supports("stream-accel", 0)
+        assert cat.supports("stream-accel", 2)
+        assert not cat.supports("stream-accel", 1)
+
+
+class TestLibraryGeneration:
+    def test_default_catalogue_spec_is_byte_identical(self):
+        """CatalogueSpec('default') and the legacy list path must agree."""
+        graph = benchmark("Bm1")
+        legacy = library_for_graph(graph)
+        via_spec = library_for_graph(graph, catalogue=catalogue_by_name("default"))
+        assert legacy.entries() == via_spec.entries()
+
+    def test_big_little_covers_every_task_type(self):
+        graph = benchmark("Bm1")
+        library = library_for_graph(
+            graph, catalogue=catalogue_by_name("big-little")
+        )
+        types = {task.task_type for task in graph}
+        for task_type in types:
+            pes = library.supported_pe_types(task_type)
+            assert set(pes) == {"big-core", "little-core"}
+
+    def test_accel_heavy_coverage_rule(self):
+        graph = benchmark("Bm1")
+        library = library_for_graph(
+            graph, catalogue=catalogue_by_name("accel-heavy")
+        )
+        task_types = sorted({task.task_type for task in graph})
+        for index, task_type in enumerate(task_types):
+            accel_supported = "stream-accel" in library.supported_pe_types(task_type)
+            assert accel_supported == (index % 2 == 0)
+
+
+class TestFlowWiring:
+    def test_platform_flow_on_big_little(self):
+        spec = platform_spec(
+            "Bm1", policy="heuristic3",
+            library=LibrarySpec(catalogue="big-little"),
+        )
+        result = run_flow(spec)
+        assert all(pe.type_name == "big-core" for pe in result.architecture)
+        assert result.evaluation.total_power > 0.0
+
+    def test_architecture_pe_override(self):
+        from repro.flow import ArchitectureSpec
+
+        spec = platform_spec(
+            "Bm1", policy="heuristic3",
+            library=LibrarySpec(catalogue="big-little"),
+            architecture=ArchitectureSpec(count=4, pe="little-core"),
+        )
+        result = run_flow(spec)
+        assert all(pe.type_name == "little-core" for pe in result.architecture)
+
+    def test_heterogeneous_pes(self):
+        from repro.flow import ArchitectureSpec
+
+        spec = platform_spec(
+            "Bm1", policy="heuristic3",
+            library=LibrarySpec(catalogue="big-little"),
+            architecture=ArchitectureSpec(
+                pes=("big-core", "little-core", "little-core")
+            ),
+        )
+        result = run_flow(spec)
+        assert [pe.type_name for pe in result.architecture] == [
+            "big-core", "little-core", "little-core",
+        ]
+        assert spec.architecture.count == 3
+
+    def test_conflicting_count_and_pes_rejected(self):
+        from repro.errors import FlowSpecError
+        from repro.flow import ArchitectureSpec
+
+        with pytest.raises(FlowSpecError, match="contradicts"):
+            ArchitectureSpec(count=8, pes=("big-core", "little-core"))
+        with pytest.raises(FlowSpecError, match="not both"):
+            platform_spec(
+                "Bm1", count=8, architecture=ArchitectureSpec(pe="little-core")
+            )
+        # None and the matching count are both fine
+        assert ArchitectureSpec(pes=("big-core",)).count == 1
+        assert ArchitectureSpec(count=1, pes=("big-core",)).count == 1
+        assert ArchitectureSpec() == ArchitectureSpec(count=4)
+
+    def test_unknown_catalogue_fails_at_run(self):
+        spec = platform_spec("Bm1", library=LibrarySpec(catalogue="nope"))
+        with pytest.raises(FlowError, match="catalogue"):
+            run_flow(spec)
+
+    def test_leakage_runs_on_the_named_solver(self):
+        """leakage + gridmodel must solve on the grid adapter, not on a
+        silently substituted HotSpot model."""
+        from repro.flow import LeakageSpec, ThermalSpec
+        from repro.flow.registry import THERMAL_SOLVERS
+        from repro.floorplan import platform_floorplan
+        from repro.library import default_platform
+        from repro.thermal import default_package
+
+        adapter = THERMAL_SOLVERS.get("gridmodel")(
+            platform_floorplan(default_platform()), default_package(), None
+        )
+        assert adapter.block_names == ["pe0", "pe1", "pe2", "pe3"]
+        result = run_flow(
+            platform_spec(
+                "Bm1", policy="heuristic3",
+                thermal=ThermalSpec(solver="gridmodel"),
+                leakage=LeakageSpec(enabled=True),
+            )
+        )
+        assert result.leakage is not None
+        assert result.leakage.total_leakage > 0.0
+
+    def test_default_results_unchanged(self):
+        """The catalogue layer must not move the pinned Bm1 numbers."""
+        result = run_flow(platform_spec("Bm1", policy="thermal"))
+        assert result.evaluation.total_power == pytest.approx(14.8728, abs=1e-3)
+        assert result.evaluation.makespan == pytest.approx(765.858, abs=1e-3)

@@ -1,0 +1,294 @@
+"""Generated workload families: shapes, determinism, end-to-end flows.
+
+The determinism contract is the scenario API's backbone: the same
+``(family, tasks, seed)`` triple must produce an identical ``TaskGraph``
+— and a spec naming it an identical ``spec_hash`` — in this process, in
+a fresh process, and inside ``run_many`` pool workers.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import FlowSpecError, TaskGraphError
+from repro.flow import (
+    FlowSpec,
+    GraphSourceSpec,
+    file_source,
+    generated_source,
+    platform_spec,
+    run_flow,
+    run_many,
+    spec_hash,
+)
+from repro.taskgraph import (
+    family_names,
+    generate_family_graph,
+    graph_to_dict,
+    save_graph,
+)
+
+#: Snippet executed in fresh interpreters for the cross-process check.
+_DETERMINISM_SNIPPET = """
+import json
+from repro.flow import platform_spec, generated_source, spec_hash
+from repro.taskgraph import generate_family_graph, graph_to_dict
+
+graph = generate_family_graph("layered", 18, seed=42)
+spec = platform_spec(policy="thermal", graph=generated_source("layered", 18, seed=42))
+print(json.dumps({"graph": graph_to_dict(graph), "hash": spec_hash(spec)}))
+"""
+
+
+class TestFamilies:
+    def test_family_names(self):
+        assert set(family_names()) == {"layered", "chain", "wide", "forkjoin"}
+
+    @pytest.mark.parametrize("family", ["layered", "chain", "wide", "forkjoin"])
+    def test_exact_task_count(self, family):
+        graph = generate_family_graph(family, 23, seed=5)
+        assert graph.num_tasks == 23
+        assert graph.deadline == pytest.approx(23 * 40.0)
+
+    def test_chain_is_a_chain(self):
+        graph = generate_family_graph("chain", 12, seed=3)
+        assert graph.num_edges == 11
+        indegrees = {t.name: 0 for t in graph.tasks()}
+        for edge in graph.edges():
+            indegrees[edge.dst] += 1
+        assert sorted(indegrees.values()) == [0] + [1] * 11
+
+    def test_chain_rejects_width_and_density(self):
+        with pytest.raises(TaskGraphError):
+            generate_family_graph("chain", 10, seed=1, width=3)
+        with pytest.raises(TaskGraphError):
+            generate_family_graph("chain", 10, seed=1, density=2.0)
+
+    def test_wide_has_fixed_width_levels(self):
+        graph = generate_family_graph("wide", 25, seed=9, width=6)
+        # depth counts: entry level + ceil(24 / 6) fixed-width levels
+        from repro.taskgraph import graph_stats
+
+        stats = graph_stats(graph)
+        assert stats.depth == 1 + 4
+
+    def test_ccr_scales_edge_data(self):
+        low = generate_family_graph("layered", 20, seed=7, ccr=1.0)
+        high = generate_family_graph("layered", 20, seed=7, ccr=4.0)
+        low_mean = sum(e.data for e in low.edges()) / low.num_edges
+        high_mean = sum(e.data for e in high.edges()) / high.num_edges
+        # edge data rounds to 3 decimals, so the scaling is near-exact
+        assert high_mean == pytest.approx(4.0 * low_mean, rel=1e-3)
+
+    def test_deadline_slack_scales_deadline(self):
+        tight = generate_family_graph("layered", 20, seed=7, deadline_slack=0.5)
+        loose = generate_family_graph("layered", 20, seed=7, deadline_slack=2.0)
+        assert loose.deadline == pytest.approx(4.0 * tight.deadline)
+
+    def test_unknown_family_lists_available(self):
+        with pytest.raises(TaskGraphError, match="available"):
+            generate_family_graph("spaghetti", 10)
+
+    def test_pattern_families_never_degrade_to_chains(self):
+        """Small patterned graphs clamp their edge budget to the pattern
+        capacity instead of silently falling back to a chain layering
+        (which would invert the family)."""
+        from repro.taskgraph import graph_stats
+
+        tiny_fork = generate_family_graph("forkjoin", 4, seed=1)
+        assert tiny_fork.num_tasks == 4
+        assert graph_stats(tiny_fork).max_width == 3  # entry + fan-out-3
+        tiny_wide = generate_family_graph("wide", 9, seed=1, width=8)
+        assert graph_stats(tiny_wide).max_width == 8
+        assert graph_stats(tiny_wide).depth == 2  # entry level + one of 8
+
+    def test_auto_name_encodes_parameters(self):
+        graph = generate_family_graph("forkjoin", 14, seed=2)
+        assert graph.name == "forkjoin-14t-s2"
+
+
+class TestDeterminism:
+    def test_same_triple_same_graph(self):
+        one = generate_family_graph("layered", 30, seed=11)
+        two = generate_family_graph("layered", 30, seed=11)
+        assert graph_to_dict(one) == graph_to_dict(two)
+
+    def test_different_seed_different_graph(self):
+        one = generate_family_graph("layered", 30, seed=11)
+        two = generate_family_graph("layered", 30, seed=12)
+        assert graph_to_dict(one) != graph_to_dict(two)
+
+    def test_spec_hash_stable_in_process(self):
+        spec = platform_spec(
+            policy="thermal", graph=generated_source("layered", 18, seed=42)
+        )
+        again = FlowSpec.from_json(spec.to_json())
+        assert spec_hash(spec) == spec_hash(again)
+
+    def test_graph_and_hash_stable_across_interpreters(self):
+        """Two fresh interpreters agree with each other and with us."""
+        outputs = []
+        for _ in range(2):
+            completed = subprocess.run(
+                [sys.executable, "-c", _DETERMINISM_SNIPPET],
+                capture_output=True,
+                text=True,
+                timeout=240,
+                check=True,
+            )
+            outputs.append(json.loads(completed.stdout))
+        assert outputs[0] == outputs[1]
+        local_graph = generate_family_graph("layered", 18, seed=42)
+        local_spec = platform_spec(
+            policy="thermal", graph=generated_source("layered", 18, seed=42)
+        )
+        assert outputs[0]["graph"] == graph_to_dict(local_graph)
+        assert outputs[0]["hash"] == spec_hash(local_spec)
+
+
+class TestSpecValidation:
+    def test_generated_requires_tasks(self):
+        with pytest.raises(FlowSpecError, match="tasks"):
+            GraphSourceSpec(kind="generated", name="g")
+
+    def test_generated_fields_rejected_on_benchmark(self):
+        with pytest.raises(FlowSpecError, match="generated"):
+            GraphSourceSpec(kind="benchmark", name="Bm1", tasks=10)
+
+    def test_generated_auto_names_at_build_time(self):
+        """An empty name means 'self-describing default' and is resolved
+        when the graph is built — grid overrides of tasks/seed relabel."""
+        spec = GraphSourceSpec(kind="generated", tasks=8, seed=3)
+        assert spec.name == ""  # stays symbolic in the spec
+        result = run_flow(
+            platform_spec(policy="heuristic3", graph=spec)
+        )
+        assert result.schedule.graph.name == "layered-8t-s3"
+
+    def test_auto_name_tracks_grid_overrides(self):
+        """Sweeping graph.tasks must not keep a stale materialized name."""
+        from repro.scenarios import apply_overrides
+
+        base = platform_spec(
+            policy="heuristic3",
+            graph=GraphSourceSpec(kind="generated", tasks=8, seed=3),
+        )
+        swept = apply_overrides(base, {"graph.tasks": 12})
+        result = run_flow(swept)
+        assert result.schedule.graph.name == "layered-12t-s3"
+        assert result.schedule.graph.num_tasks == 12
+
+    def test_generated_may_not_wear_a_benchmark_name(self):
+        """--set graph.kind=generated on a benchmark base must not
+        silently report a random graph as Bm1."""
+        with pytest.raises(FlowSpecError, match="benchmark name"):
+            GraphSourceSpec(kind="generated", name="Bm1", tasks=8)
+
+    def test_generated_knobs_validated_at_spec_time(self):
+        """Bad grid-axis values fail at expand() time as FlowSpecError,
+        not mid-sweep as internal generator errors."""
+        with pytest.raises(FlowSpecError, match="width"):
+            GraphSourceSpec(kind="generated", tasks=10, width=0)
+        with pytest.raises(FlowSpecError, match="family"):
+            GraphSourceSpec(kind="generated", tasks=10, family="spaghetti")
+        with pytest.raises(FlowSpecError, match="ccr"):
+            GraphSourceSpec(kind="generated", tasks=10, ccr=-1.0)
+        with pytest.raises(FlowSpecError, match="chain"):
+            GraphSourceSpec(kind="generated", tasks=10, family="chain", width=3)
+
+    def test_path_rejected_off_file_kind(self):
+        with pytest.raises(FlowSpecError, match="file"):
+            GraphSourceSpec(kind="benchmark", name="Bm1", path="x.tg")
+
+    def test_file_requires_path_and_empty_name(self):
+        with pytest.raises(FlowSpecError, match="path"):
+            GraphSourceSpec(kind="file", name="")
+        with pytest.raises(FlowSpecError, match="name"):
+            GraphSourceSpec(kind="file", name="x", path="x.tg")
+
+    def test_file_kind_clears_the_default_name(self):
+        """Partial dicts / --set conversions leak the 'Bm1' class default;
+        file sources must not demand the user blank it by hand."""
+        spec = GraphSourceSpec(kind="file", path="w.tg")
+        assert spec.name == ""
+        rebuilt = FlowSpec.from_dict(
+            {"flow": "platform", "graph": {"kind": "file", "path": "w.tg"}}
+        )
+        assert rebuilt.graph.name == ""
+
+    def test_tiny_generated_graphs_stay_feasible(self):
+        """Family default densities clamp to C(n,2) so a task-count sweep
+        including tiny points never dies mid-suite."""
+        for tasks in (1, 2, 3):
+            graph = generate_family_graph("layered", tasks, seed=1)
+            assert graph.num_tasks == tasks
+            assert graph.num_edges <= tasks * (tasks - 1) // 2
+
+    def test_round_trip_identity(self):
+        spec = platform_spec(
+            policy="heuristic3",
+            graph=generated_source("forkjoin", 16, seed=3, width=4, ccr=2.0),
+        )
+        assert FlowSpec.from_json(spec.to_json()) == spec
+
+
+class TestEndToEnd:
+    def test_generated_through_flow_run(self):
+        result = run_flow(
+            platform_spec(
+                policy="heuristic3",
+                graph=generated_source("layered", 16, seed=4),
+            )
+        )
+        assert result.schedule.graph.num_tasks == 16
+        assert result.evaluation.total_power > 0.0
+
+    def test_generated_through_run_many_dedup(self):
+        spec = platform_spec(
+            policy="heuristic3", graph=generated_source("chain", 10, seed=1)
+        )
+        results = run_many([spec, spec])
+        assert results[0] is results[1]
+
+    def test_generated_through_cli(self, capsys):
+        from repro.cli import main
+
+        argv = [
+            "run", "--policy", "heuristic3", "--json",
+            "--set", "graph.kind=generated",
+            "--set", "graph.name=cli-gen",
+            "--set", "graph.family=wide",
+            "--set", "graph.tasks=12",
+            "--set", "graph.seed=9",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["row"]["benchmark"] == "cli-gen"
+        first_hash = payload["provenance"]["spec_hash"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["provenance"]["spec_hash"] == first_hash
+
+    def test_file_source_round_trips(self, tmp_path):
+        graph = generate_family_graph("layered", 12, seed=6, name="diskgraph")
+        path = tmp_path / "diskgraph.tg"
+        save_graph(graph, path)
+        result = run_flow(
+            platform_spec(policy="heuristic3", graph=file_source(path))
+        )
+        assert result.schedule.graph.name == "diskgraph"
+        assert result.schedule.graph.num_tasks == 12
+
+    def test_file_edits_visible_within_a_process(self, tmp_path):
+        """File graphs are re-read every run — the in-process workload
+        memo must not replay a stale graph after the file changes."""
+        path = tmp_path / "w.tg"
+        save_graph(generate_family_graph("chain", 5, seed=1, name="w"), path)
+        spec = platform_spec(policy="heuristic3", graph=file_source(path))
+        first = run_flow(spec)
+        assert first.schedule.graph.num_tasks == 5
+        save_graph(generate_family_graph("chain", 7, seed=1, name="w"), path)
+        second = run_flow(spec)
+        assert second.schedule.graph.num_tasks == 7
