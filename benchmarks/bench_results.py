@@ -1,0 +1,141 @@
+"""Benchmark: streaming a 200+-spec grid through the result store.
+
+Two contracts guard the results layer's production story:
+
+* **streaming is bounded** — a 200+-spec grid streams into the
+  :class:`~repro.results.ResultStore` *without holding all FlowResult
+  objects in memory at once*: the peak number of simultaneously-alive
+  ``FlowResult`` instances stays a small constant (weakref-tracked while
+  the stream runs), not O(grid);
+* **the store is the artefact** — every record lands exactly once, the
+  ledger order equals the spec order, a reload round-trips every record,
+  and two CSV exports of the store are byte-identical.
+
+The measured numbers are emitted as one JSON object on stdout (marker
+``RESULTS_BENCH_JSON``): ``pytest benchmarks/bench_results.py -s``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import tempfile
+import time
+import weakref
+
+import pytest
+
+from repro import POLICY_NAMES
+from repro.flow import generated_source, platform_spec, spec_hash
+from repro.flow.runner import Flow
+from repro.results import ResultStore, stream_records
+from repro.scenarios import scenario
+
+from conftest import print_report
+
+
+def _grid_suite():
+    """A ≥200-point grid of cheap generated workloads."""
+    return scenario(
+        "bench-results-grid",
+        platform_spec(
+            policy="baseline",
+            graph=generated_source("layered", tasks=8, seed=1,
+                                   deadline_slack=1.5),
+        ),
+        grid={
+            "graph.tasks": (6, 8, 10),
+            "graph.seed": (1, 2, 3, 4, 5),
+            "policy.name": tuple(POLICY_NAMES),
+            "architecture.count": (2, 4),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    specs = _grid_suite().expand()
+    digests = [spec_hash(spec) for spec in specs]
+
+    live_results = []
+    peak_alive = 0
+    original_run = Flow.run
+
+    def tracking_run(self, spec):
+        result = original_run(self, spec)
+        live_results.append(weakref.ref(result))
+        return result
+
+    with tempfile.TemporaryDirectory(prefix="resultsbench-") as tmp:
+        store = ResultStore(tmp + "/store")
+        Flow.run = tracking_run
+        try:
+            started = time.perf_counter()
+            streamed = 0
+            for record in stream_records(specs, store=store):
+                streamed += 1
+                del record
+                if streamed % 16 == 0:
+                    gc.collect()
+                    alive = sum(1 for ref in live_results if ref() is not None)
+                    peak_alive = max(peak_alive, alive)
+            stream_s = time.perf_counter() - started
+        finally:
+            Flow.run = original_run
+        gc.collect()
+
+        index_hashes = [entry["spec_hash"] for entry in store.index()]
+
+        started = time.perf_counter()
+        runs = store.load()
+        load_s = time.perf_counter() - started
+
+        csv_first = runs.to_csv()
+        csv_second = store.load().to_csv()
+
+    data = {
+        "grid_specs": len(specs),
+        "records_streamed": streamed,
+        "records_loaded": len(runs),
+        "records_skipped": runs.skipped,
+        "peak_alive_flow_results": peak_alive,
+        "index_order_matches_spec_order": index_hashes == digests,
+        "csv_exports_byte_identical": csv_first == csv_second,
+        "stream_s": round(stream_s, 3),
+        "records_per_second": round(streamed / stream_s, 1),
+        "load_s": round(load_s, 4),
+    }
+    print_report(
+        "Result-store streaming (200+-spec grid)",
+        "RESULTS_BENCH_JSON " + json.dumps(data, indent=2),
+    )
+    return data
+
+
+def test_grid_has_at_least_200_specs(measurements):
+    assert measurements["grid_specs"] >= 200, measurements
+
+
+def test_streaming_never_holds_the_grid_in_memory(measurements):
+    """The tentpole contract: bounded live results, not O(grid)."""
+    assert measurements["records_streamed"] >= 200, measurements
+    assert measurements["peak_alive_flow_results"] <= 8, measurements
+
+
+def test_every_record_lands_exactly_once_in_spec_order(measurements):
+    assert measurements["records_loaded"] == measurements["grid_specs"]
+    assert measurements["records_skipped"] == 0
+    assert measurements["index_order_matches_spec_order"], measurements
+
+
+def test_csv_export_is_byte_identical_across_loads(measurements):
+    assert measurements["csv_exports_byte_identical"], measurements
+
+
+def test_benchmark_store_load(benchmark, measurements):
+    """pytest-benchmark hook for the store-load hot path."""
+    with tempfile.TemporaryDirectory(prefix="resultsbench-") as tmp:
+        store = ResultStore(tmp + "/store")
+        for record in stream_records(_grid_suite().expand()[:16], store=store):
+            del record
+        benchmark(store.load)

@@ -30,8 +30,16 @@ parallelise and cache::
     results = run_many(specs, workers=4, cache_dir=".flowcache")
     spec = FlowSpec.from_json(specs[0].to_json())   # round-trips exactly
 
+Results leave the system through one typed path: ``result.as_record()``
+flattens any run to a versioned, JSON-safe :class:`~repro.results.RunRecord`,
+batches stream into an append-only :class:`~repro.results.ResultStore`
+(``run_many(..., store=...)`` / :func:`~repro.results.run_to_store`), and
+registered analyzers (``summary``, ``compare``, ``pareto``...) report over
+the stored :class:`~repro.results.RunSet` — see docs/RESULTS.md.
+
 The same flows are scriptable from the shell (``python -m repro --help``:
-``run`` / ``sweep`` / ``experiments`` / ``list``).  Legacy entry points
+``run`` / ``sweep`` / ``scenarios`` / ``results`` / ``experiments`` /
+``list``).  Legacy entry points
 (``platform_flow``, ``thermal_aware_cosynthesis``, ``reclaim_slack``,
 ``schedule_conditional``...) keep working and return results identical to
 the facade; docs/FLOW_API.md maps each onto its FlowSpec equivalent.
@@ -191,8 +199,21 @@ from .scenarios import (
     scenario_names,
     workload_names,
 )
+from .results import (
+    RECORD_SCHEMA_VERSION,
+    AnalysisReport,
+    ResultStore,
+    RunRecord,
+    RunSet,
+    analyze,
+    analyzer_by_name,
+    analyzer_names,
+    register_analyzer,
+    run_to_store,
+    stream_records,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -347,4 +368,16 @@ __all__ = [
     "run_scenario",
     "register_workload",
     "workload_names",
+    # results API
+    "RECORD_SCHEMA_VERSION",
+    "RunRecord",
+    "ResultStore",
+    "RunSet",
+    "AnalysisReport",
+    "analyze",
+    "analyzer_by_name",
+    "analyzer_names",
+    "register_analyzer",
+    "stream_records",
+    "run_to_store",
 ]

@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ExperimentError
+from ..errors import ExperimentError, FlowError
 
 __all__ = [
     "average_delta",
@@ -27,10 +27,21 @@ __all__ = [
 
 
 def _check_same_length(a: Sequence[float], b: Sequence[float]) -> None:
+    """Two aligned, non-empty metric vectors — anything else is an error.
+
+    Empty inputs raise a clear :class:`~repro.errors.FlowError` instead
+    of surfacing later as ``ZeroDivisionError``/``nan`` (e.g. a compare
+    report over a run set with no overlapping benchmarks).  Length
+    checks use ``len()`` so numpy arrays work (``not array`` raises on
+    multi-element arrays).
+    """
     if len(a) != len(b):
         raise ExperimentError(f"length mismatch: {len(a)} vs {len(b)}")
-    if not a:
-        raise ExperimentError("empty metric vectors")
+    if len(a) == 0:
+        raise FlowError(
+            "empty metric vectors: comparison statistics need at least "
+            "one aligned pair of values"
+        )
 
 
 def average_delta(before: Sequence[float], after: Sequence[float]) -> float:
@@ -55,10 +66,24 @@ def spearman_rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
 
     Implemented directly (ranks + Pearson) to avoid importing the whole of
     :mod:`scipy.stats` for one statistic; average ranks are used for ties.
+
+    All-tied inputs are degenerate (every rank is the mean rank, so the
+    usual formula divides by zero) and are handled deterministically:
+    two constant vectors agree perfectly (``1.0``); exactly one constant
+    vector carries no ordering information (``0.0``).  This is a
+    deliberate deviation from :func:`scipy.stats.spearmanr`, which
+    returns ``nan`` (with a ``ConstantInputWarning``) for constant
+    input — shape comparisons need a number, not a propagating NaN.
     """
     _check_same_length(a, b)
     if len(a) < 2:
         raise ExperimentError("rank correlation needs at least two entries")
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    a_constant = bool(np.all(a_arr == a_arr[0]))
+    b_constant = bool(np.all(b_arr == b_arr[0]))
+    if a_constant or b_constant:
+        return 1.0 if (a_constant and b_constant) else 0.0
 
     def ranks(values: Sequence[float]) -> np.ndarray:
         array = np.asarray(values, dtype=float)

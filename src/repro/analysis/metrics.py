@@ -56,18 +56,15 @@ class ScheduleEvaluation:
         return self.deadline - self.makespan
 
     def as_row(self) -> Dict[str, object]:
-        """Flat dict for tabular reports (paper column names)."""
-        return {
-            "benchmark": self.benchmark,
-            "architecture": self.architecture,
-            "policy": self.policy,
-            "total_pow": round(self.total_power, 2),
-            "max_temp": round(self.max_temperature, 2),
-            "avg_temp": round(self.avg_temperature, 2),
-            "makespan": round(self.makespan, 1),
-            "deadline": self.deadline,
-            "meets_deadline": self.meets_deadline,
-        }
+        """Flat dict for tabular reports (paper column names).
+
+        Derived via the canonical record flattening in
+        :mod:`repro.results.record`, so every table in the system
+        rounds and labels these columns identically.
+        """
+        from ..results.record import metrics_from_evaluation, row_from_metrics
+
+        return row_from_metrics(metrics_from_evaluation(self))
 
 
 def evaluate_schedule(

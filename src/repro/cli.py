@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands over the unified flow + scenario API::
+Seven subcommands over the unified flow + scenario + results API::
 
     python -m repro run --benchmark Bm1 --policy thermal      # one flow
     python -m repro run --spec spec.json --json               # from a file
@@ -10,7 +10,10 @@ Six subcommands over the unified flow + scenario API::
         heuristic3 thermal --workers 4 --cache-dir .flowcache # batch
     python -m repro scenarios list                            # named suites
     python -m repro scenarios show paper-tables
-    python -m repro scenarios run paper-tables --set graph.name=Bm1
+    python -m repro scenarios run paper-tables --store runs/  # into the store
+    python -m repro results list --store runs/                # the run ledger
+    python -m repro results export --store runs/ --format csv
+    python -m repro results report summary --store runs/      # analyzers
     python -m repro workloads list                            # graph sources
     python -m repro experiments table3                        # paper artefacts
     python -m repro list policies                             # registries
@@ -18,12 +21,15 @@ Six subcommands over the unified flow + scenario API::
 ``--set key=value[,value...]`` applies dotted-path overrides: single
 values on ``run``, grid axes on ``scenarios show``/``run`` (each value
 list becomes one swept axis).  ``--json`` on ``run``/``sweep``/
-``scenarios run`` emits machine-readable results to stdout.
+``scenarios run`` emits machine-readable results to stdout.  ``--store
+DIR`` on ``run``/``sweep``/``scenarios run`` appends every result to the
+on-disk result store as it finishes; the ``results`` subcommands read it
+back (default store: ``$REPRO_RESULTS_STORE`` or ``.repro-results``).
 
 Exit codes: 0 on success, 2 on unknown names (experiment ids, registry
-keys, scenario names), 1 on execution failure.  Bare experiment ids keep
-working for backward compatibility (``python -m repro table3`` ==
-``python -m repro experiments table3``).
+keys, scenario names, analyzers, record ids), 1 on execution failure.
+Bare experiment ids keep working for backward compatibility
+(``python -m repro table3`` == ``python -m repro experiments table3``).
 """
 
 from __future__ import annotations
@@ -171,10 +177,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.save_spec:
         with open(args.save_spec, "w", encoding="utf-8") as handle:
             handle.write(spec.to_json(indent=2) + "\n")
-    results = run_many([spec], cache_dir=args.cache_dir)
+    results = run_many([spec], cache_dir=args.cache_dir, store=args.store)
     result = results[0]
     if args.json:
-        print(json.dumps(result.as_dict(), indent=2, default=str))
+        # as_dict is strictly JSON-serializable by contract — no default=
+        print(json.dumps(result.as_dict(), indent=2))
     else:
         print(format_table([result.as_row()], title=f"flow: {spec.flow}"))
         if result.dvfs is not None:
@@ -200,10 +207,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 specs.append(cosynthesis_spec(bench, policy=policy))
             else:
                 specs.append(platform_spec(bench, policy=policy))
-    results = run_many(specs, workers=args.workers, cache_dir=args.cache_dir)
+    results = run_many(
+        specs, workers=args.workers, cache_dir=args.cache_dir, store=args.store
+    )
     rows = [r.as_row() for r in results]
     if args.json:
-        print(json.dumps(rows, indent=2, default=str))
+        print(json.dumps(rows, indent=2))
     else:
         hits = sum(1 for r in results if r.provenance.get("cache_hit"))
         print(format_table(rows, title=f"sweep: {len(rows)} flows ({hits} cached)"))
@@ -326,9 +335,15 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     if suite is None:
         return 2
     specs = suite.expand()
-    results = run_many(specs, workers=args.workers, cache_dir=args.cache_dir)
+    results = run_many(
+        specs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        store=args.store,
+        suite=suite.name,
+    )
     if args.json:
-        print(json.dumps([r.as_dict() for r in results], indent=2, default=str))
+        print(json.dumps([r.as_dict() for r in results], indent=2))
         return 0
     from .analysis.report import format_table
 
@@ -340,6 +355,117 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             title=f"scenario {suite.name}: {len(rows)} flows ({hits} cached)",
         )
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# the results subcommands (the store-reading side)
+# ----------------------------------------------------------------------
+def _default_store() -> str:
+    """Where ``results`` subcommands look without an explicit ``--store``."""
+    import os
+
+    return os.environ.get("REPRO_RESULTS_STORE", ".repro-results")
+
+
+def _open_store(args: argparse.Namespace):
+    from .results import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _runset_from_args(args: argparse.Namespace):
+    """The store's records, pre-filtered by the shared filter flags."""
+    return _open_store(args).load(
+        flow=args.flow or None,
+        suite=args.suite or None,
+        scenario=args.scenario or None,
+        spec_hash=args.spec_hash or None,
+    )
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text.rstrip("\n"))
+
+
+def _cmd_results_list(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    entries = store.index(
+        flow=args.flow or None,
+        suite=args.suite or None,
+        scenario=args.scenario or None,
+        spec_hash=args.spec_hash or None,
+    )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    from .analysis.report import format_table
+
+    columns = [
+        "id", "spec_hash", "flow", "suite", "benchmark", "policy",
+        "meets_deadline",
+    ]
+    print(
+        format_table(
+            [{c: e.get(c, "") for c in columns} for e in entries],
+            columns if entries else None,
+            title=f"result store {store.root}: {len(entries)} records",
+        )
+    )
+    return 0
+
+
+def _cmd_results_show(args: argparse.Namespace) -> int:
+    from .errors import ResultError
+
+    try:
+        record = _open_store(args).get(args.record)
+    except ResultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(record.to_json(indent=2))
+    return 0
+
+
+def _cmd_results_export(args: argparse.Namespace) -> int:
+    runs = _runset_from_args(args)
+    if args.format == "csv":
+        _emit(runs.to_csv(), args.out)
+    elif args.format == "json":
+        _emit(runs.to_json(indent=2), args.out)
+    else:
+        from .analysis.report import format_table
+
+        title = f"{len(runs)} records from {runs.source}"
+        if runs.skipped:
+            title += f" ({runs.skipped} skipped)"
+        _emit(format_table(runs.rows(), title=title), args.out)
+    return 0
+
+
+def _cmd_results_report(args: argparse.Namespace) -> int:
+    from .results import ANALYZERS, analyze, analyzer_names
+
+    if args.analyzer not in ANALYZERS:
+        print(
+            f"error: unknown analyzer {args.analyzer!r}; "
+            f"available: {', '.join(analyzer_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    options: Dict[str, Any] = {}
+    for item in args.opt or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise FlowError(f"--opt expects key=value, got {item!r}")
+        options[key.replace("-", "_")] = _parse_set_value(raw)
+    runs = _runset_from_args(args)
+    report = analyze(args.analyzer, runs, **options)
+    _emit(report.render(args.format), args.out)
     return 0
 
 
@@ -441,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="leakage fixed point",
     )
     run_p.add_argument("--cache-dir", default=None, help="result cache directory")
+    run_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append the run record to this result store",
+    )
     run_p.add_argument("--save-spec", default=None, help="write the spec JSON here")
     run_p.add_argument(
         "--set", action="append", metavar="KEY=VALUE", default=None,
@@ -469,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--workers", type=int, default=None, help="process count")
     sweep_p.add_argument("--cache-dir", default=None, help="result cache directory")
+    sweep_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append every run record to this result store",
+    )
     sweep_p.add_argument("--json", action="store_true", help="emit JSON rows")
     sweep_p.set_defaults(func=_cmd_sweep)
 
@@ -508,8 +642,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen_run.add_argument("--workers", type=int, default=None, help="process count")
     scen_run.add_argument("--cache-dir", default=None, help="result cache directory")
+    scen_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append every run record to this result store (tagged with "
+        "the suite name)",
+    )
     scen_run.add_argument("--json", action="store_true", help="emit JSON rows")
     scen_run.set_defaults(func=_cmd_scenarios_run)
+
+    res_p = sub.add_parser(
+        "results",
+        help="the on-disk run store: list, show, export, analyzer reports",
+        description=(
+            "Read the append-only result store written by run/sweep/"
+            "scenarios-run --store.  The store defaults to "
+            "$REPRO_RESULTS_STORE, then .repro-results."
+        ),
+    )
+    res_p.set_defaults(func=lambda _args: (res_p.print_help(), 0)[1])
+    res_sub = res_p.add_subparsers(dest="results_command", metavar="action")
+
+    def _results_common(p: argparse.ArgumentParser, with_out: bool = True) -> None:
+        p.add_argument(
+            "--store", default=_default_store(), metavar="DIR",
+            help="result store directory (default: $REPRO_RESULTS_STORE "
+            "or .repro-results)",
+        )
+        p.add_argument("--flow", default=None, help="filter by flow kind")
+        p.add_argument("--suite", default=None, help="filter by scenario suite")
+        p.add_argument("--scenario", default=None, help="filter by scenario tag")
+        p.add_argument("--spec-hash", default=None, help="filter by spec hash")
+        if with_out:
+            p.add_argument(
+                "-o", "--out", default=None, metavar="FILE",
+                help="write to FILE instead of stdout",
+            )
+
+    res_list = res_sub.add_parser("list", help="list the store's ledger")
+    _results_common(res_list, with_out=False)
+    res_list.add_argument("--json", action="store_true", help="emit JSON")
+    res_list.set_defaults(func=_cmd_results_list)
+
+    res_show = res_sub.add_parser(
+        "show", help="print one full record (by id or spec-hash prefix)"
+    )
+    res_show.add_argument("record", help="record id or spec-hash prefix")
+    res_show.add_argument(
+        "--store", default=_default_store(), metavar="DIR",
+        help="result store directory",
+    )
+    res_show.set_defaults(func=_cmd_results_show)
+
+    res_export = res_sub.add_parser(
+        "export", help="export record rows as table, CSV, or full JSON"
+    )
+    _results_common(res_export)
+    res_export.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format (default: table)",
+    )
+    res_export.set_defaults(func=_cmd_results_export)
+
+    res_report = res_sub.add_parser(
+        "report", help="run a registered analyzer over the store"
+    )
+    res_report.add_argument(
+        "analyzer",
+        help="analyzer name (summary, compare, pareto, reliability, "
+        "deadline-misses, or a registered user analyzer)",
+    )
+    _results_common(res_report)
+    res_report.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format (default: table)",
+    )
+    res_report.add_argument(
+        "--opt", action="append", metavar="KEY=VALUE", default=None,
+        help="analyzer option, e.g. --opt metric=avg_temperature "
+        "--opt baseline=heuristic3 (repeatable)",
+    )
+    res_report.set_defaults(func=_cmd_results_report)
 
     wl_p = sub.add_parser(
         "workloads",

@@ -25,6 +25,7 @@ __all__ = [
     "ExperimentError",
     "FlowError",
     "FlowSpecError",
+    "ResultError",
 ]
 
 
@@ -107,3 +108,7 @@ class FlowError(ReproError):
 
 class FlowSpecError(FlowError):
     """A :class:`~repro.flow.FlowSpec` (or its serialized form) is invalid."""
+
+
+class ResultError(FlowError):
+    """A run record, result store, or analyzer request is invalid."""

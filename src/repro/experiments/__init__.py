@@ -11,9 +11,24 @@ from .paper_data import (
     table3_rows,
 )
 from .workloads import WORKLOAD_NAMES, all_workloads, workload
-from .table1 import TABLE1_POLICIES, format_table1, run_table1
-from .table2 import format_table2, run_table2, table2_reductions
-from .table3 import format_table3, run_table3, table3_reductions
+from .table1 import (
+    TABLE1_POLICIES,
+    format_table1,
+    run_table1,
+    table1_rows_from_records,
+)
+from .table2 import (
+    format_table2,
+    run_table2,
+    table2_reductions,
+    table2_rows_from_records,
+)
+from .table3 import (
+    format_table3,
+    run_table3,
+    table3_reductions,
+    table3_rows_from_records,
+)
 from .figure1 import FlowTrace, format_figure1, run_figure1
 from .runner import EXPERIMENTS, run_experiment
 
@@ -31,13 +46,16 @@ __all__ = [
     "all_workloads",
     "TABLE1_POLICIES",
     "run_table1",
+    "table1_rows_from_records",
     "format_table1",
     "run_table2",
     "format_table2",
     "table2_reductions",
+    "table2_rows_from_records",
     "run_table3",
     "format_table3",
     "table3_reductions",
+    "table3_rows_from_records",
     "FlowTrace",
     "run_figure1",
     "format_figure1",

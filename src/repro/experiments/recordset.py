@@ -1,0 +1,34 @@
+"""Shared record lookup for the table drivers.
+
+Each paper-table driver rebuilds its rows from stored
+:class:`~repro.results.RunRecord` objects by spec hash.  The lookup —
+index the records, resolve each planned spec, fail loudly naming the
+gap — is identical across Tables 1–3, so it lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from ..errors import ExperimentError
+from ..flow.spec import FlowSpec, spec_hash
+
+__all__ = ["records_by_spec_hash", "record_for_spec"]
+
+
+def records_by_spec_hash(records: Iterable[Any]) -> Dict[str, Any]:
+    """``spec_hash → record`` (the latest record wins on duplicates)."""
+    return {record.spec_hash: record for record in records}
+
+
+def record_for_spec(
+    by_hash: Dict[str, Any], spec: FlowSpec, table: str, row_label: str
+):
+    """The stored record for *spec*, or a clear error naming the gap."""
+    digest = spec_hash(spec)
+    if digest not in by_hash:
+        raise ExperimentError(
+            f"no stored record for {table} row ({row_label}); "
+            f"expected spec hash {digest}"
+        )
+    return by_hash[digest]

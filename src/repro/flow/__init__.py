@@ -64,7 +64,7 @@ from .registry import (
     thermal_solver_names,
 )
 from .runner import Flow, FlowResult, run_flow
-from .batch import clear_cache, run_many
+from .batch import clear_cache, iter_results, run_many
 
 __all__ = [
     # specs
@@ -106,5 +106,6 @@ __all__ = [
     "FlowResult",
     "run_flow",
     "run_many",
+    "iter_results",
     "clear_cache",
 ]

@@ -1,18 +1,27 @@
-"""Batch execution: ``run_many(specs, workers=N)`` + an on-disk cache.
+"""Batch execution: ``run_many`` / ``iter_results`` + an on-disk cache.
 
 Parameter sweeps (the Pareto explorer, the ablation benches, the CLI
-``sweep`` subcommand) evaluate many :class:`~repro.flow.spec.FlowSpec`
-configurations whose inner loops are expensive and fully deterministic.
-``run_many`` therefore
+``sweep`` subcommand, scenario suites) evaluate many
+:class:`~repro.flow.spec.FlowSpec` configurations whose inner loops are
+expensive and fully deterministic.  The batch layer therefore
 
 * **deduplicates** — equal specs inside one batch run once and share the
   result object;
 * **caches** — with ``cache_dir`` set, results are pickled under their
   :func:`~repro.flow.spec.spec_hash`; a later run of an identical spec
-  loads the pickle and performs *zero* scheduler invocations;
+  loads the pickle and performs *zero* scheduler invocations.  Cache
+  payloads are stamped with the library version and the record schema
+  version; a pickle written by any other version is treated as a miss,
+  so upgrading the code can never replay an incompatible ``FlowResult``;
 * **parallelises** — with ``workers > 1``, cache misses execute in a
   process pool (the substrate is pure CPU-bound Python, so threads would
-  serialise on the GIL).
+  serialise on the GIL).  Submission is windowed, so at most a few
+  results per worker are ever in flight;
+* **streams** — :func:`iter_results` yields ``(index, result)`` pairs in
+  input order as workers finish, retaining a result only while later
+  duplicate specs still need it.  ``run_many`` is the collect-everything
+  wrapper; :func:`repro.results.stream_records` flattens the same stream
+  into the result store with bounded memory.
 
 Results come back in input order, provenance marked with
 ``cache_hit``/``worker`` so callers can audit what actually ran.
@@ -23,15 +32,16 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import FlowError
 from .runner import Flow, FlowResult
 from .spec import FlowSpec, spec_hash
 
-__all__ = ["run_many", "clear_cache"]
+__all__ = ["run_many", "iter_results", "clear_cache"]
 
 _CACHE_SUFFIX = ".flowresult.pkl"
 
@@ -51,16 +61,40 @@ def _cache_path(cache_dir: Path, digest: str) -> Path:
     return cache_dir / f"{digest}{_CACHE_SUFFIX}"
 
 
+def _cache_stamp() -> Dict[str, object]:
+    """The version stamp embedded in every cache payload.
+
+    Both coordinates must match on load: the record schema version
+    guards the result-flattening contract, the library version guards
+    everything the pickle closes over (dataclass layouts, defaults).
+    """
+    import repro as _repro  # late: the package root imports this module
+    from ..results.record import RECORD_SCHEMA_VERSION
+
+    return {
+        "repro_version": getattr(_repro, "__version__", "unknown"),
+        "record_schema": RECORD_SCHEMA_VERSION,
+    }
+
+
 def _load_cached(cache_dir: Path, digest: str) -> Optional[FlowResult]:
-    """The cached result for *digest*, or None (corrupt files are misses)."""
+    """The cached result for *digest*, or ``None``.
+
+    Corrupt files, pre-versioning payloads (a bare pickled
+    ``FlowResult``), and payloads stamped by a different library or
+    record-schema version are all misses.
+    """
     path = _cache_path(cache_dir, digest)
     if not path.is_file():
         return None
     try:
         with path.open("rb") as handle:
-            result = pickle.load(handle)
+            payload = pickle.load(handle)
     except Exception:
         return None
+    if not isinstance(payload, dict) or payload.get("stamp") != _cache_stamp():
+        return None
+    result = payload.get("result")
     if not isinstance(result, FlowResult):
         return None
     result.provenance["cache_hit"] = True
@@ -70,10 +104,11 @@ def _load_cached(cache_dir: Path, digest: str) -> Optional[FlowResult]:
 def _store_cached(cache_dir: Path, digest: str, result: FlowResult) -> None:
     """Atomically pickle *result* (tmp file + rename survives crashes)."""
     cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = {"stamp": _cache_stamp(), "result": result}
     fd, tmp_name = tempfile.mkstemp(dir=str(cache_dir), suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp_name, _cache_path(cache_dir, digest))
     except BaseException:
         try:
@@ -88,10 +123,128 @@ def _run_spec_json(payload: str) -> FlowResult:
     return Flow().run(FlowSpec.from_json(payload))
 
 
+def _validate(specs: Sequence[FlowSpec], workers: Optional[int]) -> None:
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, FlowSpec):
+            raise FlowError(
+                f"run_many expects FlowSpec items; item {index} is "
+                f"{type(spec).__name__}"
+            )
+    if workers is not None and workers < 1:
+        raise FlowError(f"workers must be >= 1, got {workers}")
+
+
+def iter_results(
+    specs: Sequence[FlowSpec],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Iterator[Tuple[int, FlowResult]]:
+    """Yield ``(input_index, result)`` pairs in input order, incrementally.
+
+    Execution semantics match :func:`run_many` (dedup, cache, process
+    pool), but results are handed over as they finish and are retained
+    only while a later duplicate spec still needs the shared object —
+    a grid of distinct specs streams through O(workers) live results
+    instead of O(len(specs)).  Equal input specs yield the same result
+    object at each of their indices.
+    """
+    specs = list(specs)
+    _validate(specs, workers)
+    digests = [spec_hash(spec) for spec in specs]
+    remaining: Dict[str, int] = {}
+    for digest in digests:
+        remaining[digest] = remaining.get(digest, 0) + 1
+    cache = Path(cache_dir) if cache_dir is not None else None
+    first_spec: Dict[str, FlowSpec] = {}
+    for digest, spec in zip(digests, specs):
+        first_spec.setdefault(digest, spec)
+
+    pool_mode = workers is not None and workers > 1
+
+    # pool mode classifies each distinct digest by actually validating
+    # its cache entry (stamp + type), discarding the loaded object so
+    # memory stays bounded.  File existence alone is not enough: after a
+    # version upgrade every stale pickle would look like a hit, empty
+    # miss_order would bypass the pool, and a whole grid would recompute
+    # serially.  Hits pay one extra load; misses go to the pool.  The
+    # serial path skips the pre-pass entirely — it just tries the cache
+    # at consumption time, loading each hit exactly once.
+    candidates = set()
+    if cache is not None and pool_mode:
+        for digest in first_spec:
+            if _cacheable(first_spec[digest]) and _load_cached(cache, digest) is not None:
+                candidates.add(digest)
+    miss_order = [d for d in dict.fromkeys(digests) if d not in candidates]
+
+    live: Dict[str, FlowResult] = {}
+
+    def _computed(digest: str, result: FlowResult, worker: str) -> FlowResult:
+        result.provenance["worker"] = worker
+        if cache is not None and _cacheable(first_spec[digest]):
+            _store_cached(cache, digest, result)
+        return result
+
+    if pool_mode and miss_order:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        window_size = 2 * workers
+        pending = deque()  # (digest, future), in miss order
+        payloads = deque(
+            (d, first_spec[d].to_json()) for d in miss_order
+        )
+
+        def _fill() -> None:
+            while payloads and len(pending) < window_size:
+                digest, payload = payloads.popleft()
+                pending.append((digest, pool.submit(_run_spec_json, payload)))
+
+        try:
+            _fill()
+            for index, digest in enumerate(digests):
+                if digest not in live:
+                    if digest in candidates:
+                        result = _load_cached(cache, digest)
+                        if result is None:  # corrupt/stale: compute inline
+                            result = _computed(
+                                digest, Flow().run(first_spec[digest]), "serial"
+                            )
+                    else:
+                        expected, future = pending.popleft()
+                        assert expected == digest  # both follow miss order
+                        result = _computed(digest, future.result(), "pool")
+                        _fill()
+                    live[digest] = result
+                result = live[digest]
+                remaining[digest] -= 1
+                if remaining[digest] == 0:
+                    del live[digest]
+                yield index, result
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return
+
+    flow = Flow()
+    for index, digest in enumerate(digests):
+        if digest not in live:
+            result = None
+            if cache is not None and _cacheable(first_spec[digest]):
+                result = _load_cached(cache, digest)
+            if result is None:
+                result = _computed(digest, flow.run(first_spec[digest]), "serial")
+            live[digest] = result
+        result = live[digest]
+        remaining[digest] -= 1
+        if remaining[digest] == 0:
+            del live[digest]
+        yield index, result
+
+
 def run_many(
     specs: Sequence[FlowSpec],
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    store=None,
+    suite: str = "",
+    scenario: str = "",
 ) -> List[FlowResult]:
     """Run every spec, in order, with dedup / caching / parallelism.
 
@@ -106,7 +259,15 @@ def run_many(
         Optional directory for the persistent result cache.  Identical
         specs (same :func:`spec_hash`) hit the cache across calls *and*
         across processes; pass a fresh directory (or ``None``) to force
-        recomputation.
+        recomputation.  Cached payloads are version-stamped — pickles
+        written by a different library/record-schema version are misses.
+    store:
+        Optional :class:`~repro.results.ResultStore` (or store
+        directory path): every result is flattened to a
+        :class:`~repro.results.RunRecord` and appended as it finishes,
+        tagged with *suite*/*scenario*.  For large grids that only need
+        the store, prefer :func:`repro.results.run_to_store`, which
+        never materializes the result list.
 
     Returns
     -------
@@ -115,52 +276,20 @@ def run_many(
         result object.
     """
     specs = list(specs)
-    for index, spec in enumerate(specs):
-        if not isinstance(spec, FlowSpec):
-            raise FlowError(
-                f"run_many expects FlowSpec items; item {index} is "
-                f"{type(spec).__name__}"
+    results: List[Optional[FlowResult]] = [None] * len(specs)
+    if store is not None:
+        from ..results.record import RunRecord
+        from ..results.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+    for index, result in iter_results(specs, workers=workers, cache_dir=cache_dir):
+        results[index] = result
+        if store is not None:
+            store.append(
+                RunRecord.from_result(result, suite=suite, scenario=scenario)
             )
-    if workers is not None and workers < 1:
-        raise FlowError(f"workers must be >= 1, got {workers}")
-
-    digests = [spec_hash(spec) for spec in specs]
-    results: Dict[str, FlowResult] = {}
-    cache = Path(cache_dir) if cache_dir is not None else None
-
-    # -- cache lookups -------------------------------------------------
-    if cache is not None:
-        for digest, spec in dict(zip(digests, specs)).items():
-            if not _cacheable(spec):
-                continue
-            cached = _load_cached(cache, digest)
-            if cached is not None:
-                results[digest] = cached
-
-    # -- execute the misses (deduplicated, input order) ----------------
-    miss_order = [d for d in dict.fromkeys(digests) if d not in results]
-    miss_specs = {d: specs[digests.index(d)] for d in miss_order}
-
-    if miss_order:
-        if workers is not None and workers > 1:
-            payloads = [miss_specs[d].to_json() for d in miss_order]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(_run_spec_json, payloads))
-            for digest, result in zip(miss_order, computed):
-                result.provenance["worker"] = "pool"
-                results[digest] = result
-        else:
-            flow = Flow()
-            for digest in miss_order:
-                result = flow.run(miss_specs[digest])
-                result.provenance["worker"] = "serial"
-                results[digest] = result
-        if cache is not None:
-            for digest in miss_order:
-                if _cacheable(miss_specs[digest]):
-                    _store_cached(cache, digest, results[digest])
-
-    return [results[digest] for digest in digests]
+    return results  # type: ignore[return-value]
 
 
 def clear_cache(cache_dir: Union[str, Path]) -> int:

@@ -162,40 +162,39 @@ class FlowResult:
             return self.conditional.meets_deadline
         return self.evaluation.meets_deadline
 
+    def as_record(self, suite: str = "", scenario: str = ""):
+        """This result flattened to a :class:`~repro.results.RunRecord` —
+        the canonical typed, versioned, JSON-safe form every consumer
+        (store, CLI, CSV export, analyzers) shares."""
+        from ..results.record import RunRecord  # late: results imports flow
+
+        return RunRecord.from_result(self, suite=suite, scenario=scenario)
+
     def as_row(self) -> Dict[str, Any]:
-        """Flat dict for tabular reports (paper column names + flow id)."""
-        row = dict(self.evaluation.as_row())
+        """Flat dict for tabular reports (paper column names + flow id).
+
+        Derived through the one canonical flattening
+        (:mod:`repro.results.record`) without materializing the full
+        record — table prints call this once per result.
+        """
+        from ..results.record import metrics_from_evaluation, row_from_metrics
+
+        metrics = metrics_from_evaluation(self.evaluation)
+        metrics["meets_deadline"] = bool(self.meets_deadline)
+        row = row_from_metrics(metrics)
         row["flow"] = self.spec.flow
         row["spec_hash"] = self.provenance.get("spec_hash", "")
         return row
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-ready summary (spec + row + diagnostics + provenance)."""
-        payload: Dict[str, Any] = {
-            "spec": self.spec.to_dict(),
-            "row": self.as_row(),
-            "diagnostics": dict(self.diagnostics),
-            "provenance": dict(self.provenance),
-            "timings": {k: round(v, 6) for k, v in self.timings.items()},
-        }
-        if self.conditional is not None:
-            payload["conditional"] = self.conditional.as_row()
-        if self.dvfs is not None:
-            payload["dvfs"] = {
-                "energy_before": self.dvfs.energy_before,
-                "energy_after": self.dvfs.energy_after,
-                "energy_saving_fraction": self.dvfs.energy_saving_fraction,
-                "makespan_before": self.dvfs.makespan_before,
-                "makespan_after": self.dvfs.makespan_after,
-                "lowered_tasks": self.dvfs.lowered_tasks,
-            }
-        if self.leakage is not None:
-            payload["leakage"] = {
-                "total_leakage": self.leakage.total_leakage,
-                "iterations": self.leakage.iterations,
-                "converged": self.leakage.converged,
-            }
-        return payload
+        """The canonical record dict — strictly JSON-serializable.
+
+        Identical to ``result.as_record().to_dict()``: spec, spec_hash,
+        flow, row, full-precision metrics, diagnostics, provenance,
+        timings, optional conditional/dvfs/leakage summaries, and the
+        record schema version.  ``json.dumps`` needs no ``default=``.
+        """
+        return self.as_record().to_dict()
 
 
 @dataclass

@@ -1,0 +1,164 @@
+"""RunSet — a queryable collection of :class:`RunRecord` objects.
+
+A :class:`RunSet` is what a :class:`~repro.results.store.ResultStore`
+load returns and what every analyzer consumes: an immutable, ordered
+sequence of records with declarative filtering (by flow kind, suite,
+spec-hash, and dotted metric paths), value extraction, and table / JSON
+/ CSV export.  Filters compose and always return a new ``RunSet``::
+
+    runs = store.load()
+    hot = runs.filter(flow="platform",
+                      where={"metrics.max_temperature": lambda t: t > 85})
+    print(hot.values("metrics.max_temperature"))
+    print(hot.to_csv())
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ResultError
+from .record import RunRecord
+
+__all__ = ["RunSet", "rows_to_csv"]
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render dict *rows* as CSV text (``\\n`` line endings, stable order).
+
+    Columns default to every key in first-seen order across all rows, so
+    two exports of the same records are byte-identical.  Missing cells
+    render empty.
+    """
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen[str(key)] = None
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(["" if row.get(c) is None else row.get(c) for c in columns])
+    return buffer.getvalue()
+
+
+def _matches(record: RunRecord, path: str, condition: Any) -> bool:
+    """Whether *record* satisfies one ``where`` entry."""
+    value = record.get(path)
+    if callable(condition):
+        return bool(condition(value))
+    return value == condition
+
+
+@dataclass(frozen=True)
+class RunSet:
+    """An ordered, immutable set of run records.
+
+    ``skipped`` counts store entries that could not be loaded (partial
+    blobs, incompatible schema versions) — surfaced rather than silently
+    dropped, so a corrupted store is visible to its consumers.
+    """
+
+    records: Tuple[RunRecord, ...] = ()
+    skipped: int = 0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, tuple):
+            object.__setattr__(self, "records", tuple(self.records))
+        for entry in self.records:
+            if not isinstance(entry, RunRecord):
+                raise ResultError(
+                    f"RunSet holds RunRecord items, got {type(entry).__name__}"
+                )
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self.records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    # -- querying ------------------------------------------------------
+    def filter(
+        self,
+        flow: Optional[str] = None,
+        suite: Optional[str] = None,
+        scenario: Optional[str] = None,
+        spec_hash: Optional[str] = None,
+        where: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+    ) -> "RunSet":
+        """A sub-``RunSet`` of records matching every given criterion.
+
+        *where* maps dotted record paths (``"metrics.max_temperature"``,
+        ``"spec.policy.name"``) to an expected value or a one-argument
+        predicate; *predicate* receives the whole record.
+        """
+        kept = []
+        for record in self.records:
+            if flow is not None and record.flow != flow:
+                continue
+            if suite is not None and record.suite != suite:
+                continue
+            if scenario is not None and record.scenario != scenario:
+                continue
+            if spec_hash is not None and record.spec_hash != spec_hash:
+                continue
+            if where and not all(
+                _matches(record, path, condition)
+                for path, condition in where.items()
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            kept.append(record)
+        return replace(self, records=tuple(kept))
+
+    def values(self, path: str, default: Any = None) -> List[Any]:
+        """``record.get(path)`` for every record, in order."""
+        return [record.get(path, default) for record in self.records]
+
+    def latest(self) -> "RunSet":
+        """One record per ``spec_hash`` — the most recently appended wins
+        (re-running a suite into the same store supersedes older runs)."""
+        by_hash: Dict[str, RunRecord] = {}
+        for record in self.records:
+            by_hash[record.spec_hash] = record  # later appends overwrite
+        return replace(self, records=tuple(by_hash.values()))
+
+    def by_spec_hash(self) -> Dict[str, RunRecord]:
+        """``spec_hash → record`` for the set (latest record per hash)."""
+        return {record.spec_hash: record for record in self.records}
+
+    # -- export --------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """The canonical flat row of every record, in order."""
+        return [dict(record.row) for record in self.records]
+
+    def to_csv(self, columns: Optional[Sequence[str]] = None) -> str:
+        """The rows as CSV text (byte-stable for equal record sets)."""
+        return rows_to_csv(self.rows(), columns)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Full records as a JSON array (strictly serializable)."""
+        return json.dumps(
+            [record.to_dict() for record in self.records],
+            indent=indent,
+            sort_keys=True,
+            allow_nan=False,
+        )

@@ -1,0 +1,251 @@
+"""The on-disk result store: an append-only JSONL ledger + per-run blobs.
+
+Layout of a store directory::
+
+    <store>/
+        index.jsonl            # one line per appended record (the ledger)
+        records/<id>.json      # the full RunRecord blob
+
+Each index line is a small JSON object carrying the record id, its
+``spec_hash``/``flow``/``suite``/``scenario`` plus a few quick-list
+fields (benchmark, policy, meets_deadline) so ``results list`` never has
+to open a blob.  Appends are crash-safe in the useful direction: the
+blob is written atomically (tmp file + rename) *before* its index line,
+so the ledger never points at a missing blob, and a torn index line (the
+only partial state a crash can leave) is skipped on load.  Loads skip —
+and count — entries whose blob is missing, unparsable, or stamped with
+an unsupported :data:`~repro.results.record.RECORD_SCHEMA_VERSION`
+instead of corrupting the returned :class:`~repro.results.runset.RunSet`.
+
+One process appends at a time (the batch runner's coordinating process;
+pool workers hand results back rather than writing) — that is what makes
+"exactly once, in deterministic index order" trivial to guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from ..errors import ResultError
+from .record import RECORD_SCHEMA_VERSION, RunRecord
+from .runset import RunSet
+
+__all__ = ["ResultStore"]
+
+_INDEX_NAME = "index.jsonl"
+_BLOB_DIR = "records"
+
+
+class ResultStore:
+    """Append-only run-record ledger rooted at a directory.
+
+    Opening a store never writes; the directory is created lazily on the
+    first :meth:`append`.  Records keep their append order forever — the
+    index is the order of execution, and loads preserve it.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._next_seq: Optional[int] = None  # lazily counted from the index
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        """The ledger file (may not exist yet)."""
+        return self.root / _INDEX_NAME
+
+    def blob_path(self, record_id: str) -> Path:
+        """Where the full record JSON for *record_id* lives."""
+        return self.root / _BLOB_DIR / f"{record_id}.json"
+
+    # -- writing -------------------------------------------------------
+    def append(self, record: RunRecord) -> str:
+        """Append one record; returns its assigned id.
+
+        The blob lands atomically before the index line, so a crash
+        between the two leaves an orphaned blob (harmless), never a
+        ledger entry without data.
+        """
+        if not isinstance(record, RunRecord):
+            raise ResultError(
+                f"ResultStore.append expects a RunRecord, got "
+                f"{type(record).__name__}"
+            )
+        if self._next_seq is None:
+            self._next_seq = sum(1 for _ in self._index_lines())
+        suffix = record.spec_hash[:10] or "nohash"
+        blob_dir = self.root / _BLOB_DIR
+        blob_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(blob_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(record.to_json(indent=2) + "\n")
+            # publish exclusively: os.link fails on an existing blob, so
+            # a concurrent appender that raced to the same sequence
+            # number can never silently overwrite a record — the loser
+            # advances to the next free id and retries
+            while True:
+                record_id = f"r{self._next_seq:06d}-{suffix}"
+                try:
+                    os.link(tmp_name, self.blob_path(record_id))
+                    break
+                except FileExistsError:
+                    self._next_seq += 1
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        entry = {
+            "id": record_id,
+            "spec_hash": record.spec_hash,
+            "flow": record.flow,
+            "suite": record.suite,
+            "scenario": record.scenario,
+            "schema_version": record.schema_version,
+            "benchmark": record.row.get("benchmark", ""),
+            "policy": record.row.get("policy", ""),
+            "meets_deadline": record.row.get("meets_deadline"),
+            "blob": f"{_BLOB_DIR}/{record_id}.json",
+        }
+        with self.index_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        self._next_seq += 1
+        return record_id
+
+    def extend(self, records: Iterable[RunRecord]) -> List[str]:
+        """Append every record, in order; returns the assigned ids."""
+        return [self.append(record) for record in records]
+
+    # -- reading -------------------------------------------------------
+    def _index_lines(self) -> Iterator[str]:
+        if not self.index_path.is_file():
+            return
+        with self.index_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield line
+
+    def index(
+        self,
+        flow: Optional[str] = None,
+        suite: Optional[str] = None,
+        scenario: Optional[str] = None,
+        spec_hash: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Parseable ledger entries, in append order, optionally filtered.
+
+        The filters match :meth:`load`'s ledger-level filters (one
+        implementation, shared with the CLI's ``results list``).  A torn
+        trailing line (interrupted append) is skipped — the blobs it
+        might have described are unreachable but harmless.
+        """
+        filters = (
+            ("flow", flow), ("suite", suite),
+            ("scenario", scenario), ("spec_hash", spec_hash),
+        )
+        entries: List[Dict[str, Any]] = []
+        for line in self._index_lines():
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "id" not in entry:
+                continue
+            if any(
+                wanted is not None and entry.get(key) != wanted
+                for key, wanted in filters
+            ):
+                continue
+            entries.append(entry)
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.index())
+
+    def get(self, record_id: str) -> RunRecord:
+        """The full record for one ledger id or prefix of id/spec-hash."""
+        entries = self.index()
+        matches = [
+            e
+            for e in entries
+            if record_id
+            and (
+                str(e["id"]).startswith(record_id)
+                or str(e.get("spec_hash", "")).startswith(record_id)
+            )
+        ]
+        if not matches:
+            raise ResultError(
+                f"no record {record_id!r} in store {self.root} "
+                f"({len(entries)} records)"
+            )
+        # re-runs of one spec resolve to the latest record; a prefix
+        # spanning *different* specs is ambiguous and must say so
+        if len({e.get("spec_hash") for e in matches}) > 1:
+            shown = ", ".join(e["id"] for e in matches[:8])
+            raise ResultError(
+                f"record id {record_id!r} is ambiguous: matches {shown}"
+                + (" ..." if len(matches) > 8 else "")
+            )
+        return self._load_blob(matches[-1])
+
+    def _load_blob(self, entry: Dict[str, Any]) -> RunRecord:
+        path = self.root / entry.get("blob", f"{_BLOB_DIR}/{entry['id']}.json")
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ResultError(f"record blob {path} unreadable: {exc}") from exc
+        return RunRecord.from_json(text)
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Stream every loadable record in append order (skips bad blobs)."""
+        for entry in self.index():
+            try:
+                yield self._load_blob(entry)
+            except ResultError:
+                continue
+
+    def load(
+        self,
+        flow: Optional[str] = None,
+        suite: Optional[str] = None,
+        scenario: Optional[str] = None,
+        spec_hash: Optional[str] = None,
+        where: Optional[Dict[str, Any]] = None,
+    ) -> RunSet:
+        """A :class:`RunSet` of the store's records, optionally filtered.
+
+        ``flow``/``suite``/``scenario``/``spec_hash`` filter on the
+        ledger (cheap — blobs of non-matching entries are never opened);
+        ``where`` filters on dotted record paths after loading.  Records
+        whose blob is missing, truncated, or written by an unsupported
+        schema version are skipped and counted in ``RunSet.skipped``.
+        """
+        records: List[RunRecord] = []
+        skipped = 0
+        for entry in self.index(
+            flow=flow, suite=suite, scenario=scenario, spec_hash=spec_hash
+        ):
+            if entry.get("schema_version") != RECORD_SCHEMA_VERSION:
+                skipped += 1
+                continue
+            try:
+                records.append(self._load_blob(entry))
+            except ResultError:
+                skipped += 1
+        runs = RunSet(
+            records=tuple(records), skipped=skipped, source=str(self.root)
+        )
+        if where:
+            runs = runs.filter(where=where)
+        return runs
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

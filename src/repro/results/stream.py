@@ -1,0 +1,96 @@
+"""Streaming execution into the result store — bounded memory for grids.
+
+:func:`repro.flow.run_many` returns every ``FlowResult`` at once, which
+is the right shape for interactive tables but holds a whole grid's
+schedules, floorplans and thermal maps in memory.  For the
+production-scale path (hundreds to millions of runs feeding a store),
+:func:`stream_records` executes the same batch semantics — dedup, cache,
+process pool, input order — through the incremental
+:func:`repro.flow.batch.iter_results` and yields one flattened
+:class:`~repro.results.record.RunRecord` per spec **as workers finish**,
+dropping each heavyweight ``FlowResult`` immediately after flattening.
+Peak memory is the flattened records you keep, not the results.
+
+::
+
+    store = ResultStore("runs/")
+    for record in stream_records(specs, store=store, workers=8,
+                                 suite="scaling-stress"):
+        ...   # record is already durably in the store
+
+:func:`run_to_store` is the fire-and-forget wrapper: consume the stream,
+return counts only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from .record import RunRecord
+from .store import ResultStore
+
+__all__ = ["stream_records", "run_to_store"]
+
+
+def stream_records(
+    specs: Sequence[Any],
+    store: Optional[Union[str, ResultStore]] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[Any] = None,
+    suite: str = "",
+    scenario: str = "",
+) -> Iterator[RunRecord]:
+    """Run *specs* and yield one :class:`RunRecord` each, in input order.
+
+    With *store* set (a :class:`ResultStore` or a directory path), every
+    record is appended to the store *before* it is yielded — a consumer
+    crash loses nothing already seen.  Execution semantics (dedup,
+    on-disk cache, ``workers > 1`` process pool) match
+    :func:`~repro.flow.run_many`; duplicated specs yield duplicated
+    records (each one a faithful row of the grid) but execute once.
+    """
+    from ..flow.batch import iter_results  # late: flow imports results
+
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    for _, result in iter_results(specs, workers=workers, cache_dir=cache_dir):
+        record = RunRecord.from_result(result, suite=suite, scenario=scenario)
+        del result  # the record is the only thing kept past this point
+        if store is not None:
+            store.append(record)
+        yield record
+
+
+def run_to_store(
+    specs: Sequence[Any],
+    store: Union[str, ResultStore],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Any] = None,
+    suite: str = "",
+    scenario: str = "",
+) -> Dict[str, int]:
+    """Execute *specs* straight into *store*; returns summary counts.
+
+    The whole grid streams through bounded memory — no ``FlowResult``
+    list is ever materialized.  Returns ``{"records": N, "cache_hits":
+    H, "deadline_misses": M}``.
+    """
+    records = cache_hits = misses = 0
+    for record in stream_records(
+        specs,
+        store=store,
+        workers=workers,
+        cache_dir=cache_dir,
+        suite=suite,
+        scenario=scenario,
+    ):
+        records += 1
+        if record.provenance.get("cache_hit"):
+            cache_hits += 1
+        if not record.metrics.get("meets_deadline", True):
+            misses += 1
+    return {
+        "records": records,
+        "cache_hits": cache_hits,
+        "deadline_misses": misses,
+    }

@@ -94,12 +94,16 @@ def run_scenario(
     overrides=None,
     workers: Optional[int] = None,
     cache_dir=None,
+    store=None,
 ) -> List:
     """Expand a scenario and run it through ``run_many``.
 
     *overrides* is a ``{dotted.path: values}`` grid applied via
-    :meth:`ScenarioSpec.with_grid` (the CLI's ``--set``).  Returns the
-    :class:`~repro.flow.FlowResult` list in expansion order.
+    :meth:`ScenarioSpec.with_grid` (the CLI's ``--set``).  With *store*
+    set (a :class:`~repro.results.ResultStore` or directory path), every
+    result streams into the store as it finishes, tagged with the
+    suite's name.  Returns the :class:`~repro.flow.FlowResult` list in
+    expansion order.
     """
     spec = (
         scenario_by_name(name_or_spec)
@@ -110,7 +114,13 @@ def run_scenario(
         spec = spec.with_grid(overrides)
     from ..flow.batch import run_many  # late: avoids a package import cycle
 
-    return run_many(spec.expand(), workers=workers, cache_dir=cache_dir)
+    return run_many(
+        spec.expand(),
+        workers=workers,
+        cache_dir=cache_dir,
+        store=store,
+        suite=spec.name,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,5 +1,6 @@
 """Tests for shape-comparison statistics."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.compare import (
@@ -8,7 +9,7 @@ from repro.analysis.compare import (
     ordering_agreement,
     spearman_rank_correlation,
 )
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FlowError
 
 
 class TestAverageDelta:
@@ -22,9 +23,18 @@ class TestAverageDelta:
         with pytest.raises(ExperimentError):
             average_delta([1.0], [1.0, 2.0])
 
-    def test_empty_rejected(self):
-        with pytest.raises(ExperimentError):
+    def test_empty_rejected_with_clear_flow_error(self):
+        with pytest.raises(FlowError, match="empty metric vectors"):
             average_delta([], [])
+
+    def test_empty_numpy_arrays_rejected(self):
+        with pytest.raises(FlowError, match="empty"):
+            average_delta(np.array([]), np.array([]))
+
+    def test_numpy_array_inputs_accepted(self):
+        # regression: `not array` raised ValueError on multi-element arrays
+        value = average_delta(np.array([2.0, 4.0]), np.array([1.0, 2.0]))
+        assert value == pytest.approx(1.5)
 
 
 class TestFractionImproved:
@@ -36,6 +46,13 @@ class TestFractionImproved:
 
     def test_ties_do_not_count(self):
         assert fraction_improved([2.0], [2.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlowError, match="empty"):
+            fraction_improved([], [])
+
+    def test_numpy_array_inputs_accepted(self):
+        assert fraction_improved(np.array([2.0, 3.0]), np.array([1.0, 4.0])) == 0.5
 
 
 class TestSpearman:
@@ -51,6 +68,19 @@ class TestSpearman:
 
     def test_all_equal_vectors(self):
         assert spearman_rank_correlation([5, 5, 5], [5, 5, 5]) == 1.0
+
+    def test_one_constant_vector_is_zero_correlation(self):
+        """All-tied on one side only: deterministic 0.0, not nan."""
+        assert spearman_rank_correlation([5, 5, 5], [1, 2, 3]) == 0.0
+        assert spearman_rank_correlation([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_all_tied_is_deterministic_across_values(self):
+        assert spearman_rank_correlation([7, 7], [0, 0]) == 1.0
+        assert spearman_rank_correlation((3.5,) * 4, (3.5,) * 4) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlowError, match="empty"):
+            spearman_rank_correlation([], [])
 
     def test_matches_scipy(self):
         from scipy.stats import spearmanr

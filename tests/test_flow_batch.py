@@ -1,10 +1,12 @@
 """run_many: ordering, dedup, the on-disk cache, and worker pools."""
 
+import pickle
+
 import pytest
 
 import repro.core.scheduler as scheduler_module
 from repro.errors import FlowError
-from repro.flow import clear_cache, platform_spec, run_many, spec_hash
+from repro.flow import clear_cache, iter_results, platform_spec, run_many, spec_hash
 
 
 def sweep_specs():
@@ -90,3 +92,107 @@ class TestCache:
         run_many(specs, cache_dir=tmp_path)
         assert clear_cache(tmp_path) == 2
         assert clear_cache(tmp_path) == 0
+
+
+class TestCacheVersionStamp:
+    """Satellite: version-stamped pickles; mismatches are misses."""
+
+    def _entry(self, tmp_path, spec):
+        run_many([spec], cache_dir=tmp_path)
+        return tmp_path / f"{spec_hash(spec)}.flowresult.pkl"
+
+    def test_payload_carries_both_version_coordinates(self, tmp_path):
+        import repro
+        from repro.results import RECORD_SCHEMA_VERSION
+
+        entry = self._entry(tmp_path, platform_spec("Bm1", policy="thermal"))
+        payload = pickle.loads(entry.read_bytes())
+        assert payload["stamp"] == {
+            "repro_version": repro.__version__,
+            "record_schema": RECORD_SCHEMA_VERSION,
+        }
+
+    def test_stale_library_version_is_a_miss(self, tmp_path):
+        spec = platform_spec("Bm1", policy="thermal")
+        entry = self._entry(tmp_path, spec)
+        payload = pickle.loads(entry.read_bytes())
+        payload["stamp"]["repro_version"] = "0.0.1"
+        entry.write_bytes(pickle.dumps(payload))
+        results = run_many([spec], cache_dir=tmp_path)
+        assert not results[0].provenance["cache_hit"]
+
+    def test_stale_record_schema_is_a_miss(self, tmp_path):
+        spec = platform_spec("Bm1", policy="thermal")
+        entry = self._entry(tmp_path, spec)
+        payload = pickle.loads(entry.read_bytes())
+        payload["stamp"]["record_schema"] = -1
+        entry.write_bytes(pickle.dumps(payload))
+        results = run_many([spec], cache_dir=tmp_path)
+        assert not results[0].provenance["cache_hit"]
+
+    def test_legacy_bare_result_pickle_is_a_miss(self, tmp_path):
+        """Pre-versioning caches pickled the FlowResult directly; those
+        payloads must never replay."""
+        spec = platform_spec("Bm1", policy="thermal")
+        entry = self._entry(tmp_path, spec)
+        payload = pickle.loads(entry.read_bytes())
+        entry.write_bytes(pickle.dumps(payload["result"]))  # the old format
+        results = run_many([spec], cache_dir=tmp_path)
+        assert not results[0].provenance["cache_hit"]
+
+    def test_matching_stamp_still_hits(self, tmp_path):
+        spec = platform_spec("Bm1", policy="thermal")
+        self._entry(tmp_path, spec)
+        results = run_many([spec], cache_dir=tmp_path)
+        assert results[0].provenance["cache_hit"]
+
+    def test_stale_entries_recompute_in_the_pool(self, tmp_path):
+        """A cache full of stale pickles must classify as misses up
+        front, so workers>1 still parallelises instead of silently
+        recomputing the grid serially."""
+        specs = sweep_specs()[:2]
+        run_many(specs, cache_dir=tmp_path)
+        for spec in specs:
+            entry = tmp_path / f"{spec_hash(spec)}.flowresult.pkl"
+            payload = pickle.loads(entry.read_bytes())
+            payload["stamp"]["repro_version"] = "0.0.1"
+            entry.write_bytes(pickle.dumps(payload))
+        results = run_many(specs, workers=2, cache_dir=tmp_path)
+        assert all(r.provenance["worker"] == "pool" for r in results)
+        assert all(not r.provenance["cache_hit"] for r in results)
+
+
+class TestIterResults:
+    def test_yields_in_input_order_with_shared_duplicates(self):
+        spec_a = platform_spec("Bm1", policy="heuristic3")
+        spec_b = platform_spec("Bm1", policy="thermal")
+        pairs = list(iter_results([spec_a, spec_b, spec_a]))
+        assert [index for index, _ in pairs] == [0, 1, 2]
+        assert pairs[0][1] is pairs[2][1]
+        assert pairs[0][1] is not pairs[1][1]
+
+    def test_retains_only_results_still_needed(self):
+        """Distinct specs stream through without accumulating: after each
+        yield, previously yielded results are no longer referenced by
+        the generator (the bench contract, in miniature)."""
+        import gc
+        import weakref
+
+        specs = [
+            platform_spec(bench, policy=policy)
+            for bench in ("Bm1", "Bm2")
+            for policy in ("baseline", "heuristic3", "thermal")
+        ]
+        refs = []
+        for _, result in iter_results(specs):
+            refs.append(weakref.ref(result))
+            del result
+            gc.collect()
+            alive = sum(1 for ref in refs if ref() is not None)
+            assert alive <= 1
+
+    def test_pool_streaming_matches_serial(self):
+        specs = sweep_specs()
+        serial = [r.evaluation for _, r in iter_results(specs)]
+        pooled = [r.evaluation for _, r in iter_results(specs, workers=2)]
+        assert serial == pooled

@@ -1,0 +1,175 @@
+"""The ``results`` CLI subcommands and the --store wiring.
+
+The acceptance-criteria test lives here: a stored ``paper-tables``
+(platform subset) run must reproduce the legacy Table 3 byte-identically
+through the store alone — no flow re-execution.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.flow import run_many, spec_hash
+from repro.results import ResultStore
+from repro.scenarios import scenario_by_name
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    """A store populated through the real CLI (sweep --store)."""
+    path = tmp_path_factory.mktemp("results-cli") / "store"
+    code = main([
+        "sweep", "--benchmarks", "Bm1", "Bm2",
+        "--policies", "heuristic3", "thermal",
+        "--store", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestStoreWiring:
+    def test_run_store_appends_one_record(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main(["run", "--benchmark", "Bm1", "--policy", "baseline",
+                     "--store", str(path)]) == 0
+        capsys.readouterr()
+        runs = ResultStore(path).load()
+        assert len(runs) == 1
+        assert runs[0].get("spec.policy.name") == "baseline"
+
+    def test_scenarios_run_tags_suite(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main(["scenarios", "run", "scaling-stress",
+                     "--set", "graph.tasks=8", "--set", "graph.seed=1",
+                     "--set", "architecture.count=2",
+                     "--store", str(path)]) == 0
+        capsys.readouterr()
+        runs = ResultStore(path).load(suite="scaling-stress")
+        assert len(runs) == 1
+
+    def test_run_json_has_no_stringified_values(self, capsys):
+        """default=str is gone: the payload parses and temperatures are
+        real numbers, not their str() renderings."""
+        assert main(["run", "--benchmark", "Bm1", "--policy", "thermal",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["metrics"]["max_temperature"], float)
+        assert isinstance(payload["row"]["max_temp"], float)
+        assert payload["schema_version"] == 1
+
+
+class TestResultsCommands:
+    def test_list_table_and_json(self, store_dir, capsys):
+        assert main(["results", "list", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 records" in out and "heuristic3" in out
+        assert main(["results", "list", "--store", str(store_dir),
+                     "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["id"].split("-")[0] for e in entries] == [
+            "r000000", "r000001", "r000002", "r000003",
+        ]
+
+    def test_list_filters(self, store_dir, capsys):
+        assert main(["results", "list", "--store", str(store_dir),
+                     "--flow", "cosynthesis", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_show_by_prefix(self, store_dir, capsys):
+        assert main(["results", "show", "r000001",
+                     "--store", str(store_dir)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["metrics"]["benchmark"] == "Bm1"
+
+    def test_show_unknown_exits_2(self, store_dir, capsys):
+        assert main(["results", "show", "zzz",
+                     "--store", str(store_dir)]) == 2
+        assert "no record" in capsys.readouterr().err
+
+    def test_export_csv_is_deterministic(self, store_dir, capsys):
+        assert main(["results", "export", "--store", str(store_dir),
+                     "--format", "csv"]) == 0
+        first = capsys.readouterr().out
+        assert main(["results", "export", "--store", str(store_dir),
+                     "--format", "csv"]) == 0
+        assert capsys.readouterr().out == first
+        assert first.splitlines()[0].startswith("benchmark,architecture,policy")
+        assert len(first.splitlines()) == 5
+
+    def test_export_to_file(self, store_dir, tmp_path, capsys):
+        out = tmp_path / "rows.csv"
+        assert main(["results", "export", "--store", str(store_dir),
+                     "--format", "csv", "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_text().startswith("benchmark,")
+
+    def test_report_summary_exit_0(self, store_dir, capsys):
+        assert main(["results", "report", "summary",
+                     "--store", str(store_dir)]) == 0
+        assert "4 runs" in capsys.readouterr().out
+
+    def test_report_with_options(self, store_dir, capsys):
+        assert main(["results", "report", "compare",
+                     "--store", str(store_dir),
+                     "--opt", "baseline=heuristic3",
+                     "--opt", "metric=avg_temperature"]) == 0
+        assert "thermal" in capsys.readouterr().out
+
+    def test_report_unknown_analyzer_exits_2(self, store_dir, capsys):
+        assert main(["results", "report", "gizmo",
+                     "--store", str(store_dir)]) == 2
+        assert "unknown analyzer" in capsys.readouterr().err
+
+    def test_results_help_without_action(self, capsys):
+        assert main(["results"]) == 0
+        out = capsys.readouterr().out
+        for action in ("list", "show", "export", "report"):
+            assert action in out
+
+
+class TestStoreReproducesLegacyTables:
+    def test_table3_byte_identical_from_store_alone(self, tmp_path):
+        """Acceptance: run the paper-tables platform subset into a store,
+        then rebuild Table 3 purely from the stored records."""
+        from repro.experiments.table3 import (
+            format_table3,
+            run_table3,
+            table3_rows_from_records,
+        )
+
+        specs = [
+            s for s in scenario_by_name("paper-tables").expand()
+            if s.flow == "platform"
+            and s.policy.name in ("heuristic3", "thermal")
+        ]
+        store = ResultStore(tmp_path / "store")
+        run_many(specs, store=store, suite="paper-tables")
+
+        import repro.core.scheduler as scheduler_module
+
+        calls = {"n": 0}
+        original = scheduler_module.ListScheduler.run
+
+        def counting_run(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        scheduler_module.ListScheduler.run = counting_run
+        try:
+            stored_rows = table3_rows_from_records(store.load())
+        finally:
+            scheduler_module.ListScheduler.run = original
+
+        assert calls["n"] == 0  # reconstruction never re-executes a flow
+        live_rows = run_table3()
+        assert stored_rows == live_rows
+        assert format_table3(stored_rows) == format_table3(live_rows)
+
+    def test_missing_record_raises_a_named_gap(self, tmp_path):
+        from repro.errors import ExperimentError
+        from repro.experiments.table3 import table3_rows_from_records
+
+        store = ResultStore(tmp_path / "empty")
+        with pytest.raises(ExperimentError, match="Table 3 row"):
+            table3_rows_from_records(store.load())

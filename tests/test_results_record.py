@@ -1,0 +1,196 @@
+"""RunRecord: JSON-safety, strict round-trips, canonical rows."""
+
+import enum
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ResultError
+from repro.flow import DVFSSpec, FlowSpec, platform_spec, run_flow, spec_hash
+from repro.results import (
+    RECORD_SCHEMA_VERSION,
+    ROW_COLUMNS,
+    RunRecord,
+    json_safe,
+    metrics_from_evaluation,
+    row_from_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_flow(platform_spec("Bm1", policy="thermal"))
+
+
+@pytest.fixture(scope="module")
+def record(result):
+    return RunRecord.from_result(result, suite="unit", scenario="case-a")
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_become_builtins(self):
+        assert json_safe(np.float64(1.5)) == 1.5
+        assert type(json_safe(np.float64(1.5))) is float
+        assert json_safe(np.int32(7)) == 7
+        assert type(json_safe(np.int64(7))) is int
+        assert json_safe(np.bool_(True)) is True
+
+    def test_numpy_arrays_become_lists(self):
+        assert json_safe(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_paths_become_strings(self):
+        assert json_safe(pathlib.Path("a/b.json")) == str(pathlib.Path("a/b.json"))
+
+    def test_enums_become_values(self):
+        class Kind(enum.Enum):
+            HOT = "hot"
+
+        assert json_safe(Kind.HOT) == "hot"
+
+    def test_containers_normalize(self):
+        assert json_safe((1, 2)) == [1, 2]
+        assert json_safe({3, 1, 2}) == [1, 2, 3]
+        assert json_safe({1: "a"}) == {"1": "a"}
+
+    def test_non_finite_floats_become_null(self):
+        assert json_safe(float("nan")) is None
+        assert json_safe(float("inf")) is None
+
+    def test_unserializable_objects_rejected(self):
+        with pytest.raises(ResultError, match="not"):
+            json_safe(object())
+
+
+class TestFromResult:
+    def test_everything_is_strictly_serializable(self, record):
+        # the satellite contract: no default= hook anywhere
+        text = json.dumps(record.to_dict(), allow_nan=False)
+        assert json.loads(text) == record.to_dict()
+
+    def test_as_dict_is_the_canonical_record(self, result, record):
+        assert result.as_dict() == RunRecord.from_result(result).to_dict()
+        assert json.dumps(result.as_dict(), allow_nan=False)
+
+    def test_as_row_matches_record_row(self, result, record):
+        assert result.as_row() == dict(record.row)
+        assert tuple(record.row) == ROW_COLUMNS
+
+    def test_metrics_keep_full_precision(self, result, record):
+        assert record.metrics["max_temperature"] == pytest.approx(
+            float(result.evaluation.max_temperature), abs=0.0
+        )
+        assert set(record.metrics["pe_temperatures"]) == set(
+            result.evaluation.pe_temperatures
+        )
+        assert all(
+            type(v) is float for v in record.metrics["pe_temperatures"].values()
+        )
+
+    def test_identity_fields(self, result, record):
+        assert record.flow == "platform"
+        assert record.spec_hash == result.provenance["spec_hash"]
+        assert record.spec == result.spec.to_dict()
+        assert record.suite == "unit"
+        assert record.scenario == "case-a"
+        assert record.schema_version == RECORD_SCHEMA_VERSION
+
+    def test_spec_obj_round_trips(self, record):
+        spec = record.spec_obj()
+        assert isinstance(spec, FlowSpec)
+        assert spec_hash(spec) == record.spec_hash
+
+    def test_conditional_record_uses_the_result_level_verdict(self):
+        """metrics.meets_deadline reflects FlowResult.meets_deadline
+        (the all-scenarios aggregate for conditional flows), not just
+        the nominal evaluation."""
+        from repro.flow import ConditionalSpec, GraphSourceSpec
+
+        result = run_flow(
+            FlowSpec(
+                flow="platform",
+                graph=GraphSourceSpec(kind="conditional", name="video-frame"),
+                conditional=ConditionalSpec(enabled=True),
+            )
+        )
+        record = RunRecord.from_result(result)
+        assert record.metrics["meets_deadline"] == result.meets_deadline
+        assert record.row["meets_deadline"] == result.meets_deadline
+        assert record.conditional is not None
+        assert record.conditional["scenarios"] >= 1
+
+    def test_non_finite_metrics_produce_a_record_not_a_crash(self):
+        from repro.results import row_from_metrics
+
+        metrics = {
+            "benchmark": "x", "architecture": "a", "policy": "p",
+            "total_power": None, "max_temperature": None,
+            "avg_temperature": 50.0, "makespan": None,
+            "deadline": 100.0, "meets_deadline": False,
+        }
+        row = row_from_metrics(metrics)
+        assert row["total_pow"] is None
+        assert row["avg_temp"] == 50.0
+
+    def test_dvfs_payload_captured(self):
+        result = run_flow(
+            platform_spec("Bm1", policy="thermal", dvfs=DVFSSpec(enabled=True))
+        )
+        record = RunRecord.from_result(result)
+        assert record.dvfs is not None
+        assert 0.0 <= record.dvfs["energy_saving_fraction"] <= 1.0
+        json.dumps(record.to_dict(), allow_nan=False)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self, record):
+        assert RunRecord.from_dict(record.to_dict()) == record
+
+    def test_json_round_trip_is_identity(self, record):
+        assert RunRecord.from_json(record.to_json()) == record
+
+    def test_sorted_json_restores_row_column_order(self, record):
+        # to_json sorts keys; from_dict must restore the paper order
+        reloaded = RunRecord.from_json(record.to_json(indent=2))
+        assert tuple(reloaded.row) == ROW_COLUMNS
+
+    def test_unknown_keys_rejected(self, record):
+        payload = dict(record.to_dict())
+        payload["rogue"] = 1
+        with pytest.raises(ResultError, match="rogue"):
+            RunRecord.from_dict(payload)
+
+    def test_missing_required_keys_rejected(self, record):
+        payload = dict(record.to_dict())
+        del payload["metrics"]
+        with pytest.raises(ResultError, match="metrics"):
+            RunRecord.from_dict(payload)
+
+    def test_wrong_schema_version_rejected(self, record):
+        payload = dict(record.to_dict())
+        payload["schema_version"] = RECORD_SCHEMA_VERSION + 1
+        with pytest.raises(ResultError, match="version"):
+            RunRecord.from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ResultError, match="JSON"):
+            RunRecord.from_json("{nope")
+
+
+class TestAccess:
+    def test_dotted_get(self, record):
+        assert record.get("spec.policy.name") == "thermal"
+        assert record.get("metrics.benchmark") == "Bm1"
+        assert record.get("row.total_pow") == record.row["total_pow"]
+
+    def test_get_missing_returns_default(self, record):
+        assert record.get("metrics.nope") is None
+        assert record.get("a.b.c", default=42) == 42
+
+
+class TestCanonicalHelpers:
+    def test_evaluation_as_row_goes_through_the_shared_flattening(self, result):
+        evaluation = result.evaluation
+        expected = row_from_metrics(metrics_from_evaluation(evaluation))
+        assert evaluation.as_row() == expected

@@ -1,0 +1,234 @@
+"""ResultStore + RunSet: the append-only ledger and its query layer.
+
+The load-bearing tests are the streaming contracts: records land exactly
+once and in deterministic index order under a worker pool, and a
+crashed/partial blob is skipped (and counted) on load instead of
+corrupting the RunSet.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ResultError
+from repro.flow import platform_spec, run_many, spec_hash
+from repro.results import (
+    ResultStore,
+    RunRecord,
+    RunSet,
+    run_to_store,
+    stream_records,
+)
+
+
+def sweep_specs():
+    return [
+        platform_spec(bench, policy=policy)
+        for bench in ("Bm1", "Bm2")
+        for policy in ("heuristic3", "thermal")
+    ]
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [
+        r.as_record(suite="suite-a") for r in run_many(sweep_specs())
+    ]
+
+
+@pytest.fixture()
+def store(tmp_path, records):
+    store = ResultStore(tmp_path / "store")
+    store.extend(records)
+    return store
+
+
+class TestAppendLoad:
+    def test_round_trip_preserves_records_and_order(self, store, records):
+        runs = store.load()
+        assert list(runs) == records
+        assert runs.skipped == 0
+
+    def test_ids_are_sequential(self, store):
+        ids = [entry["id"] for entry in store.index()]
+        assert [i.split("-")[0] for i in ids] == [
+            "r000000", "r000001", "r000002", "r000003",
+        ]
+
+    def test_append_after_reopen_continues_the_sequence(self, store, records):
+        reopened = ResultStore(store.root)
+        reopened.append(records[0])
+        assert store.index()[-1]["id"].startswith("r000004")
+
+    def test_append_rejects_non_records(self, store):
+        with pytest.raises(ResultError, match="RunRecord"):
+            store.append({"not": "a record"})
+
+    def test_len_counts_ledger_entries(self, store):
+        assert len(store) == 4
+
+    def test_get_by_id_prefix_and_hash_prefix(self, store, records):
+        entry = store.index()[2]
+        assert store.get(entry["id"]) == records[2]
+        assert store.get("r000002") == records[2]
+        assert store.get(records[2].spec_hash[:8]) == records[2]
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(ResultError, match="no record"):
+            store.get("zzz")
+
+    def test_get_ambiguous_prefix_raises(self, store):
+        # "r0" prefixes every ledger id, which span different specs
+        with pytest.raises(ResultError, match="ambiguous"):
+            store.get("r0")
+
+    def test_get_prefix_spanning_reruns_of_one_spec_resolves_latest(
+        self, store, records
+    ):
+        store.append(records[0])  # a re-run of the first spec
+        assert store.get(records[0].spec_hash[:8]) == records[0]
+
+
+class TestFilters:
+    def test_ledger_filters(self, store):
+        assert len(store.load(flow="platform")) == 4
+        assert len(store.load(flow="cosynthesis")) == 0
+        assert len(store.load(suite="suite-a")) == 4
+        assert len(store.load(suite="other")) == 0
+        digest = spec_hash(sweep_specs()[0])
+        assert len(store.load(spec_hash=digest)) == 1
+
+    def test_where_filters_on_dotted_paths(self, store):
+        runs = store.load(where={"spec.policy.name": "thermal"})
+        assert len(runs) == 2
+        hot = store.load().filter(
+            where={"metrics.max_temperature": lambda t: t > 100.0}
+        )
+        assert all(r.metrics["max_temperature"] > 100.0 for r in hot)
+
+    def test_runset_values_and_rows(self, store):
+        runs = store.load()
+        assert runs.values("metrics.benchmark") == ["Bm1", "Bm1", "Bm2", "Bm2"]
+        assert [row["policy"] for row in runs.rows()] == [
+            "heuristic3", "thermal", "heuristic3", "thermal",
+        ]
+
+    def test_latest_dedups_by_spec_hash(self, store, records):
+        store.append(records[0])  # re-run of the first spec
+        runs = store.load()
+        assert len(runs) == 5
+        assert len(runs.latest()) == 4
+
+
+class TestCorruption:
+    def test_partial_blob_is_skipped_and_counted(self, store):
+        entry = store.index()[1]
+        blob = store.root / entry["blob"]
+        blob.write_text(blob.read_text()[: len(blob.read_text()) // 2])
+        runs = store.load()
+        assert len(runs) == 3
+        assert runs.skipped == 1
+        # the surviving records are intact and in order
+        assert [r.metrics["benchmark"] for r in runs] == ["Bm1", "Bm2", "Bm2"]
+
+    def test_missing_blob_is_skipped(self, store):
+        entry = store.index()[0]
+        (store.root / entry["blob"]).unlink()
+        assert store.load().skipped == 1
+
+    def test_torn_index_line_is_skipped(self, store):
+        with store.index_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"id": "r9999')  # interrupted append
+        assert len(store.index()) == 4
+        assert len(store.load()) == 4
+
+    def test_racing_appender_cannot_overwrite_a_blob(self, store, records):
+        """Two handles that both think the next sequence number is free
+        must land two distinct records, never overwrite one."""
+        racer = ResultStore(store.root)
+        racer._next_seq = 0  # stale view, as a concurrent process would have
+        racer.append(records[0])
+        runs = store.load()
+        assert len(runs) == 5
+        assert runs.skipped == 0
+        assert len({e["id"] for e in store.index()}) == 5
+
+    def test_unsupported_schema_version_is_skipped(self, store, records):
+        # forge a ledger entry claiming a future schema
+        entry = dict(store.index()[0])
+        entry["id"] = "r000099-future"
+        entry["schema_version"] = 999
+        with store.index_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        runs = store.load()
+        assert len(runs) == 4
+        assert runs.skipped == 1
+
+
+class TestStreaming:
+    def test_pool_streaming_lands_exactly_once_in_input_order(self, tmp_path):
+        """Satellite contract: workers > 1 writes each record once, and
+        the ledger order equals the input spec order."""
+        specs = sweep_specs()
+        store = ResultStore(tmp_path / "pooled")
+        counts = run_to_store(specs, store=store, workers=2)
+        assert counts["records"] == len(specs)
+        entries = store.index()
+        assert [e["spec_hash"] for e in entries] == [spec_hash(s) for s in specs]
+        assert len({e["id"] for e in entries}) == len(specs)
+        runs = store.load()
+        assert runs.skipped == 0
+        assert [r.metrics["benchmark"] for r in runs] == ["Bm1", "Bm1", "Bm2", "Bm2"]
+        assert all(r.provenance["worker"] == "pool" for r in runs)
+
+    def test_pool_matches_serial_records(self, tmp_path):
+        specs = sweep_specs()[:2]
+        serial = ResultStore(tmp_path / "serial")
+        pooled = ResultStore(tmp_path / "pooled")
+        run_to_store(specs, store=serial)
+        run_to_store(specs, store=pooled, workers=2)
+        for a, b in zip(serial.load(), pooled.load()):
+            assert a.metrics == b.metrics
+            assert a.spec_hash == b.spec_hash
+
+    def test_duplicate_specs_yield_one_record_each(self, tmp_path):
+        spec = platform_spec("Bm1", policy="thermal")
+        store = ResultStore(tmp_path / "dups")
+        counts = run_to_store([spec, spec, spec], store=store)
+        assert counts["records"] == 3  # every grid row lands in the ledger
+        runs = store.load()
+        assert len({r.spec_hash for r in runs}) == 1
+
+    def test_stream_records_appends_before_yield(self, tmp_path):
+        store = ResultStore(tmp_path / "incremental")
+        seen = []
+        for record in stream_records(sweep_specs()[:2], store=store):
+            # durably in the ledger by the time the consumer sees it
+            seen.append(record)
+            assert len(store) == len(seen)
+
+    def test_run_many_store_equals_returned_results(self, tmp_path):
+        store = ResultStore(tmp_path / "runmany")
+        results = run_many(sweep_specs()[:2], store=store, suite="s")
+        stored = store.load()
+        assert [r.spec_hash for r in stored] == [
+            res.provenance["spec_hash"] for res in results
+        ]
+        assert all(r.suite == "s" for r in stored)
+
+
+class TestRunSetExport:
+    def test_csv_is_byte_stable(self, store):
+        runs = store.load()
+        assert runs.to_csv() == store.load().to_csv()
+        header = runs.to_csv().splitlines()[0]
+        assert header.startswith("benchmark,architecture,policy,total_pow")
+
+    def test_json_export_parses(self, store):
+        payload = json.loads(store.load().to_json())
+        assert len(payload) == 4
+        assert all(RunRecord.from_dict(item) for item in payload)
+
+    def test_runset_rejects_non_records(self):
+        with pytest.raises(ResultError, match="RunRecord"):
+            RunSet(records=("nope",))
