@@ -1,0 +1,171 @@
+"""Benchmark: vectorized thermal query engine vs per-candidate solves.
+
+Three contracts guard the thermal query engine's performance story:
+
+* **per-candidate speedup ≥ 10x** (CI floor 5x via
+  ``BENCH_THERMAL_MIN_SPEEDUP``) — a delta query through
+  :class:`~repro.thermal.query.ScheduledThermalQuery` vs the seed-style
+  naive query (``average_powers`` dict → ``HotSpotModel.average_temperature``
+  → dense backsolve) for the same candidate stream;
+* **solve-count reduction** — one full thermal ASP run must issue far
+  fewer ``SteadyStateSolver`` backsolves than it evaluates candidates
+  (only the near-tie verification set is re-solved exactly);
+* **end-to-end win** — the fast-path thermal flow must beat the
+  per-candidate-solve reference scheduler wall-clock while producing a
+  byte-identical schedule.
+
+The measured numbers are written to ``BENCH_thermal.json`` (path override
+via the ``BENCH_THERMAL_JSON`` env var) so CI can archive the perf
+trajectory: ``pytest benchmarks/bench_thermal_query.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import default_platform, library_for_graph
+from repro import benchmark as paper_benchmark
+from repro.core.heuristics import ThermalPolicy
+from repro.core.thermal_loop import hotspot_for, thermal_scheduler
+from repro.power.model import PowerAccumulator
+from repro.thermal.query import ScheduledThermalQuery
+
+from conftest import print_report
+
+#: Candidate queries per timing pass (one pass ~ a few ms fast path).
+QUERIES = 400
+#: Timing passes; the best is reported.
+PASSES = 5
+
+#: Hard gate on the per-candidate speedup ratio.  Locally the engine is
+#: typically two orders of magnitude faster; CI sets 5 to stay robust on
+#: noisy shared runners.
+MIN_SPEEDUP = float(os.environ.get("BENCH_THERMAL_MIN_SPEEDUP", "10"))
+
+
+def _best_of(fn, passes: int = PASSES) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    architecture = default_platform()
+    model = hotspot_for(architecture)
+    names = [pe.name for pe in architecture]
+    accumulator = PowerAccumulator(
+        names,
+        idle_power={pe.name: pe.pe_type.idle_power for pe in architecture},
+    )
+    accumulator.record("pe0", 6.0, 40.0)
+    accumulator.record("pe1", 3.0, 25.0)
+    # a deterministic candidate stream shaped like one scheduling step:
+    # same base state, varying (PE, energy, horizon) per candidate
+    candidates = [
+        (names[i % len(names)], 40.0 + 3.0 * (i % 17), 500.0 + (i % 29))
+        for i in range(QUERIES)
+    ]
+
+    def naive_pass():
+        # the seed's per-candidate query: dict churn + dense backsolve
+        for pe, energy, horizon in candidates:
+            averages = accumulator.average_powers(horizon, extra={pe: energy})
+            model.average_temperature(averages)
+
+    query = ScheduledThermalQuery(model.query_engine(), accumulator)
+
+    def fast_pass():
+        for pe, energy, horizon in candidates:
+            query.average_temperature(pe, energy, horizon)
+
+    naive_s = _best_of(naive_pass)
+    fast_s = _best_of(fast_pass)
+
+    # end-to-end: full thermal ASP, fast path vs per-candidate reference
+    graph = paper_benchmark("Bm1")
+    library = library_for_graph(graph)
+    scheduler = thermal_scheduler(graph, architecture, library)
+    scheduler.run(ThermalPolicy())  # warm caches for both modes
+
+    solves_before = scheduler.thermal.query_stats["solver_solves"]
+    fast_run_s = _best_of(lambda: scheduler.run(ThermalPolicy()), passes=3)
+    fast_schedule = scheduler.run(ThermalPolicy())
+    fast_stats = dict(scheduler.last_run_stats)
+    fast_solves = (
+        scheduler.thermal.query_stats["solver_solves"] - solves_before
+    ) // 4  # four timed+checked runs above
+
+    reference_run_s = _best_of(
+        lambda: scheduler.run(ThermalPolicy(), fast_thermal=False), passes=3
+    )
+    reference_schedule = scheduler.run(ThermalPolicy(), fast_thermal=False)
+
+    data = {
+        "per_candidate": {
+            "queries": QUERIES,
+            "naive_us": round(1e6 * naive_s / QUERIES, 3),
+            "fast_us": round(1e6 * fast_s / QUERIES, 3),
+            "speedup": round(naive_s / fast_s, 2),
+        },
+        "full_run": {
+            "benchmark": "Bm1",
+            "candidates_evaluated": fast_stats["candidates_evaluated"],
+            "exact_requeries": fast_stats["thermal_exact_requeries"],
+            "solver_solves": fast_solves,
+            "fast_s": round(fast_run_s, 5),
+            "reference_s": round(reference_run_s, 5),
+            "speedup": round(reference_run_s / fast_run_s, 2),
+        },
+        "schedules_identical": (
+            [(a.task, a.pe) for a in fast_schedule.assignments()]
+            == [(a.task, a.pe) for a in reference_schedule.assignments()]
+        ),
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+
+    out_path = os.environ.get("BENCH_THERMAL_JSON", "BENCH_thermal.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print_report(
+        f"Thermal query engine (written to {out_path})",
+        json.dumps(data, indent=2),
+    )
+    return data
+
+
+def test_per_candidate_speedup_floor(measurements):
+    """Delta queries beat naive per-candidate solves by the gated ratio."""
+    assert measurements["per_candidate"]["speedup"] >= MIN_SPEEDUP
+
+
+def test_full_run_issues_far_fewer_solves(measurements):
+    """The verified fast path re-solves only the near-tie sets."""
+    full = measurements["full_run"]
+    assert full["solver_solves"] < full["candidates_evaluated"] / 4
+
+
+def test_end_to_end_thermal_flow_wins(measurements):
+    """The whole thermal ASP run gets faster, not just the query."""
+    full = measurements["full_run"]
+    assert full["fast_s"] < full["reference_s"]
+
+
+def test_schedules_byte_identical(measurements):
+    assert measurements["schedules_identical"]
+
+
+def test_benchmark_thermal_asp(benchmark):
+    """Time one fast-path thermal ASP run on Bm1 (pytest-benchmark)."""
+    graph = paper_benchmark("Bm1")
+    library = library_for_graph(graph)
+    scheduler = thermal_scheduler(graph, default_platform(), library)
+    benchmark(scheduler.run, ThermalPolicy())

@@ -98,6 +98,7 @@ from .thermal import (
     HotSpotModel,
     PackageConfig,
     ThermalNetwork,
+    ThermalQueryEngine,
     TransientSimulator,
     default_package,
 )
@@ -213,7 +214,7 @@ from .results import (
     stream_records,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -269,6 +270,7 @@ __all__ = [
     "ThermalNetwork",
     "HotSpotModel",
     "GridModel",
+    "ThermalQueryEngine",
     "TransientSimulator",
     # core
     "static_criticality",

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands over the unified flow + scenario + results API::
+Subcommands over the unified flow + scenario + results API::
 
     python -m repro run --benchmark Bm1 --policy thermal      # one flow
     python -m repro run --spec spec.json --json               # from a file
@@ -15,6 +15,7 @@ Seven subcommands over the unified flow + scenario + results API::
     python -m repro results export --store runs/ --format csv
     python -m repro results report summary --store runs/      # analyzers
     python -m repro workloads list                            # graph sources
+    python -m repro bench --benchmarks Bm1 Bm2                # profiling
     python -m repro experiments table3                        # paper artefacts
     python -m repro list policies                             # registries
 
@@ -469,6 +470,63 @@ def _cmd_results_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Profile flows: per-phase wall time, solve counts, fast-path rates.
+
+    Every number comes from the FlowResult itself (``timings``,
+    ``provenance``, ``diagnostics``) — the same provenance that lands in
+    the result store, so stored records can be profiled the same way.
+    """
+    from .analysis.report import format_table
+    from .flow import platform_spec
+
+    rows: List[Dict[str, Any]] = []
+    for bench in args.benchmarks:
+        for policy in args.policies:
+            spec = platform_spec(bench, policy=policy)
+            elapsed = []
+            result = None
+            for _ in range(max(1, args.repeat)):
+                result = run_many([spec])[0]
+                elapsed.append(result.provenance.get("elapsed_s", 0.0))
+            thermal = result.diagnostics.get("thermal_query", {}) or {}
+            scheduler = result.diagnostics.get("scheduler", {}) or {}
+            candidates = scheduler.get("candidates_evaluated", 0)
+            fast = scheduler.get("thermal_fast_queries", 0)
+            requeried = scheduler.get("thermal_exact_requeries", 0)
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "policy": policy,
+                    "elapsed_s": round(min(elapsed), 4),
+                    "build_s": round(result.timings.get("build", 0.0), 4),
+                    "run_s": round(result.timings.get("run", 0.0), 4),
+                    "candidates": candidates,
+                    "hotspot_queries": result.diagnostics.get(
+                        "hotspot_queries", 0
+                    ),
+                    "solver_solves": thermal.get("solver_solves", 0),
+                    "fast_queries": fast,
+                    "exact_requeries": requeried,
+                    # candidates settled by the O(1) ranking alone, without
+                    # an exact near-tie re-solve
+                    "fast_hit_rate": (
+                        round((candidates - requeried) / candidates, 4)
+                        if fast and candidates
+                        else 0.0
+                    ),
+                }
+            )
+    if args.json:
+        text = json.dumps(rows, indent=2)
+    else:
+        text = format_table(
+            rows, title=f"bench: {len(rows)} flows (best of {args.repeat})"
+        )
+    _emit(text, args.out)
+    return 0
+
+
 def _cmd_workloads_list(args: argparse.Namespace) -> int:
     from .scenarios import catalogue_names, workload_names
     from .taskgraph.benchmarks import BENCHMARK_NAMES
@@ -722,6 +780,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--opt baseline=heuristic3 (repeatable)",
     )
     res_report.set_defaults(func=_cmd_results_report)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="profile flows: phase timings, solve counts, fast-path rates",
+        description=(
+            "Run benchmark x policy flows and report, from FlowResult "
+            "provenance: per-phase wall time, HotSpot query counts, "
+            "steady-state solve counts, and thermal-query fast-path hit "
+            "rates.  See docs/PERFORMANCE.md."
+        ),
+    )
+    bench_p.add_argument(
+        "--benchmarks", nargs="+", default=["Bm1"],
+        help="benchmark names (default: Bm1)",
+    )
+    bench_p.add_argument(
+        "--policies", nargs="+", default=["heuristic3", "thermal"],
+        help="DC policy names (default: heuristic3 thermal)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per flow; elapsed_s reports the best (default: 1)",
+    )
+    bench_p.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    bench_p.add_argument("--json", action="store_true", help="emit JSON rows")
+    bench_p.set_defaults(func=_cmd_bench)
 
     wl_p = sub.add_parser(
         "workloads",

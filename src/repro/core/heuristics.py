@@ -33,6 +33,7 @@ from ..power.model import PowerAccumulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..thermal.hotspot import HotSpotModel
+    from ..thermal.query import ScheduledThermalQuery
 
 __all__ = [
     "DCContext",
@@ -74,6 +75,13 @@ class DCContext:
         Maps PE names to thermal-model block names (identity for the
         standard flows, but kept explicit so schedules can target floorplans
         whose block names differ).
+    thermal_query:
+        The scheduler's per-run delta-query adapter
+        (:class:`~repro.thermal.query.ScheduledThermalQuery`), present when
+        the thermal model exposes a vectorized query engine.  Thermal
+        policies answer candidates through it in O(1)/O(n_blocks) instead
+        of a full steady-state solve; ``None`` falls back to the direct
+        model query (the reference path).
     """
 
     task_name: str
@@ -88,6 +96,7 @@ class DCContext:
     horizon: float
     thermal: Optional["HotSpotModel"] = None
     pe_to_block: Optional[Mapping[str, str]] = None
+    thermal_query: Optional["ScheduledThermalQuery"] = None
 
 
 class DCPolicy:
@@ -202,6 +211,11 @@ class ThermalPolicy(DCPolicy):
                 "ThermalPolicy needs a thermal model; build the scheduler "
                 "with a floorplan/HotSpotModel"
             )
+        if ctx.thermal_query is not None:
+            avg_temp = ctx.thermal_query.average_temperature(
+                ctx.pe_name, ctx.energy, ctx.horizon
+            )
+            return self.weight * avg_temp
         averages = ctx.accumulator.average_powers(
             ctx.horizon, extra={ctx.pe_name: ctx.energy}
         )

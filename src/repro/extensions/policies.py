@@ -70,6 +70,11 @@ class ThermalPeakPolicy(DCPolicy):
                 "ThermalPeakPolicy needs a thermal model; build the "
                 "scheduler with a floorplan/HotSpotModel"
             )
+        if ctx.thermal_query is not None:
+            peak = ctx.thermal_query.peak_temperature(
+                ctx.pe_name, ctx.energy, ctx.horizon
+            )
+            return self.weight * peak
         peak = ctx.thermal.peak_temperature(_candidate_block_powers(ctx))
         return self.weight * peak
 
@@ -99,10 +104,17 @@ class HybridThermalPolicy(DCPolicy):
                 "HybridThermalPolicy needs a thermal model; build the "
                 "scheduler with a floorplan/HotSpotModel"
             )
-        powers = _candidate_block_powers(ctx)
-        temps = ctx.thermal.block_temperatures(powers)
-        average = sum(temps.values()) / len(temps)
-        peak = max(temps.values())
+        if ctx.thermal_query is not None:
+            temps_arr = ctx.thermal_query.block_temperatures(
+                ctx.pe_name, ctx.energy, ctx.horizon
+            )
+            average = float(temps_arr.sum()) / len(temps_arr)
+            peak = float(temps_arr.max())
+        else:
+            powers = _candidate_block_powers(ctx)
+            temps = ctx.thermal.block_temperatures(powers)
+            average = sum(temps.values()) / len(temps)
+            peak = max(temps.values())
         mixed = (1.0 - self.peak_fraction) * average + self.peak_fraction * peak
         return self.weight * mixed
 

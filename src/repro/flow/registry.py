@@ -181,6 +181,23 @@ class _GridSolverAdapter:
         """Solves issued through this adapter."""
         return self._queries
 
+    @property
+    def query_stats(self):
+        """Profiling counters, mirroring ``HotSpotModel.query_stats``."""
+        engine = self._model._engine
+        return {
+            "queries": self._queries,
+            "solver_solves": self._model._solver.solve_count,
+            "engine_built": int(engine is not None),
+            "engine_setup_solves": engine.setup_solves if engine else 0,
+            "engine_fast_queries": engine.fast_queries if engine else 0,
+        }
+
+    def query_engine(self):
+        """The grid model's vectorized block-query engine (scheduler fast
+        path — same contract as ``HotSpotModel.query_engine``)."""
+        return self._model.query_engine()
+
     def block_temperatures(self, power_by_block):
         """Per-block temperatures (cell averages) for one power vector."""
         self._queries += 1

@@ -242,6 +242,7 @@ def _platform_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
             diagnostics={
                 "scenarios": len(conditional.results),
                 "hotspot_queries": getattr(thermal, "query_count", 0),
+                "thermal_query": dict(getattr(thermal, "query_stats", {})),
             },
         )
 
@@ -256,7 +257,11 @@ def _platform_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
         schedule=schedule,
         evaluation=evaluation,
         thermal_model=thermal,
-        diagnostics={"hotspot_queries": getattr(thermal, "query_count", 0)},
+        diagnostics={
+            "hotspot_queries": getattr(thermal, "query_count", 0),
+            "thermal_query": dict(getattr(thermal, "query_stats", {})),
+            "scheduler": dict(scheduler.last_run_stats),
+        },
     )
 
 

@@ -11,11 +11,18 @@ candidate would finish): ``avg_power(pe) = energy(pe) / horizon``, which is
 the physically meaningful steady-state power the thermal model should see —
 a PE that executed 100 J over a 500-unit schedule dissipates 0.2 W·unit⁻¹
 on average regardless of how its busy intervals are spread.
+
+State is kept in PE-index-space numpy arrays so the vectorized thermal
+query path (:mod:`repro.thermal.query`) can read the committed-energy base
+vector without any name→index dict round-trips; the name-keyed accessors
+remain the public bookkeeping API.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..errors import ReproError
 
@@ -25,8 +32,9 @@ __all__ = ["PowerAccumulator"]
 class PowerAccumulator:
     """Per-PE cumulative energy and busy-time bookkeeping.
 
-    All methods are O(1); the scheduler copies nothing — candidate queries
-    are expressed as "what if" parameters instead of mutated state.
+    All methods are O(1) or O(n_pes); the scheduler copies nothing —
+    candidate queries are expressed as "what if" parameters instead of
+    mutated state.
     """
 
     def __init__(self, pe_names: Iterable[str], idle_power: Optional[Mapping[str, float]] = None):
@@ -35,64 +43,87 @@ class PowerAccumulator:
             raise ReproError("PowerAccumulator needs at least one PE")
         if len(set(names)) != len(names):
             raise ReproError("duplicate PE names")
-        self._energy: Dict[str, float] = {name: 0.0 for name in names}
-        self._busy: Dict[str, float] = {name: 0.0 for name in names}
-        self._tasks: Dict[str, int] = {name: 0 for name in names}
-        self._idle: Dict[str, float] = {
-            name: float((idle_power or {}).get(name, 0.0)) for name in names
-        }
-        for name, idle in self._idle.items():
+        self._names: List[str] = names
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        size = len(names)
+        self._energy = np.zeros(size, dtype=float)
+        self._busy = np.zeros(size, dtype=float)
+        self._tasks = np.zeros(size, dtype=int)
+        self._idle = np.array(
+            [float((idle_power or {}).get(name, 0.0)) for name in names],
+            dtype=float,
+        )
+        for name, idle in zip(names, self._idle):
             if idle < 0.0:
                 raise ReproError(f"idle power of {name!r} must be >= 0")
+        #: Bumped on every :meth:`record` — lets consumers cache
+        #: energy-vector-derived quantities between commits.
+        self.version = 0
 
     # ------------------------------------------------------------------
-    def _check(self, pe: str) -> None:
-        if pe not in self._energy:
+    def _check(self, pe: str) -> int:
+        try:
+            return self._index[pe]
+        except KeyError:
             raise ReproError(f"unknown PE {pe!r} in power accumulator")
 
     def record(self, pe: str, power: float, duration: float) -> None:
         """Account one placed task: *power* W for *duration* time units."""
-        self._check(pe)
+        index = self._check(pe)
         if power < 0.0:
             raise ReproError(f"task power must be >= 0, got {power}")
         if duration <= 0.0:
             raise ReproError(f"task duration must be positive, got {duration}")
-        self._energy[pe] += power * duration
-        self._busy[pe] += duration
-        self._tasks[pe] += 1
+        self._energy[index] += power * duration
+        self._busy[index] += duration
+        self._tasks[index] += 1
+        self.version += 1
 
     # ------------------------------------------------------------------
     def pe_names(self) -> List[str]:
         """Tracked PE names."""
-        return list(self._energy)
+        return list(self._names)
+
+    def pe_index(self, pe: str) -> int:
+        """Index of *pe* in the accumulator's (construction) order."""
+        return self._check(pe)
 
     def energy(self, pe: str) -> float:
         """Dynamic energy committed to *pe* so far (J)."""
-        self._check(pe)
-        return self._energy[pe]
+        return float(self._energy[self._check(pe)])
 
     def busy_time(self, pe: str) -> float:
         """Total busy time committed to *pe* so far."""
-        self._check(pe)
-        return self._busy[pe]
+        return float(self._busy[self._check(pe)])
 
     def task_count(self, pe: str) -> int:
         """Number of tasks placed on *pe* so far."""
-        self._check(pe)
-        return self._tasks[pe]
+        return int(self._tasks[self._check(pe)])
+
+    def energy_vector(self) -> np.ndarray:
+        """Committed energies in PE-index order (read-only view, J)."""
+        view = self._energy.view()
+        view.flags.writeable = False
+        return view
+
+    def idle_vector(self) -> np.ndarray:
+        """Idle powers in PE-index order (read-only view, W)."""
+        view = self._idle.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def total_energy(self) -> float:
         """Dynamic energy across all PEs (J)."""
-        return sum(self._energy.values())
+        return float(self._energy.sum())
 
     # ------------------------------------------------------------------
     def average_power(self, pe: str, horizon: float) -> float:
         """Average dynamic+idle power of *pe* over ``[0, horizon]`` (W)."""
-        self._check(pe)
+        index = self._check(pe)
         if horizon <= 0.0:
             raise ReproError(f"horizon must be positive, got {horizon}")
-        return self._energy[pe] / horizon + self._idle[pe]
+        return float(self._energy[index]) / horizon + float(self._idle[index])
 
     def average_powers(
         self,
@@ -109,22 +140,24 @@ class PowerAccumulator:
         if horizon <= 0.0:
             raise ReproError(f"horizon must be positive, got {horizon}")
         result = {}
-        for name, energy in self._energy.items():
+        for index, name in enumerate(self._names):
             bonus = float((extra or {}).get(name, 0.0))
             if bonus < 0.0:
                 raise ReproError(f"extra energy for {name!r} must be >= 0")
-            result[name] = (energy + bonus) / horizon + self._idle[name]
+            result[name] = (
+                float(self._energy[index]) + bonus
+            ) / horizon + float(self._idle[index])
         return result
 
     def utilisation(self, pe: str, horizon: float) -> float:
         """Busy fraction of *pe* over ``[0, horizon]``, in [0, 1]."""
-        self._check(pe)
+        index = self._check(pe)
         if horizon <= 0.0:
             raise ReproError(f"horizon must be positive, got {horizon}")
-        return min(1.0, self._busy[pe] / horizon)
+        return min(1.0, float(self._busy[index]) / horizon)
 
     def __repr__(self) -> str:
         return (
-            f"PowerAccumulator(pes={len(self._energy)}, "
+            f"PowerAccumulator(pes={len(self._names)}, "
             f"total_energy={self.total_energy:.2f})"
         )

@@ -7,6 +7,8 @@ Layering, bottom-up:
 * :mod:`repro.thermal.blockmodel` / :mod:`repro.thermal.gridmodel` —
   network builders from floorplans;
 * :mod:`repro.thermal.steady` / :mod:`repro.thermal.transient` — solvers;
+* :mod:`repro.thermal.query` — the vectorized query engine (influence
+  vectors, batched and O(1) delta queries; see ``docs/PERFORMANCE.md``);
 * :mod:`repro.thermal.hotspot` — the :class:`HotSpotModel` facade the
   scheduler and co-synthesis loops call (the paper's "HotSpot tool").
 """
@@ -17,6 +19,7 @@ from .network import ThermalNetwork
 from .blockmodel import SINK_NODE, build_block_network, spreader_node
 from .gridmodel import GridModel, cell_name, cell_spreader_name
 from .steady import SteadyStateSolver
+from .query import ScheduledThermalQuery, ThermalQueryEngine
 from .transient import STEPPERS, TransientResult, TransientSimulator
 from .hotspot import HotSpotModel
 from .validation import ModelAgreement, compare_models, standard_power_patterns
@@ -37,6 +40,8 @@ __all__ = [
     "cell_name",
     "cell_spreader_name",
     "SteadyStateSolver",
+    "ThermalQueryEngine",
+    "ScheduledThermalQuery",
     "TransientResult",
     "TransientSimulator",
     "STEPPERS",

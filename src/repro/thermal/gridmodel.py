@@ -18,7 +18,7 @@ The grid model serves two purposes in the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from .blockmodel import SINK_NODE
 from .materials import COPPER
 from .network import ThermalNetwork
 from .package import PackageConfig, default_package
+from .query import ThermalQueryEngine
 from .steady import SteadyStateSolver
 
 __all__ = ["GridModel", "cell_name", "cell_spreader_name"]
@@ -89,6 +90,32 @@ class GridModel:
         self._cells = self._build_cells()
         self.network = self._build_network()
         self._solver = SteadyStateSolver(self.network)
+        self._engine: Optional[ThermalQueryEngine] = None
+
+        # coverage matrices, hoisted out of the per-query loops:
+        #   _power_split[c, b]  — fraction of block b's power landing on
+        #                         cell c (columns sum to 1 for covered
+        #                         blocks), so block powers -> cell powers
+        #                         is one matvec;
+        #   _read_weights[b, c] — coverage-weighted averaging of cell
+        #                         temperatures back to block readings.
+        self._block_order = tuple(self.floorplan.block_names())
+        self._block_index = {
+            name: i for i, name in enumerate(self._block_order)
+        }
+        coverage = np.zeros((len(self._cells), len(self._block_order)))
+        for row, cell in enumerate(self._cells):
+            for name, fraction in cell.coverage.items():
+                coverage[row, self._block_index[name]] = fraction
+        totals = coverage.sum(axis=0)  # total covered fraction per block
+        self._covered = totals > 0.0
+        safe_totals = np.where(self._covered, totals, 1.0)
+        self._power_split = coverage / safe_totals
+        self._read_weights = self._power_split.T
+        self._cell_node_index = np.array(
+            [self.network.index(cell_name(c.row, c.col)) for c in self._cells],
+            dtype=int,
+        )
 
     # ------------------------------------------------------------------
     def _build_cells(self) -> List[_Cell]:
@@ -202,41 +229,81 @@ class GridModel:
         return network
 
     # ------------------------------------------------------------------
+    @property
+    def block_order(self) -> Tuple[str, ...]:
+        """Block names defining the index space of the array APIs."""
+        return self._block_order
+
+    def query_engine(self) -> ThermalQueryEngine:
+        """Vectorized block-power → block-temperature engine.
+
+        Folds the coverage split and the cell-averaging weights into one
+        effective ``n_blocks × n_blocks`` response matrix (one multi-RHS
+        backsolve per block at construction), so block-level queries and
+        deltas cost the same as on the block model.
+        """
+        if self._engine is None:
+            inject = np.zeros((len(self.network), len(self._block_order)))
+            inject[self._cell_node_index, :] = self._power_split
+            project = np.zeros((len(self._block_order), len(self.network)))
+            project[:, self._cell_node_index] = self._read_weights
+            self._engine = ThermalQueryEngine.from_linear_map(
+                self.network, self._block_order, inject, project,
+                solver=self._solver,
+            )
+        return self._engine
+
+    def block_power_vector(
+        self, power_by_block: Mapping[str, float]
+    ) -> np.ndarray:
+        """A :attr:`block_order`-indexed power vector from a block→W map."""
+        vector = np.zeros(len(self._block_order), dtype=float)
+        for name, power in power_by_block.items():
+            self.floorplan.block(name)  # raises on unknown block
+            if power < 0.0:
+                raise ThermalError(f"negative power on block {name!r}: {power}")
+            vector[self._block_index[name]] = float(power)
+        return vector
+
+    def _node_power_vector(self, block_powers: np.ndarray) -> np.ndarray:
+        """Full node-power vector from a block-power vector (one matvec)."""
+        vector = np.zeros(len(self.network), dtype=float)
+        vector[self._cell_node_index] = self._power_split @ block_powers
+        return vector
+
     def cell_powers(self, power_by_block: Mapping[str, float]) -> Dict[str, float]:
         """Distribute block powers onto cells by area coverage.
 
         Each block's power is split over the cells it covers in proportion
-        to covered area, conserving total power exactly.
+        to covered area, conserving total power exactly.  The coverage
+        normalisation is precomputed at construction; this is one matvec.
         """
-        for name in power_by_block:
-            self.floorplan.block(name)  # raises on unknown block
-        block_total: Dict[str, float] = {}
-        for cell in self._cells:
-            for name, fraction in cell.coverage.items():
-                block_total[name] = block_total.get(name, 0.0) + fraction
-        result: Dict[str, float] = {}
-        for cell in self._cells:
-            power = 0.0
-            for name, fraction in cell.coverage.items():
-                block_power = power_by_block.get(name, 0.0)
-                if block_power and block_total[name] > 0.0:
-                    power += block_power * fraction / block_total[name]
-            if power:
-                result[cell_name(cell.row, cell.col)] = power
-        return result
+        cell_watts = self._power_split @ self.block_power_vector(power_by_block)
+        return {
+            cell_name(cell.row, cell.col): float(power)
+            for cell, power in zip(self._cells, cell_watts)
+            if power
+        }
 
     def temperatures(self, power_by_block: Mapping[str, float]) -> Dict[str, float]:
         """Steady-state cell temperatures (°C) for block powers."""
-        return self._solver.temperatures(self.cell_powers(power_by_block))
+        rise = self._solver.solve_rise(
+            self._node_power_vector(self.block_power_vector(power_by_block))
+        )
+        ambient = self.package.ambient_c
+        return {
+            name: ambient + rise[index]
+            for index, name in enumerate(self.network.node_names())
+        }
 
     def temperature_map(self, power_by_block: Mapping[str, float]) -> np.ndarray:
         """Steady-state temperatures as a ``rows × cols`` array (°C)."""
-        temps = self.temperatures(power_by_block)
-        grid = np.full((self.rows, self.cols), self.package.ambient_c, dtype=float)
-        for row in range(self.rows):
-            for col in range(self.cols):
-                grid[row, col] = temps[cell_name(row, col)]
-        return grid
+        rise = self._solver.solve_rise(
+            self._node_power_vector(self.block_power_vector(power_by_block))
+        )
+        return self.package.ambient_c + rise[self._cell_node_index].reshape(
+            self.rows, self.cols
+        )
 
     def block_temperatures(
         self, power_by_block: Mapping[str, float]
@@ -246,16 +313,51 @@ class GridModel:
         This is the quantity comparable with the block model's node
         temperatures.
         """
-        temps = self.temperatures(power_by_block)
-        sums: Dict[str, float] = {}
-        weights: Dict[str, float] = {}
-        for cell in self._cells:
-            temp = temps[cell_name(cell.row, cell.col)]
-            for name, fraction in cell.coverage.items():
-                sums[name] = sums.get(name, 0.0) + temp * fraction
-                weights[name] = weights.get(name, 0.0) + fraction
+        rise = self._solver.solve_rise(
+            self._node_power_vector(self.block_power_vector(power_by_block))
+        )
+        cell_temps = self.package.ambient_c + rise[self._cell_node_index]
+        block_temps = self._read_weights @ cell_temps
         return {
-            name: sums[name] / weights[name]
-            for name in sums
-            if weights[name] > 0.0
+            name: float(temp)
+            for name, temp, covered in zip(
+                self._block_order, block_temps, self._covered
+            )
+            if covered
         }
+
+    def block_temperatures_many(self, powers: np.ndarray) -> np.ndarray:
+        """Batched block query: ``(k, n_blocks)`` W → ``(k, n_blocks)`` °C.
+
+        Rows/columns follow :attr:`block_order`; all *k* power vectors
+        share one multi-RHS backsolve.
+        """
+        matrix = np.asarray(powers, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._block_order):
+            raise ThermalError(
+                f"power matrix has shape {matrix.shape}, expected "
+                f"(k, {len(self._block_order)})"
+            )
+        node_powers = np.zeros((len(self.network), matrix.shape[0]))
+        node_powers[self._cell_node_index, :] = self._power_split @ matrix.T
+        rises = self._solver.solve_rise_many(node_powers)
+        cell_temps = self.package.ambient_c + rises[self._cell_node_index, :]
+        return (self._read_weights @ cell_temps).T
+
+    def average_temperature_delta(
+        self,
+        base_powers: np.ndarray,
+        block: Union[int, str],
+        delta_w: float,
+    ) -> float:
+        """Averaged block reading of ``base_powers + Δ·e_block``.
+
+        Same superposition contract as
+        :meth:`repro.thermal.hotspot.HotSpotModel.average_temperature_delta`.
+        """
+        engine = self.query_engine()
+        index = (
+            engine.block_index(block) if isinstance(block, str) else block
+        )
+        base = engine.average_temperature_vector(np.asarray(base_powers, float))
+        return engine.average_temperature_delta(base, index, delta_w)

@@ -10,7 +10,7 @@ power vector.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, LinAlgError
@@ -49,6 +49,47 @@ class SteadyStateSolver:
             )
         self.solve_count += 1
         return cho_solve(self._factor, power)
+
+    def solve_rise_many(self, powers: np.ndarray) -> np.ndarray:
+        """Temperature rises for a 2-D power matrix, one backsolve call.
+
+        ``powers`` is ``(n_nodes, k)`` — one power vector per column; the
+        result has the same shape.  A multi-RHS ``cho_solve`` amortises the
+        factor traversal over all columns, which is what makes batched
+        block queries and influence-vector precomputation cheap.
+        """
+        powers = np.asarray(powers, dtype=float)
+        if powers.ndim != 2 or powers.shape[0] != len(self.network):
+            raise ThermalError(
+                f"power matrix has shape {powers.shape}, expected "
+                f"({len(self.network)}, k)"
+            )
+        self.solve_count += powers.shape[1]
+        return cho_solve(self._factor, powers)
+
+    def influence_columns(self, indices: Sequence[int]) -> np.ndarray:
+        """Columns of ``G⁻¹`` for the given node *indices*.
+
+        Column *j* of the result is the temperature rise of every node per
+        watt injected at ``indices[j]`` — the superposition basis the
+        vectorized query engine is built on.  ``(n_nodes, len(indices))``.
+        """
+        size = len(self.network)
+        unit = np.zeros((size, len(indices)), dtype=float)
+        for column, index in enumerate(indices):
+            if not 0 <= index < size:
+                raise ThermalError(
+                    f"node index {index} out of range for {size}-node network"
+                )
+            unit[index, column] = 1.0
+        return self.solve_rise_many(unit)
+
+    def temperatures_array(self, power: np.ndarray) -> np.ndarray:
+        """Absolute node temperatures (°C) for a raw power vector.
+
+        The index-based sibling of :meth:`temperatures` — no dict churn.
+        """
+        return self.network.ambient_c + self.solve_rise(power)
 
     def temperatures(self, power_by_node: Mapping[str, float]) -> Dict[str, float]:
         """Absolute temperatures (°C) for a node->W power map."""

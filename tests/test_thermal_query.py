@@ -1,0 +1,261 @@
+"""Property tests for the vectorized thermal query engine.
+
+The engine's contract is *exactness by superposition*: every batched or
+delta query must agree with the naive per-candidate steady-state solve to
+floating-point noise (≤1e-9 °C) across random floorplans, power maps, and
+grid resolutions.  These tests are what licenses the scheduler to answer
+thermal candidates without a backsolve.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ThermalError
+from repro.floorplan.geometry import Floorplan
+from repro.power.model import PowerAccumulator
+from repro.thermal.gridmodel import GridModel
+from repro.thermal.hotspot import HotSpotModel
+from repro.thermal.query import ScheduledThermalQuery, ThermalQueryEngine
+
+TOL = 1e-9
+
+
+def random_floorplan(n_blocks: int, seed: int) -> Floorplan:
+    """A row floorplan of *n_blocks* blocks with seeded random sizes."""
+    rng = np.random.default_rng(seed)
+    plan = Floorplan()
+    x = 0.0
+    for i in range(n_blocks):
+        w = float(rng.uniform(2.0, 8.0))
+        h = float(rng.uniform(3.0, 9.0))
+        plan.place(f"b{i}", x, 0.0, w, h)
+        x += w
+    return plan
+
+
+def random_powers(names, seed: int) -> dict:
+    rng = np.random.default_rng(seed + 1000)
+    return {name: float(rng.uniform(0.0, 20.0)) for name in names}
+
+
+# ----------------------------------------------------------------------
+# block model
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=7),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_engine_matches_naive_block_solver(n_blocks, seed):
+    """Engine vector queries == per-candidate full solves, everywhere."""
+    plan = random_floorplan(n_blocks, seed)
+    model = HotSpotModel(plan)
+    powers = random_powers(plan.block_names(), seed)
+    naive = model.block_temperatures(powers)  # reference: full backsolve
+
+    engine = model.query_engine()
+    vector = engine.power_vector(powers)
+    fast = engine.block_temperatures_vector(vector)
+    for index, name in enumerate(engine.block_names):
+        assert fast[index] == pytest.approx(naive[name], abs=TOL)
+    assert engine.average_temperature_vector(vector) == pytest.approx(
+        model.average_temperature(powers), abs=TOL
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_batched_queries_match_per_candidate_loop(n_blocks, seed, k):
+    plan = random_floorplan(n_blocks, seed)
+    model = HotSpotModel(plan)
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.0, 15.0, size=(k, n_blocks))
+    batched = model.block_temperatures_many(matrix)
+    assert batched.shape == (k, n_blocks)
+    for row in range(k):
+        naive = model.block_temperatures(
+            dict(zip(model.block_order, matrix[row]))
+        )
+        for col, name in enumerate(model.block_order):
+            assert batched[row, col] == pytest.approx(naive[name], abs=TOL)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    block=st.integers(min_value=0, max_value=5),
+    delta=st.floats(min_value=0.0, max_value=30.0),
+)
+def test_delta_query_equals_recomputation(n_blocks, seed, block, delta):
+    """avg(base + Δ·e_b) == base_avg + Δ·sens[b], vs the naive solve."""
+    block %= n_blocks
+    plan = random_floorplan(n_blocks, seed)
+    model = HotSpotModel(plan)
+    base = model.block_power_vector(random_powers(plan.block_names(), seed))
+    engine = model.query_engine()
+
+    bumped = base.copy()
+    bumped[block] += delta
+    naive = model.average_temperature(dict(zip(model.block_order, bumped)))
+
+    base_avg = engine.average_temperature_vector(base)
+    assert engine.average_temperature_delta(base_avg, block, delta) == (
+        pytest.approx(naive, abs=TOL)
+    )
+    assert model.average_temperature_delta(base, block, delta) == (
+        pytest.approx(naive, abs=TOL)
+    )
+
+    base_temps = engine.block_temperatures_vector(base)
+    fast_temps = engine.block_temperatures_delta(base_temps, block, delta)
+    naive_temps = model.block_temperatures(dict(zip(model.block_order, bumped)))
+    for index, name in enumerate(engine.block_names):
+        assert fast_temps[index] == pytest.approx(naive_temps[name], abs=TOL)
+
+
+# ----------------------------------------------------------------------
+# grid model
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=6),
+)
+def test_grid_engine_matches_naive_grid_queries(n_blocks, seed, rows, cols):
+    """The coverage-folded grid engine equals the cell-level solve."""
+    plan = random_floorplan(n_blocks, seed)
+    grid = GridModel(plan, rows=rows, cols=cols)
+    powers = random_powers(plan.block_names(), seed)
+    naive = grid.block_temperatures(powers)
+
+    engine = grid.query_engine()
+    fast = engine.block_temperatures_vector(grid.block_power_vector(powers))
+    for index, name in enumerate(engine.block_names):
+        assert fast[index] == pytest.approx(naive[name], abs=TOL)
+
+    matrix = np.array([grid.block_power_vector(powers)])
+    batched = grid.block_temperatures_many(matrix)
+    for index, name in enumerate(grid.block_order):
+        assert batched[0, index] == pytest.approx(naive[name], abs=TOL)
+
+
+def test_grid_cell_powers_still_conserve_total(two_block_plan):
+    """The precomputed coverage matrix conserves power exactly."""
+    grid = GridModel(two_block_plan, rows=5, cols=7)
+    powers = grid.cell_powers({"left": 7.25, "right": 2.75})
+    assert sum(powers.values()) == pytest.approx(10.0, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# scheduled (accumulator-backed) queries
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    horizon=st.floats(min_value=10.0, max_value=2000.0),
+    energy=st.floats(min_value=0.0, max_value=500.0),
+)
+def test_scheduled_query_matches_dict_path(seed, horizon, energy):
+    """ScheduledThermalQuery == average_powers dict -> model query."""
+    plan = random_floorplan(4, seed)
+    model = HotSpotModel(plan)
+    names = plan.block_names()
+    rng = np.random.default_rng(seed)
+    acc = PowerAccumulator(
+        names, idle_power={n: float(rng.uniform(0.0, 0.5)) for n in names}
+    )
+    for _ in range(6):
+        acc.record(
+            names[int(rng.integers(len(names)))],
+            float(rng.uniform(0.5, 10.0)),
+            float(rng.uniform(1.0, 50.0)),
+        )
+    query = ScheduledThermalQuery(model.query_engine(), acc)
+    candidate = names[int(rng.integers(len(names)))]
+    averages = acc.average_powers(horizon, extra={candidate: energy})
+    assert query.average_temperature(candidate, energy, horizon) == (
+        pytest.approx(model.average_temperature(averages), abs=TOL)
+    )
+    assert query.peak_temperature(candidate, energy, horizon) == (
+        pytest.approx(model.peak_temperature(averages), abs=TOL)
+    )
+    naive_temps = model.block_temperatures(averages)
+    fast_temps = query.block_temperatures(candidate, energy, horizon)
+    for index, name in enumerate(model.block_order):
+        assert fast_temps[index] == pytest.approx(naive_temps[name], abs=TOL)
+
+
+def test_scheduled_query_tracks_accumulator_mutation(platform_plan):
+    """The cached base state refreshes when a task commits."""
+    model = HotSpotModel(platform_plan)
+    names = platform_plan.block_names()
+    acc = PowerAccumulator(names)
+    query = ScheduledThermalQuery(model.query_engine(), acc)
+    before = query.average_temperature(names[0], 10.0, 100.0)
+    acc.record(names[1], 8.0, 50.0)
+    after = query.average_temperature(names[0], 10.0, 100.0)
+    averages = acc.average_powers(100.0, extra={names[0]: 10.0})
+    assert after == pytest.approx(model.average_temperature(averages), abs=TOL)
+    assert after > before
+
+
+def test_scheduled_query_rejects_many_to_one_mapping(platform_plan):
+    model = HotSpotModel(platform_plan)
+    names = platform_plan.block_names()
+    acc = PowerAccumulator(["cpu0", "cpu1"])
+    with pytest.raises(ThermalError):
+        ScheduledThermalQuery(
+            model.query_engine(), acc,
+            pe_to_block={"cpu0": names[0], "cpu1": names[0]},
+        )
+
+
+# ----------------------------------------------------------------------
+# engine plumbing
+# ----------------------------------------------------------------------
+def test_engine_rejects_unknown_and_negative_power(platform_plan):
+    engine = HotSpotModel(platform_plan).query_engine()
+    with pytest.raises(ThermalError):
+        engine.power_vector({"ghost": 1.0})
+    with pytest.raises(ThermalError):
+        engine.power_vector({engine.block_names[0]: -1.0})
+
+
+def test_engine_rejects_bad_shapes(platform_plan):
+    engine = HotSpotModel(platform_plan).query_engine()
+    with pytest.raises(ThermalError):
+        engine.block_temperatures_many(np.zeros((2, len(engine) + 1)))
+    with pytest.raises(ThermalError):
+        ThermalQueryEngine(["a", "b"], np.zeros((3, 3)), 45.0)
+    with pytest.raises(ThermalError):
+        ThermalQueryEngine([], np.zeros((0, 0)), 45.0)
+
+
+def test_engine_counts_fast_queries(platform_plan):
+    model = HotSpotModel(platform_plan)
+    engine = model.query_engine()
+    before = engine.fast_queries
+    vector = engine.power_vector({model.block_order[0]: 5.0})
+    engine.block_temperatures_vector(vector)
+    engine.average_temperature_vector(vector)
+    engine.average_temperature_delta(50.0, 0, 1.0)
+    assert engine.fast_queries == before + 3
+
+
+def test_engine_is_cached_and_counts_setup_solves(platform_plan):
+    model = HotSpotModel(platform_plan)
+    solves_before = model.query_stats["solver_solves"]
+    engine = model.query_engine()
+    assert model.query_engine() is engine
+    stats = model.query_stats
+    assert stats["engine_built"] == 1
+    assert stats["engine_setup_solves"] == len(platform_plan)
+    assert stats["solver_solves"] == solves_before + len(platform_plan)
