@@ -16,6 +16,7 @@ Subcommands over the unified flow + scenario + results API::
     python -m repro results report summary --store runs/      # analyzers
     python -m repro workloads list                            # graph sources
     python -m repro bench --benchmarks Bm1 Bm2                # profiling
+    python -m repro lint src benchmarks examples              # invariants
     python -m repro experiments table3                        # paper artefacts
     python -m repro list policies                             # registries
 
@@ -527,6 +528,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant checker (see docs/STATIC_ANALYSIS.md).
+
+    Exit codes mirror the rest of the CLI: 0 clean, 1 on violations,
+    2 on unknown rule ids or missing paths.  ``--out`` always writes
+    the report (even a failing one) so CI can upload it as an artifact.
+    """
+    import os
+
+    from .devtools.lint import build_rules, render, rule_names, run_lint
+    from .errors import LintError
+
+    if args.list_rules:
+        rows = [
+            {"rule": rule.rule_id, "title": rule.title,
+             "rationale": rule.rationale}
+            for rule in build_rules()
+        ]
+        if args.json or args.format == "json":
+            print(json.dumps(rows, indent=2))
+        else:
+            from .analysis.report import format_table
+
+            print(format_table(rows, title="registered lint rules"))
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r for item in args.rules for r in item.split(",") if r]
+    paths = args.paths or [
+        p for p in ("src", "benchmarks", "examples") if os.path.isdir(p)
+    ]
+    if not paths:
+        print(
+            "error: no lint paths given and none of src/, benchmarks/, "
+            "examples/ exist here",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_lint(paths, rules=rules, root=args.root)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit(render(report, "json" if args.json else args.format), args.out)
+    return 0 if report.ok else 1
+
+
 def _cmd_workloads_list(args: argparse.Namespace) -> int:
     from .scenarios import catalogue_names, workload_names
     from .taskgraph.benchmarks import BENCHMARK_NAMES
@@ -549,7 +597,9 @@ def _cmd_workloads_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from .devtools.lint import rule_names
     from .experiments.runner import EXPERIMENTS
+    from .results import analyzer_names
     from .scenarios import catalogue_names, scenario_names
     from .taskgraph.benchmarks import BENCHMARK_NAMES
     from .taskgraph.conditional import CONDITIONAL_BENCHMARK_NAMES
@@ -564,7 +614,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "generator-families": family_names(),
         "catalogues": catalogue_names(),
         "scenarios": scenario_names(),
+        "analyzers": analyzer_names(),
         "experiments": tuple(sorted(EXPERIMENTS)),
+        "lint-rules": rule_names(),
     }
     wanted = args.what
     if wanted != "all" and wanted not in sections:
@@ -809,6 +861,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("--json", action="store_true", help="emit JSON rows")
     bench_p.set_defaults(func=_cmd_bench)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="check the repo's determinism/spec/hot-path invariants",
+        description=(
+            "AST-based static analysis enforcing the platform's coding "
+            "invariants: seeded RNG only (DET001), no wall clock "
+            "(DET002), ordered set iteration (DET003), frozen JSON-safe "
+            "specs (SPEC001), no dense solves on hot paths (PERF001), "
+            "picklable pool callables (POOL001), registry/CLI/docs "
+            "consistency (REG001), no stray print (LOG001), no "
+            "swallowed broad excepts (EXC001).  Suppress with "
+            "'# repro: noqa[RULE-ID] -- justification'.  See "
+            "docs/STATIC_ANALYSIS.md."
+        ),
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: src benchmarks examples)",
+    )
+    lint_p.add_argument(
+        "--rules", action="append", metavar="ID[,ID...]", default=None,
+        help="run only these rule ids (repeatable)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint_p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="project root for relative paths and docs checks "
+        "(default: current directory)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    lint_p.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout (written even "
+        "when violations are found, for CI artifacts)",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
 
     wl_p = sub.add_parser(
         "workloads",

@@ -1,0 +1,16 @@
+"""Developer tooling that guards the repo's own invariants.
+
+The reproduction's headline claims — byte-identical paper tables,
+decision-identical fast-path schedules, deterministic grid expansion and
+spec hashing — all rest on coding invariants (seeded RNG only, frozen
+JSON-safe specs, no dense solves on the scheduler hot path) that are
+cheap to violate by accident and expensive to debug after the fact.
+This package hosts the machinery that checks them mechanically:
+
+* :mod:`repro.devtools.lint` — the AST-based invariant checker behind
+  ``python -m repro lint`` (see docs/STATIC_ANALYSIS.md).
+"""
+
+from . import lint
+
+__all__ = ["lint"]

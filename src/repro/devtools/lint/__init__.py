@@ -1,0 +1,58 @@
+"""``repro lint`` — the AST-based invariant checker.
+
+The platform's contracts (deterministic seeded trajectories,
+byte-identical tables, frozen JSON-safe specs, the O(1) thermal fast
+path) are enforced mechanically by a small visitor-based static
+analysis over Python ``ast``:
+
+* a **rule registry** (the shared :class:`repro.registry.Registry`) —
+  built-in rules live in :mod:`~repro.devtools.lint.rules`, downstream
+  packages add theirs with :func:`register_rule`;
+* **suppressions** — ``# repro: noqa[RULE-ID] -- justification`` per
+  line, ``# repro: noqa-file[RULE-ID] -- justification`` per file; an
+  unjustified or unknown-rule suppression is itself a violation;
+* **reporters** — text for humans, version-stamped JSON for CI;
+* the ``python -m repro lint`` subcommand, which walks ``src/``,
+  ``benchmarks/`` and ``examples/`` by default and exits non-zero on
+  any unsuppressed violation.
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue and rationale.
+"""
+
+from ...errors import LintError
+from .engine import (
+    ENGINE_RULE_IDS,
+    LINT_RULES,
+    FileContext,
+    LintReport,
+    LintRule,
+    ProjectContext,
+    Violation,
+    build_rules,
+    collect_files,
+    register_rule,
+    rule_names,
+    run_lint,
+)
+from .reporters import render, render_json, render_text
+from . import rules  # registers the built-in ruleset on import
+
+__all__ = [
+    "ENGINE_RULE_IDS",
+    "LINT_RULES",
+    "FileContext",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "ProjectContext",
+    "Violation",
+    "build_rules",
+    "collect_files",
+    "register_rule",
+    "rule_names",
+    "run_lint",
+    "render",
+    "render_json",
+    "render_text",
+    "rules",
+]

@@ -1,0 +1,372 @@
+"""The lint engine: file walking, suppressions, rule dispatch.
+
+The engine is deliberately small: it parses every ``*.py`` file once,
+hands the shared :class:`FileContext` (source, AST, path classification)
+to each registered per-file rule, then runs project-level rules
+(:meth:`LintRule.finalize`) once over the whole file set.  Rules live in
+:mod:`repro.devtools.lint.rules` and register through the shared
+:class:`repro.registry.Registry`, so downstream PRs add a rule in one
+file and the CLI, reporters and docs checks pick it up automatically.
+
+Suppressions are explicit and audited:
+
+* ``# repro: noqa[RULE-ID] -- justification`` suppresses the named
+  rule(s) on that line;
+* ``# repro: noqa-file[RULE-ID] -- justification`` suppresses them for
+  the whole file;
+* a suppression without a ``-- justification`` trailer is itself a
+  violation (``NOQA001``), and one naming an unknown rule id is too
+  (``NOQA002``) — so every suppression in the tree carries a reviewable
+  reason and typos cannot silently disable a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from ...errors import LintError
+from ...registry import Registry
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "ProjectContext",
+    "LintRule",
+    "LintReport",
+    "LINT_RULES",
+    "register_rule",
+    "rule_names",
+    "build_rules",
+    "collect_files",
+    "run_lint",
+]
+
+#: Engine-level pseudo-rules (emitted by the suppression audit itself,
+#: never suppressible) plus the parse-failure marker.
+ENGINE_RULE_IDS = ("NOQA001", "NOQA002", "PARSE001")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>noqa-file|noqa)\s*"
+    r"\[(?P<ids>[A-Za-z0-9_\-, ]*)\]"
+    r"(?P<trailer>.*)$"
+)
+_JUSTIFICATION_RE = re.compile(r"^\s*--\s*\S")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic report order: path, then position, then rule."""
+        return (self.path, self.line, self.column, self.rule)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``--format json`` reporter row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything a per-file rule may need about one source file."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel.replace(os.sep, "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self._suppression_sites: List[Tuple[int, str, Tuple[str, ...], bool]] = []
+        self._scan_suppressions()
+
+    # -- path classification -------------------------------------------
+    def module_path(self) -> str:
+        """The path from the ``repro`` package root down, or ``""``.
+
+        ``src/repro/core/scheduler.py`` → ``repro/core/scheduler.py``;
+        files outside a ``repro`` package directory (benchmarks,
+        examples, fixtures) return the empty string.  Rules use this to
+        scope themselves to library code and to name allowlisted
+        modules without caring where the tree is checked out.
+        """
+        parts = Path(self.rel).parts
+        if "repro" in parts:
+            return "/".join(parts[parts.index("repro"):])
+        return ""
+
+    def is_library_code(self) -> bool:
+        """Whether this file is part of the ``repro`` package itself."""
+        return bool(self.module_path())
+
+    # -- suppressions --------------------------------------------------
+    def _comment_tokens(self) -> Iterator[Tuple[int, str]]:
+        """``(line, text)`` for every real comment token.
+
+        Tokenizing (rather than regex-scanning raw lines) keeps the
+        noqa syntax inert inside strings and docstrings — documentation
+        may *mention* ``# repro: noqa[...]`` without suppressing
+        anything.
+        """
+        import io
+        import tokenize
+
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparseable files are reported as PARSE001 anyway
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in self._comment_tokens():
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            ids = tuple(
+                part.strip().upper()
+                for part in match.group("ids").split(",")
+                if part.strip()
+            )
+            justified = bool(_JUSTIFICATION_RE.match(match.group("trailer")))
+            file_level = match.group("kind") == "noqa-file"
+            self._suppression_sites.append((lineno, text, ids, justified))
+            target = (
+                self.file_suppressions
+                if file_level
+                else self.line_suppressions.setdefault(lineno, set())
+            )
+            target.update(ids)
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether a ``# repro: noqa`` comment covers *violation*."""
+        if violation.rule in ENGINE_RULE_IDS:
+            return False
+        if violation.rule in self.file_suppressions:
+            return True
+        return violation.rule in self.line_suppressions.get(violation.line, set())
+
+    def suppression_audit(self, known_ids: Set[str]) -> Iterator[Violation]:
+        """NOQA001/NOQA002 violations for malformed suppressions."""
+        for lineno, _text, ids, justified in self._suppression_sites:
+            if not justified:
+                yield Violation(
+                    "NOQA001", self.rel, lineno, 1,
+                    "suppression lacks a justification; write "
+                    "'# repro: noqa[RULE-ID] -- why this is safe'",
+                )
+            if not ids:
+                yield Violation(
+                    "NOQA002", self.rel, lineno, 1,
+                    "suppression names no rule id; blanket noqa is not "
+                    "supported — name the rule being waived",
+                )
+            for rule_id in ids:
+                if rule_id not in known_ids:
+                    yield Violation(
+                        "NOQA002", self.rel, lineno, 1,
+                        f"suppression names unknown rule id {rule_id!r}",
+                    )
+
+    # -- rule helpers --------------------------------------------------
+    def violation(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Violation:
+        """A :class:`Violation` anchored at *node*'s source position."""
+        return Violation(
+            rule_id,
+            self.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            message,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """What project-level rules (``finalize``) see: the whole walk."""
+
+    root: Path
+    files: List[FileContext]
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` / ``title`` / ``rationale`` and override
+    :meth:`check` (per file) and/or :meth:`finalize` (once per run,
+    after every file was checked — for cross-file invariants like the
+    registry/docs consistency rule).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Per-file violations; default none."""
+        return iter(())
+
+    def finalize(self, project: ProjectContext) -> Iterator[Violation]:
+        """Project-level violations; default none."""
+        return iter(())
+
+
+#: The rule registry — downstream packages add rules with
+#: :func:`register_rule` and ``repro lint`` picks them up.
+LINT_RULES = Registry("lint rule")
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: register *cls* under its ``rule_id``."""
+    if not cls.rule_id:
+        raise LintError(f"lint rule {cls.__name__} has no rule_id")
+    LINT_RULES.register(cls.rule_id, cls)
+    return cls
+
+
+def rule_names() -> Tuple[str, ...]:
+    """All registered rule ids, in registration order."""
+    return LINT_RULES.names()
+
+
+def build_rules(only: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Instantiate the registered rules (optionally a named subset).
+
+    Unknown ids raise :class:`LintError` carrying the available set, so
+    a typo in ``--rules`` fails loudly instead of silently checking
+    nothing.
+    """
+    if only is None:
+        return [LINT_RULES.get(name)() for name in LINT_RULES.names()]
+    rules = []
+    for name in only:
+        wanted = name.strip().upper()
+        if wanted not in LINT_RULES:
+            raise LintError(
+                f"unknown lint rule {name!r}; available: {rule_names()}"
+            )
+        rules.append(LINT_RULES.get(wanted)())
+    return rules
+
+
+def collect_files(paths: Sequence[os.PathLike]) -> List[Path]:
+    """Every ``*.py`` file under *paths*, deterministically ordered.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  Missing paths raise :class:`LintError`
+    — a CI job linting a misspelled directory must fail, not pass
+    vacuously.
+    """
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(p.startswith(".") or p == "__pycache__" for p in parts):
+                    continue
+                found.append(candidate)
+        else:
+            raise LintError(f"lint path does not exist: {path}")
+    return sorted(dict.fromkeys(found), key=lambda p: p.as_posix())
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation]
+    files_checked: int
+    rules: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation survived suppression."""
+        return not self.violations
+
+
+def run_lint(
+    paths: Sequence[os.PathLike],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[os.PathLike] = None,
+) -> LintReport:
+    """Lint every Python file under *paths* with the registered rules.
+
+    *root* anchors the relative paths in the report (and the docs /
+    README lookups of project-level rules); it defaults to the current
+    working directory.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    active = build_rules(rules)
+    known_ids = set(rule_names()) | set(ENGINE_RULE_IDS)
+
+    contexts: List[FileContext] = []
+    violations: List[Violation] = []
+    for path in collect_files(paths):
+        try:
+            rel = os.path.relpath(path, base)
+        except ValueError:  # different drive on Windows
+            rel = str(path)
+        ctx = FileContext(path, rel, path.read_text(encoding="utf-8"))
+        contexts.append(ctx)
+        if ctx.parse_error is not None:
+            violations.append(
+                Violation(
+                    "PARSE001", ctx.rel,
+                    ctx.parse_error.lineno or 1,
+                    (ctx.parse_error.offset or 0) + 1,
+                    f"file does not parse: {ctx.parse_error.msg}",
+                )
+            )
+            continue
+        violations.extend(ctx.suppression_audit(known_ids))
+        for rule in active:
+            for violation in rule.check(ctx):
+                if not ctx.suppressed(violation):
+                    violations.append(violation)
+
+    project = ProjectContext(root=base, files=contexts)
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for rule in active:
+        for violation in rule.finalize(project):
+            ctx = by_rel.get(violation.path)
+            if ctx is not None and ctx.suppressed(violation):
+                continue
+            violations.append(violation)
+
+    violations.sort(key=Violation.sort_key)
+    return LintReport(
+        violations=violations,
+        files_checked=len(contexts),
+        rules=tuple(rule.rule_id for rule in active),
+    )

@@ -1,0 +1,57 @@
+"""Render a :class:`~repro.devtools.lint.engine.LintReport` for humans or CI.
+
+Two formats, both deterministic for a given report:
+
+* ``text`` — one ``path:line:col: RULE message`` line per violation
+  (editor-clickable) plus a summary;
+* ``json`` — a versioned machine-readable document, uploaded as a CI
+  artifact so a failing lint job carries its evidence.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["render_text", "render_json", "render"]
+
+#: Schema version of the JSON report document.
+LINT_REPORT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: violations (if any) plus a summary line."""
+    lines = [violation.render() for violation in report.violations]
+    if report.ok:
+        lines.append(
+            f"repro lint: ok — {report.files_checked} files checked, "
+            f"{len(report.rules)} rules, 0 violations"
+        )
+    else:
+        files_hit = len({v.path for v in report.violations})
+        lines.append(
+            f"repro lint: {len(report.violations)} violation(s) in "
+            f"{files_hit} file(s) ({report.files_checked} files checked, "
+            f"{len(report.rules)} rules)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, version-stamped)."""
+    payload = {
+        "version": LINT_REPORT_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "rules": list(report.rules),
+        "violations": [v.as_dict() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    """Dispatch on *fmt* (``"text"`` or ``"json"``)."""
+    if fmt == "json":
+        return render_json(report)
+    return render_text(report)

@@ -26,6 +26,7 @@ __all__ = [
     "FlowError",
     "FlowSpecError",
     "ResultError",
+    "LintError",
 ]
 
 
@@ -112,3 +113,7 @@ class FlowSpecError(FlowError):
 
 class ResultError(FlowError):
     """A run record, result store, or analyzer request is invalid."""
+
+
+class LintError(ReproError):
+    """A ``repro lint`` invocation is invalid (bad path, unknown rule)."""

@@ -13,6 +13,9 @@ Unknown ids exit with status 2 and print the available set; the
 
 from __future__ import annotations
 
+# repro: noqa-file[LOG001] -- this module IS a CLI entry point (python -m
+# repro.experiments.runner); its prints are the reporting surface, exactly
+# like repro/cli.py
 import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple

@@ -90,7 +90,11 @@ def _load_cached(cache_dir: Path, digest: str) -> Optional[FlowResult]:
     try:
         with path.open("rb") as handle:
             payload = pickle.load(handle)
-    except Exception:
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        # the failures a torn/stale/foreign-version pickle can produce
+        # (pickle's documented unpickling errors plus file I/O) — anything
+        # else is a genuine bug and must propagate, not become a cache miss
         return None
     if not isinstance(payload, dict) or payload.get("stamp") != _cache_stamp():
         return None

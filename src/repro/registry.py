@@ -85,6 +85,22 @@ class Registry:
             )
         return self._items[stored]
 
+    def unregister(self, name: str) -> Callable:
+        """Remove and return the component registered under *name*.
+
+        Exists for test teardown (a fixture registers a component, the
+        test must leave the global registry untouched); library code has
+        no business unregistering components at runtime.  Unknown names
+        raise :class:`FlowError`, mirroring :meth:`get`.
+        """
+        stored = self._canonical.get(normalize_name(name))
+        if stored is None:
+            raise FlowError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            )
+        del self._canonical[normalize_name(name)]
+        return self._items.pop(stored)
+
     def names(self) -> Tuple[str, ...]:
         """Registered names (as registered), in registration order."""
         return tuple(self._items)
