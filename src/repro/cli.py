@@ -19,6 +19,9 @@ Subcommands over the unified flow + scenario + results API::
     python -m repro lint src benchmarks examples              # invariants
     python -m repro experiments table3                        # paper artefacts
     python -m repro list policies                             # registries
+    python -m repro serve --port 8177 --store runs/           # the daemon
+    python -m repro submit spec.json --url http://host:8177   # one request
+    python -m repro cache prune --dir .flowcache --max-entries 64
 
 ``--set key=value[,value...]`` applies dotted-path overrides: single
 values on ``run``, grid axes on ``scenarios show``/``run`` (each value
@@ -632,6 +635,110 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling daemon until interrupted (see docs/SERVING.md)."""
+    import logging
+
+    from .serve import ServeDaemon
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(name)s %(levelname)s %(message)s"
+    )
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        store=args.store,
+        request_timeout_s=args.timeout,
+    )
+    print(f"serving on {daemon.url} (ctrl-c to stop)")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        daemon.shutdown()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit specs to a running daemon and print the served rows."""
+    from .serve import ServeClient
+
+    specs: List[Tuple[str, FlowSpec]] = []
+    for path in args.specs:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        specs.append((path, FlowSpec.from_json(text)))
+    if not specs:
+        spec = platform_spec(
+            args.benchmark, policy=args.policy, weight=args.weight
+        )
+        specs.append((args.benchmark, spec))
+    client = ServeClient(args.url, timeout_s=args.timeout)
+    payloads = []
+    for _, spec in specs:
+        payloads.append(
+            client.submit(
+                spec,
+                store=not args.no_store,
+                suite=args.suite,
+                scenario=args.scenario,
+            )
+        )
+    if args.json:
+        print(json.dumps(payloads, indent=2))
+        return 0
+    from .analysis.report import format_table
+
+    rows = []
+    for (label, _), payload in zip(specs, payloads):
+        row = dict(payload["record"].get("row") or {})
+        row.update(
+            source=label,
+            request_id=payload["request_id"],
+            served_by=payload["served_by"],
+            run_s=payload.get("timings", {}).get("run_s", 0.0),
+        )
+        rows.append(row)
+    print(format_table(rows, title=f"served by {client.url}: {len(rows)} specs"))
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    """Evict oldest entries of an on-disk flow result cache to budget."""
+    if args.max_entries is None and args.max_bytes is None:
+        print(
+            "error: give --max-entries and/or --max-bytes (otherwise "
+            "nothing would be pruned)",
+            file=sys.stderr,
+        )
+        return 2
+    from .flow import prune_cache
+
+    result = prune_cache(
+        args.dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{args.dir}: {verb} {result.removed} of {result.scanned} entries "
+        f"({result.removed_bytes} bytes); kept {result.kept} "
+        f"({result.kept_bytes} bytes)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argparse parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -870,7 +977,8 @@ def build_parser() -> argparse.ArgumentParser:
             "invariants: seeded RNG only (DET001), no wall clock "
             "(DET002), ordered set iteration (DET003), frozen JSON-safe "
             "specs (SPEC001), no dense solves on hot paths (PERF001), "
-            "picklable pool callables (POOL001), registry/CLI/docs "
+            "thin serve handler path (SRV001), picklable pool callables "
+            "(POOL001), registry/CLI/docs "
             "consistency (REG001), no stray print (LOG001), no "
             "swallowed broad excepts (EXC001).  Suppress with "
             "'# repro: noqa[RULE-ID] -- justification'.  See "
@@ -927,6 +1035,131 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("ids", nargs="*", metavar="experiment", help="experiment ids")
     exp_p.add_argument("--list", action="store_true", help="print available ids")
     exp_p.set_defaults(func=_cmd_experiments)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon (warm engine cache, worker pool)",
+        description=(
+            "Long-lived scheduling-as-a-service daemon.  Clients POST "
+            "FlowSpec JSON to /run; platforms and workloads stay warm in "
+            "a content-hash-keyed LRU between requests.  See "
+            "docs/SERVING.md."
+        ),
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=8177,
+        help="bind port; 0 picks an ephemeral one (default: 8177)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker thread count (default: cpu cores)",
+    )
+    serve_p.add_argument(
+        "--queue-size", type=int, default=None,
+        help="request queue bound; full queue answers 429 "
+        "(default: 2x workers)",
+    )
+    serve_p.add_argument(
+        "--cache-entries", type=int, default=32,
+        help="per-layer engine cache entry budget; 0 disables caching "
+        "(default: 32)",
+    )
+    serve_p.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="per-layer engine cache byte budget (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append every served record to this result store",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-request wait budget in seconds before 504 (default: 300)",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit FlowSpec files (or a benchmark) to a running daemon",
+        description=(
+            "Send specs to a repro-serve daemon and print the served "
+            "evaluation rows.  With no spec files, builds one platform "
+            "spec from --benchmark/--policy."
+        ),
+    )
+    submit_p.add_argument(
+        "specs", nargs="*", metavar="SPEC",
+        help="FlowSpec JSON files ('-' for stdin)",
+    )
+    submit_p.add_argument(
+        "--url", default="http://127.0.0.1:8177",
+        help="daemon base URL (default: http://127.0.0.1:8177)",
+    )
+    submit_p.add_argument(
+        "--benchmark", default="Bm1",
+        help="benchmark shorthand when no spec files (default: Bm1)",
+    )
+    submit_p.add_argument(
+        "--policy", default="thermal",
+        help="policy for the shorthand spec (default: thermal)",
+    )
+    submit_p.add_argument(
+        "--weight", type=float, default=None,
+        help="policy weight for the shorthand spec",
+    )
+    submit_p.add_argument(
+        "--suite", default="serve", help="suite tag on stored records"
+    )
+    submit_p.add_argument(
+        "--scenario", default="", help="scenario tag on stored records"
+    )
+    submit_p.add_argument(
+        "--no-store", action="store_true",
+        help="ask the daemon not to append this record to its store",
+    )
+    submit_p.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="client-side HTTP timeout in seconds (default: 600)",
+    )
+    submit_p.add_argument("--json", action="store_true", help="emit JSON payloads")
+    submit_p.set_defaults(func=_cmd_submit)
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="manage the on-disk flow result cache",
+        description="Operations on --cache-dir style result caches.",
+    )
+    cache_p.set_defaults(func=lambda _args: (cache_p.print_help(), 0)[1])
+    cache_sub = cache_p.add_subparsers(dest="cache_command", metavar="action")
+
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict oldest cache entries down to an entry/byte budget",
+        description=(
+            "Oldest-mtime-first eviction of *.flowresult.pkl entries — "
+            "the same LRU policy the serve engine cache applies in "
+            "memory."
+        ),
+    )
+    cache_prune.add_argument(
+        "--dir", default=".flowcache", metavar="DIR",
+        help="cache directory (default: .flowcache)",
+    )
+    cache_prune.add_argument(
+        "--max-entries", type=int, default=None,
+        help="keep at most this many newest entries",
+    )
+    cache_prune.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="keep at most this many bytes of newest entries",
+    )
+    cache_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting",
+    )
+    cache_prune.add_argument("--json", action="store_true", help="emit JSON")
+    cache_prune.set_defaults(func=_cmd_cache_prune)
 
     list_p = sub.add_parser(
         "list",

@@ -22,6 +22,7 @@ __all__ = [
     "UnorderedIterationRule",
     "FrozenSpecRule",
     "DenseSolveRule",
+    "ServeHandlerRule",
     "PoolPicklabilityRule",
     "RegistryConsistencyRule",
     "PrintRule",
@@ -459,6 +460,65 @@ class DenseSolveRule(LintRule):
                     f"through SteadyStateSolver / ThermalQueryEngine "
                     f"(reference-path modules: "
                     f"{', '.join(sorted(self.ALLOWED_MODULES))})",
+                )
+
+
+@register_rule
+class ServeHandlerRule(LintRule):
+    """SRV001 — the serve request-handler path stays thin.
+
+    The daemon's latency contract holds because connection handling
+    (``server.py``), wire parsing (``protocol.py``) and the client
+    (``client.py``) only parse, enqueue, and wait — model construction
+    and solving live behind the worker pool and the engine cache
+    (``workers.py``/``cache.py`` are the allowed consumers).  A
+    ``Flow(...)`` or ``build_workload(...)`` creeping into the handler
+    path would run a full platform build on a connection thread,
+    blocking every queued client behind one cold request and bypassing
+    the cache the daemon exists to serve from.
+    """
+
+    rule_id = "SRV001"
+    title = "no builds or solves on the serve handler path"
+    rationale = "daemon latency: handlers parse/enqueue/wait only"
+
+    #: The handler-path modules this rule polices.  workers.py and
+    #: cache.py are deliberately absent — they are where execution and
+    #: construction are *supposed* to happen.
+    HANDLER_MODULES = frozenset({
+        "repro/serve/server.py",
+        "repro/serve/protocol.py",
+        "repro/serve/client.py",
+    })
+    #: Construction/execution entry points that must not be called (or
+    #: dense solves that must not run) on a connection thread.
+    BARE_BANNED = frozenset({
+        "Flow", "run_flow", "run_many", "build_workload",
+        "build_block_network", "HotSpotModel", "SteadyStateSolver",
+        "ThermalQueryEngine", "cho_solve", "cho_factor",
+    })
+    DOTTED_BANNED = (
+        "linalg.solve", "linalg.inv", "linalg.cholesky", "linalg.lstsq",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module_path()
+        if module not in self.HANDLER_MODULES:
+            return
+        for call in walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if not name:
+                continue
+            banned = name.split(".")[-1] in self.BARE_BANNED or any(
+                name.endswith(suffix) for suffix in self.DOTTED_BANNED
+            )
+            if banned:
+                yield ctx.violation(
+                    self.rule_id, call,
+                    f"{name}() on the serve handler path; construction and "
+                    f"execution belong behind the worker pool "
+                    f"(repro/serve/workers.py) and the engine cache "
+                    f"(repro/serve/cache.py)",
                 )
 
 

@@ -26,6 +26,7 @@ __all__ = [
     "FlowError",
     "FlowSpecError",
     "ResultError",
+    "ServeError",
     "LintError",
 ]
 
@@ -113,6 +114,10 @@ class FlowSpecError(FlowError):
 
 class ResultError(FlowError):
     """A run record, result store, or analyzer request is invalid."""
+
+
+class ServeError(ReproError):
+    """A serving request, response, or daemon configuration is invalid."""
 
 
 class LintError(ReproError):

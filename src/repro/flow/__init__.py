@@ -63,8 +63,8 @@ from .registry import (
     register_thermal_solver,
     thermal_solver_names,
 )
-from .runner import Flow, FlowResult, run_flow
-from .batch import clear_cache, iter_results, run_many
+from .runner import Flow, FlowResult, PrebuiltPlatform, run_flow
+from .batch import clear_cache, iter_results, prune_cache, run_many
 
 __all__ = [
     # specs
@@ -104,8 +104,10 @@ __all__ = [
     # execution
     "Flow",
     "FlowResult",
+    "PrebuiltPlatform",
     "run_flow",
     "run_many",
     "iter_results",
     "clear_cache",
+    "prune_cache",
 ]

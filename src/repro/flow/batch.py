@@ -41,7 +41,7 @@ from ..errors import FlowError
 from .runner import Flow, FlowResult
 from .spec import FlowSpec, spec_hash
 
-__all__ = ["run_many", "iter_results", "clear_cache"]
+__all__ = ["run_many", "iter_results", "clear_cache", "prune_cache"]
 
 _CACHE_SUFFIX = ".flowresult.pkl"
 
@@ -308,3 +308,31 @@ def clear_cache(cache_dir: Union[str, Path]) -> int:
             except OSError:
                 pass
     return removed
+
+
+def prune_cache(
+    cache_dir: Union[str, Path],
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    dry_run: bool = False,
+):
+    """Evict oldest cached flow results until the budget fits.
+
+    The on-disk result cache only ever grows (every distinct spec adds a
+    pickle); this sweep bounds it with the same LRU-by-count/bytes policy
+    the serving layer's in-memory ``EngineCache`` uses — oldest mtime
+    first, deterministic name tie-break (see
+    :func:`repro.caching.prune_dir`).  Eviction is always safe: entries
+    are content-addressed, so a pruned spec simply recomputes on its
+    next run.  Returns the :class:`~repro.caching.PruneResult` sweep
+    summary (what ``repro cache prune`` renders).
+    """
+    from ..caching import prune_dir  # late: keep batch import light
+
+    return prune_dir(
+        cache_dir,
+        _CACHE_SUFFIX,
+        max_entries=max_entries,
+        max_bytes=max_bytes,
+        dry_run=dry_run,
+    )

@@ -52,18 +52,11 @@ from ..thermal.package import default_package
 from .registry import FLOORPLANNERS, FLOWS, THERMAL_SOLVERS, build_policy
 from .spec import ArchitectureSpec, FloorplanSpec, FlowSpec, spec_hash
 
-__all__ = ["Flow", "FlowResult", "run_flow"]
+__all__ = ["Flow", "FlowResult", "PrebuiltPlatform", "run_flow"]
 
 
-def _build_workload(spec: FlowSpec) -> Tuple[Any, Any]:
-    """(graph-or-CTG, library) for *spec*, shared across runs in-process."""
-    # late import: repro.scenarios imports repro.flow.spec for its grid
-    # layer, so binding it at module import time would be cyclic
-    from ..scenarios.workloads import build_workload
-
-    graph, library = build_workload(
-        spec.graph, spec.library, spec.conditional.guard_probabilities
-    )
+def _check_workload(spec: FlowSpec, graph: Any) -> None:
+    """Reject graph/conditional-flag mismatches (cached or fresh alike)."""
     is_ctg = isinstance(graph, ConditionalTaskGraph)
     if spec.conditional.enabled and not is_ctg:
         raise FlowError(
@@ -75,6 +68,18 @@ def _build_workload(spec: FlowSpec) -> Tuple[Any, Any]:
             f"workload {graph.name!r} is a conditional task graph; "
             f"set conditional.enabled = True"
         )
+
+
+def _build_workload(spec: FlowSpec) -> Tuple[Any, Any]:
+    """(graph-or-CTG, library) for *spec*, shared across runs in-process."""
+    # late import: repro.scenarios imports repro.flow.spec for its grid
+    # layer, so binding it at module import time would be cyclic
+    from ..scenarios.workloads import build_workload
+
+    graph, library = build_workload(
+        spec.graph, spec.library, spec.conditional.guard_probabilities
+    )
+    _check_workload(spec, graph)
     return graph, library
 
 
@@ -210,16 +215,49 @@ class _FlowOutcome:
     diagnostics: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class PrebuiltPlatform:
+    """A ready-to-schedule platform leased from a warm cache.
+
+    Carries exactly what :func:`_platform_runner` would otherwise build
+    from the spec: the architecture, the laid-out floorplan, and a
+    thermal model whose network/factorisation/query engine are already
+    constructed (see :meth:`repro.thermal.HotSpotModel.from_prebuilt`).
+    The thermal model must be a *fresh lease* — its query counters start
+    at zero so the served result's diagnostics describe this run only.
+    """
+
+    architecture: Architecture
+    floorplan: Floorplan
+    thermal: Any
+
+
 # ----------------------------------------------------------------------
 # built-in flow kinds
 # ----------------------------------------------------------------------
-def _platform_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
-    """Figure 1b: fixed architecture + floorplan, ASP with HotSpot."""
-    architecture = _build_architecture(spec)
-    floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
-    floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(architecture, floorplan_spec)
-    package = _build_package(spec)
-    thermal = THERMAL_SOLVERS.get(spec.thermal.solver)(floorplan, package, spec.thermal)
+def _platform_runner(
+    spec: FlowSpec, graph, library, prebuilt: Optional[PrebuiltPlatform] = None
+) -> _FlowOutcome:
+    """Figure 1b: fixed architecture + floorplan, ASP with HotSpot.
+
+    With *prebuilt* given (the serving layer's warm path), the
+    architecture/floorplan/thermal triple is taken as-is instead of
+    being rebuilt — the schedule and evaluation that follow are
+    byte-identical either way, because the prebuilt parts are functions
+    of the same spec fields they replace.
+    """
+    if prebuilt is not None:
+        architecture = prebuilt.architecture
+        floorplan = prebuilt.floorplan
+        thermal = prebuilt.thermal
+    else:
+        architecture = _build_architecture(spec)
+        floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
+        floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(architecture, floorplan_spec)
+        package = _build_package(spec)
+        thermal = THERMAL_SOLVERS.get(spec.thermal.solver)(
+            floorplan, package, spec.thermal
+        )
     policy = build_policy(spec.policy)
 
     if spec.conditional.enabled:
@@ -339,13 +377,40 @@ FLOWS.register("cosynthesis", _cosynthesis_runner)
 # ----------------------------------------------------------------------
 # the facade
 # ----------------------------------------------------------------------
+def _accepts_prebuilt(runner: Any) -> bool:
+    """Whether a registered flow runner takes the ``prebuilt=`` lease.
+
+    Third-party runners keep the original three-argument signature; the
+    facade only offers a warm platform to runners that declare they can
+    take one.
+    """
+    import inspect
+
+    try:
+        return "prebuilt" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 class Flow:
     """Facade executing declarative :class:`FlowSpec` configurations.
 
     Stateless apart from the process-wide workload memo; one instance can
     run any number of specs (and is what :func:`~repro.flow.batch.run_many`
     workers use).
+
+    *cache* optionally attaches a warm-state provider (duck-typed; the
+    serving layer's :class:`~repro.serve.cache.EngineCache`).  It may
+    expose ``workload_for(spec) -> (graph, library) | None`` and
+    ``platform_for(spec) -> PrebuiltPlatform | None``; ``None`` from
+    either hook means "bypass" and the facade builds from scratch.  The
+    hooks only short-circuit *construction* — scheduling and evaluation
+    always run, and their outputs are byte-identical with or without the
+    cache (the warm state is a function of the same spec fields).
     """
+
+    def __init__(self, cache: Optional[Any] = None):
+        self.cache = cache
 
     def run(self, spec: FlowSpec) -> FlowResult:
         """Execute *spec* and return the unified :class:`FlowResult`."""
@@ -358,12 +423,29 @@ class Flow:
         started = time.perf_counter()
 
         tick = time.perf_counter()
-        graph, library = _build_workload(spec)
+        pair = None
+        if self.cache is not None and hasattr(self.cache, "workload_for"):
+            pair = self.cache.workload_for(spec)
+        if pair is not None:
+            graph, library = pair
+            _check_workload(spec, graph)
+        else:
+            graph, library = _build_workload(spec)
         timings["build"] = time.perf_counter() - tick
 
         tick = time.perf_counter()
         runner = FLOWS.get(spec.flow)
-        outcome = runner(spec, graph, library)
+        prebuilt: Optional[PrebuiltPlatform] = None
+        if (
+            self.cache is not None
+            and hasattr(self.cache, "platform_for")
+            and _accepts_prebuilt(runner)
+        ):
+            prebuilt = self.cache.platform_for(spec)
+        if prebuilt is not None:
+            outcome = runner(spec, graph, library, prebuilt=prebuilt)
+        else:
+            outcome = runner(spec, graph, library)
         timings["run"] = time.perf_counter() - tick
 
         dvfs_result: Optional[DVFSResult] = None
@@ -422,6 +504,13 @@ class Flow:
             "cache_hit": False,
             "elapsed_s": round(time.perf_counter() - started, 6),
         }
+        if self.cache is not None:
+            # provenance only — which construction stages the attached
+            # cache actually short-circuited for this run
+            provenance["engine_cache"] = {
+                "workload": pair is not None,
+                "platform": prebuilt is not None,
+            }
         return FlowResult(
             spec=spec,
             architecture=outcome.architecture,

@@ -17,9 +17,13 @@ and count — entries whose blob is missing, unparsable, or stamped with
 an unsupported :data:`~repro.results.record.RECORD_SCHEMA_VERSION`
 instead of corrupting the returned :class:`~repro.results.runset.RunSet`.
 
-One process appends at a time (the batch runner's coordinating process;
-pool workers hand results back rather than writing) — that is what makes
-"exactly once, in deterministic index order" trivial to guarantee.
+Appends are safe across *processes*: each append holds an exclusive
+advisory lock (``fcntl.flock`` on ``<store>/.lock``) around the
+sequence-number assignment and the index-line write, so concurrent
+appenders — the serve daemon's request workers, a batch run and a
+one-off ``repro run --store`` — interleave whole records instead of
+tearing the ledger.  On platforms without :mod:`fcntl` the lock
+degrades to the historical single-appender contract.
 """
 
 from __future__ import annotations
@@ -27,8 +31,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import ResultError
 from .record import RECORD_SCHEMA_VERSION, RunRecord
@@ -38,6 +48,7 @@ __all__ = ["ResultStore"]
 
 _INDEX_NAME = "index.jsonl"
 _BLOB_DIR = "records"
+_LOCK_NAME = ".lock"
 
 
 class ResultStore:
@@ -51,6 +62,7 @@ class ResultStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self._next_seq: Optional[int] = None  # lazily counted from the index
+        self._index_size: int = -1  # index byte size the count refers to
 
     # -- paths ---------------------------------------------------------
     @property
@@ -63,20 +75,63 @@ class ResultStore:
         return self.root / _BLOB_DIR / f"{record_id}.json"
 
     # -- writing -------------------------------------------------------
+    @contextmanager
+    def _appender_lock(self) -> Iterator[None]:
+        """Exclusive advisory lock serialising appends across processes.
+
+        Taken for the whole sequence-number + blob-publish + index-line
+        critical section.  Advisory locking is enough: every writer goes
+        through :meth:`append`, and readers never need the lock (a torn
+        trailing line is already skipped on load).  Without :mod:`fcntl`
+        (non-POSIX) this is a no-op and the store keeps its historical
+        one-appender-at-a-time contract.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / _LOCK_NAME).open("a", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _sync_next_seq(self) -> None:
+        """Refresh the cached sequence counter if another process wrote.
+
+        The counter is keyed to the index's byte size at the time it was
+        computed: our own appends keep it current for free, and a size
+        mismatch (someone else appended) triggers one recount.  Must be
+        called with the appender lock held.
+        """
+        try:
+            size = self.index_path.stat().st_size
+        except OSError:
+            size = 0
+        if self._next_seq is None or size != self._index_size:
+            self._next_seq = sum(1 for _ in self._index_lines())
+            self._index_size = size
+
     def append(self, record: RunRecord) -> str:
         """Append one record; returns its assigned id.
 
         The blob lands atomically before the index line, so a crash
         between the two leaves an orphaned blob (harmless), never a
-        ledger entry without data.
+        ledger entry without data.  The whole append holds the advisory
+        appender lock, so concurrent writer processes get distinct,
+        monotone ids and whole index lines.
         """
         if not isinstance(record, RunRecord):
             raise ResultError(
                 f"ResultStore.append expects a RunRecord, got "
                 f"{type(record).__name__}"
             )
-        if self._next_seq is None:
-            self._next_seq = sum(1 for _ in self._index_lines())
+        with self._appender_lock():
+            return self._append_locked(record)
+
+    def _append_locked(self, record: RunRecord) -> str:
+        self._sync_next_seq()
         suffix = record.spec_hash[:10] or "nohash"
         blob_dir = self.root / _BLOB_DIR
         blob_dir.mkdir(parents=True, exist_ok=True)
@@ -85,9 +140,9 @@ class ResultStore:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(record.to_json(indent=2) + "\n")
             # publish exclusively: os.link fails on an existing blob, so
-            # a concurrent appender that raced to the same sequence
-            # number can never silently overwrite a record — the loser
-            # advances to the next free id and retries
+            # an appender racing a writer that bypassed the lock (or a
+            # crashed one's leftovers) can never silently overwrite a
+            # record — it advances to the next free id and retries
             while True:
                 record_id = f"r{self._next_seq:06d}-{suffix}"
                 try:
@@ -115,6 +170,7 @@ class ResultStore:
         with self.index_path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
+            self._index_size = handle.tell()
         self._next_seq += 1
         return record_id
 

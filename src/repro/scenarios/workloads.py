@@ -203,17 +203,22 @@ def build_workload(
     graph_spec,
     library_spec,
     guard_probabilities: Tuple[Tuple[str, str, float], ...] = (),
+    memo: bool = True,
 ) -> Tuple[Any, TechnologyLibrary]:
     """``(graph-or-CTG, library)`` for one spec pair, shared in-process.
 
     The graph comes from :func:`build_graph`; the library is generated
     over the named catalogue unless a registered workload supplies its
     own.  Guard overrides apply to conditional graphs only.
+    ``memo=False`` bypasses the per-process memo entirely (no read, no
+    write) — callers with their own bounded cache (the serving layer's
+    ``EngineCache``) use it so the unbounded process dict never grows
+    behind their eviction policy's back.
     """
     # file-sourced graphs live on disk and can change under the memo's
     # feet; everything else is fully determined by the spec (registered
     # factories cannot be swapped — the registry forbids re-registration)
-    memoisable = graph_spec.kind != "file"
+    memoisable = memo and graph_spec.kind != "file"
     key = (graph_spec, library_spec, tuple(guard_probabilities))
     if memoisable and key in _CACHE:
         return _CACHE[key]

@@ -1,0 +1,175 @@
+""":class:`ServeClient` — the python/CLI face of a running daemon.
+
+Plain stdlib ``urllib`` over the :mod:`~repro.serve.protocol` wire
+format.  The client owns the retry half of the backpressure contract:
+a 429 from the daemon carries a ``Retry-After`` drain estimate, and
+:meth:`ServeClient.submit` sleeps and retries (bounded times, capped
+wait) before giving up — so a burst of ``repro submit`` calls degrades
+into a queue, not a failure storm.  Every other error payload becomes a
+raised :class:`~repro.errors.ServeError` carrying the daemon's error
+kind and message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServeError
+from ..flow.spec import FlowSpec
+from . import protocol
+
+__all__ = ["ServeClient"]
+
+#: Upper bound on one backoff sleep, whatever Retry-After claims.
+_MAX_RETRY_WAIT_S = 30.0
+
+
+class ServeClient:
+    """A client for one daemon base URL (e.g. ``http://127.0.0.1:8177``).
+
+    Parameters
+    ----------
+    url:
+        Daemon base URL; a trailing slash is tolerated.
+    timeout_s:
+        Socket timeout per HTTP call.  Must cover the daemon's own
+        per-request budget — the daemon answers 504 on its timeout, so
+        this one only trips when the daemon is unreachable or wedged.
+    max_retries:
+        How many 429 rejections to absorb (sleep + retry) per submit
+        before surfacing the ``busy`` error.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 600.0,
+        max_retries: int = 3,
+    ):
+        if timeout_s <= 0:
+            raise ServeError(f"timeout_s must be positive, got {timeout_s}")
+        if max_retries < 0:
+            raise ServeError(f"max_retries must be >= 0, got {max_retries}")
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """One HTTP round-trip → (status, decoded payload, headers)."""
+        request = urllib.request.Request(
+            self.url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                raw = response.read()
+                status = response.status
+                headers = dict(response.headers.items())
+        except urllib.error.HTTPError as exc:
+            # non-2xx still carries a protocol error payload — read it
+            raw = exc.read()
+            status = exc.code
+            headers = dict(exc.headers.items()) if exc.headers else {}
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.url}: {exc.reason}"
+            ) from exc
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"daemon at {self.url} returned non-JSON "
+                f"(HTTP {status}): {raw[:200]!r}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"daemon at {self.url} returned a JSON "
+                f"{type(payload).__name__}, expected an object"
+            )
+        return status, payload, headers
+
+    @staticmethod
+    def _raise_error(status: int, payload: Dict[str, Any]) -> None:
+        """Turn an error payload into a raised :class:`ServeError`."""
+        error = payload.get("error") or {}
+        kind = error.get("kind", "unknown")
+        message = error.get("message", f"HTTP {status}")
+        raise ServeError(f"[{kind}] {message}")
+
+    # -- endpoints -----------------------------------------------------
+    def submit(
+        self,
+        spec: FlowSpec,
+        store: bool = True,
+        suite: str = "serve",
+        scenario: str = "",
+    ) -> Dict[str, Any]:
+        """Run *spec* on the daemon; return the full success payload.
+
+        The payload carries ``record`` (the served ``RunRecord`` dict),
+        ``request_id``, ``served_by``, and ``timings``.  429 rejections
+        are retried up to ``max_retries`` times, honouring the daemon's
+        ``Retry-After`` estimate (capped); every other error raises
+        :class:`~repro.errors.ServeError`.
+        """
+        body = protocol.encode(
+            {
+                "spec": spec.to_dict(),
+                "store": store,
+                "suite": suite,
+                "scenario": scenario,
+            }
+        )
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            status, payload, headers = self._request("POST", "/run", body)
+            if status != 429:
+                break
+            if attempt + 1 < attempts:
+                try:
+                    wait = float(headers.get("Retry-After", 1.0))
+                except ValueError:
+                    wait = 1.0
+                time.sleep(min(max(wait, 0.05), _MAX_RETRY_WAIT_S))
+        if not payload.get("ok"):
+            self._raise_error(status, payload)
+        return payload
+
+    def run(
+        self,
+        spec: FlowSpec,
+        store: bool = True,
+        suite: str = "serve",
+        scenario: str = "",
+    ) -> Dict[str, Any]:
+        """Like :meth:`submit`, but return just the served record dict."""
+        return self.submit(spec, store=store, suite=suite, scenario=scenario)[
+            "record"
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's ``/stats`` body (cache, queue, latency)."""
+        status, payload, _ = self._request("GET", "/stats")
+        if not payload.get("ok"):
+            self._raise_error(status, payload)
+        return payload["stats"]
+
+    def health(self) -> bool:
+        """Whether the daemon answers its liveness probe."""
+        try:
+            status, payload, _ = self._request("GET", "/healthz")
+        except ServeError:
+            return False
+        return status == 200 and bool(payload.get("ok"))
+
+    def __repr__(self) -> str:
+        return f"ServeClient(url={self.url!r})"

@@ -1,0 +1,160 @@
+"""The serve wire format: a thin JSON envelope over existing contracts.
+
+The daemon does not invent a serialization layer — a request body is the
+:meth:`FlowSpec.to_dict <repro.flow.FlowSpec.to_dict>` round-trip that
+already backs spec files and the batch cache, and a response carries the
+:meth:`RunRecord.to_dict <repro.results.RunRecord.to_dict>` form that
+already backs the result store.  What this module adds is the envelope:
+strict request parsing (unknown keys are errors, exactly like spec
+deserialization), uniform success/error payload shapes, and a protocol
+version stamp so clients can detect daemon drift.
+
+Endpoints (see docs/SERVING.md for the operator view):
+
+* ``POST /run`` — body ``{"spec": {...}, "store": bool, "suite": str,
+  "scenario": str}``; only ``spec`` is required;
+* ``GET /stats`` — cache hit rates, queue depth, latency percentiles;
+* ``GET /healthz`` — liveness probe.
+
+This module is on the request handler path, so it must stay *thin*:
+parsing and envelope assembly only, never model construction or solves
+(lint rule SRV001 enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import FlowSpecError, ServeError
+from ..flow.spec import FlowSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SubmitRequest",
+    "parse_submit",
+    "success_payload",
+    "error_payload",
+    "stats_payload",
+    "health_payload",
+    "encode",
+    "decode",
+]
+
+#: Version stamp carried by every payload; bump on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Keys a ``POST /run`` body may carry.
+_SUBMIT_KEYS = frozenset({"spec", "store", "suite", "scenario"})
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One parsed ``POST /run`` body."""
+
+    spec: FlowSpec
+    store: bool = True
+    suite: str = "serve"
+    scenario: str = ""
+
+
+def decode(raw: bytes) -> Dict[str, Any]:
+    """Parse a JSON request/response body into a dict (strictly)."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServeError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a payload dict for the wire (canonical key order)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def parse_submit(raw: bytes) -> SubmitRequest:
+    """Parse and validate a ``POST /run`` body.
+
+    Strict like every other deserializer in the platform: unknown keys
+    raise (a typo'd ``"sotre": true`` silently defaulting would store —
+    or drop — results the caller did not ask about), and the embedded
+    spec goes through the same :meth:`FlowSpec.from_dict` validation as
+    a spec file.
+    """
+    payload = decode(raw)
+    unknown = sorted(set(payload) - _SUBMIT_KEYS)
+    if unknown:
+        raise ServeError(
+            f"unknown request keys {unknown}; known: {sorted(_SUBMIT_KEYS)}"
+        )
+    if "spec" not in payload:
+        raise ServeError('request body needs a "spec" object')
+    try:
+        spec = FlowSpec.from_dict(payload["spec"])
+    except FlowSpecError as exc:
+        raise ServeError(f"invalid spec: {exc}") from exc
+    store = payload.get("store", True)
+    if not isinstance(store, bool):
+        raise ServeError(f'"store" must be a boolean, got {store!r}')
+    suite = payload.get("suite", "serve")
+    scenario = payload.get("scenario", "")
+    if not isinstance(suite, str) or not isinstance(scenario, str):
+        raise ServeError('"suite" and "scenario" must be strings')
+    return SubmitRequest(spec=spec, store=store, suite=suite, scenario=scenario)
+
+
+def _envelope(ok: bool, request_id: Optional[str] = None) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"ok": ok, "protocol": PROTOCOL_VERSION}
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return payload
+
+
+def success_payload(
+    record: Mapping[str, Any],
+    request_id: str,
+    served_by: str,
+    timings: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Any]:
+    """The ``POST /run`` success body: the full record plus provenance."""
+    payload = _envelope(True, request_id)
+    payload["record"] = dict(record)
+    payload["served_by"] = served_by
+    if timings is not None:
+        payload["timings"] = dict(timings)
+    return payload
+
+
+def error_payload(
+    kind: str, message: str, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """A uniform error body; *kind* names the error class or condition.
+
+    Kinds clients dispatch on: ``"bad-request"`` (unparsable body or
+    invalid spec), ``"busy"`` (queue full — retry after the
+    ``Retry-After`` header), ``"timeout"`` (the per-request wait budget
+    elapsed; the evaluation may still complete and be stored), a
+    :mod:`repro.errors` class name (execution failed), or
+    ``"internal"``.
+    """
+    payload = _envelope(False, request_id)
+    payload["error"] = {"kind": kind, "message": message}
+    return payload
+
+
+def stats_payload(stats: Mapping[str, Any]) -> Dict[str, Any]:
+    """The ``GET /stats`` body."""
+    payload = _envelope(True)
+    payload["stats"] = dict(stats)
+    return payload
+
+
+def health_payload() -> Dict[str, Any]:
+    """The ``GET /healthz`` body."""
+    return _envelope(True)

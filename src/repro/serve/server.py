@@ -1,0 +1,272 @@
+"""The scheduling daemon: HTTP front end over the warm worker pool.
+
+``repro serve`` builds one :class:`ServeDaemon`: a threading HTTP
+server whose connection threads do nothing but parse, enqueue, and
+wait — every evaluation runs on the :class:`~repro.serve.workers
+.WorkerPool` against the shared :class:`~repro.serve.cache.EngineCache`
+(lint rule SRV001 keeps it that way).  Status mapping:
+
+* ``200`` — served; body carries the full ``RunRecord`` dict;
+* ``400`` — unparsable body / invalid spec (``bad-request``);
+* ``404`` — unknown endpoint;
+* ``422`` — valid request whose execution raised a
+  :mod:`repro.errors` error (body names the class);
+* ``429`` — queue full; ``Retry-After`` header carries the drain-time
+  estimate (``busy``);
+* ``500`` — unexpected failure (``internal``);
+* ``504`` — the per-request wait budget elapsed (``timeout``).  The
+  evaluation keeps running on its worker and is still stored when
+  storing was requested — the *wait* timed out, not the work.
+
+The daemon is deliberately plain stdlib (``http.server``): requests are
+seconds-scale scheduling runs, so connection throughput is never the
+bottleneck — engine warmth is, and that lives in the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ServeError
+from . import protocol
+from .cache import DEFAULT_MAX_ENTRIES, EngineCache
+from .workers import QueueFullError, ServeJob, WorkerPool
+
+__all__ = ["ServeDaemon"]
+
+LOGGER = logging.getLogger("repro.serve")
+
+#: Default daemon port (unassigned range; override with ``--port``).
+DEFAULT_PORT = 8177
+
+#: Cap on request body size; a FlowSpec is a few KiB, so anything past
+#: this is a confused (or hostile) client, not a bigger spec.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """One connection thread per request, all daemonic."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Filled by ServeDaemon after construction.
+    daemon_ref: "ServeDaemon"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Parse/enqueue/wait — never build or solve (SRV001)."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
+        LOGGER.info("%s %s", self.address_string(), format % args)
+
+    # -- plumbing ------------------------------------------------------
+    def _respond(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        body = protocol.encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- endpoints -----------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        daemon = self.server.daemon_ref  # type: ignore[attr-defined]
+        if self.path == "/healthz":
+            self._respond(200, protocol.health_payload())
+        elif self.path == "/stats":
+            self._respond(200, protocol.stats_payload(daemon.stats()))
+        else:
+            self._respond(
+                404, protocol.error_payload("not-found", f"no endpoint {self.path!r}")
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        daemon = self.server.daemon_ref  # type: ignore[attr-defined]
+        if self.path != "/run":
+            self._respond(
+                404, protocol.error_payload("not-found", f"no endpoint {self.path!r}")
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._respond(
+                400,
+                protocol.error_payload(
+                    "bad-request",
+                    f"Content-Length must be in (0, {_MAX_BODY_BYTES}], got {length}",
+                ),
+            )
+            return
+        raw = self.rfile.read(length)
+        status, payload, headers = daemon.handle_submit(raw)
+        self._respond(status, payload, headers)
+
+
+class ServeDaemon:
+    """The long-lived scheduling service (``repro serve``).
+
+    Owns the engine cache, the worker pool, and the HTTP server; usable
+    embedded (tests bind ``port=0`` and drive it via
+    :class:`~repro.serve.client.ServeClient`) or via
+    :meth:`serve_forever` from the CLI.  :meth:`handle_submit` is the
+    whole request policy — parse, enqueue with backpressure, wait with
+    a timeout — exposed as a method so it is testable without sockets.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: Optional[int] = None,
+        queue_size: Optional[int] = None,
+        cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        cache_bytes: Optional[int] = None,
+        store: Optional[Any] = None,
+        request_timeout_s: float = 300.0,
+    ):
+        if request_timeout_s <= 0:
+            raise ServeError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
+        self.cache = EngineCache(max_entries=cache_entries, max_bytes=cache_bytes)
+        self.pool = WorkerPool(
+            cache=self.cache, workers=workers, queue_size=queue_size, store=store
+        )
+        self.request_timeout_s = request_timeout_s
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.timeouts = 0
+        self._http = _ServeHTTPServer((host, port), _Handler)
+        self._http.daemon_ref = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- addressing ----------------------------------------------------
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the ephemeral one when constructed with port=0)."""
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def next_request_id(self) -> str:
+        """A daemon-unique request id (pid + monotone counter)."""
+        with self._lock:
+            sequence = next(self._counter)
+        return f"req-{os.getpid():x}-{sequence:06d}"
+
+    # -- the request policy --------------------------------------------
+    def handle_submit(
+        self, raw: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Process one ``POST /run`` body → (status, payload, headers)."""
+        with self._lock:
+            self.requests += 1
+        try:
+            request = protocol.parse_submit(raw)
+        except ServeError as exc:
+            return 400, protocol.error_payload("bad-request", str(exc)), {}
+        job = ServeJob(
+            request_id=self.next_request_id(),
+            spec=request.spec,
+            store=request.store,
+            suite=request.suite,
+            scenario=request.scenario,
+        )
+        try:
+            self.pool.submit(job)
+        except QueueFullError as exc:
+            return (
+                429,
+                protocol.error_payload("busy", str(exc), job.request_id),
+                {"Retry-After": str(exc.retry_after_s)},
+            )
+        if not job.done.wait(timeout=self.request_timeout_s):
+            with self._lock:
+                self.timeouts += 1
+            return (
+                504,
+                protocol.error_payload(
+                    "timeout",
+                    f"request not served within {self.request_timeout_s}s; "
+                    f"it keeps running and is stored if storing was requested",
+                    job.request_id,
+                ),
+                {},
+            )
+        if job.error is not None:
+            kind, message = job.error
+            status = 500 if kind == "internal" else 422
+            return status, protocol.error_payload(kind, message, job.request_id), {}
+        return (
+            200,
+            protocol.success_payload(
+                job.record or {}, job.request_id, job.served_by, job.timings()
+            ),
+            {},
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Daemon counters + pool/cache stats (the ``/stats`` body)."""
+        with self._lock:
+            counters = {"requests": self.requests, "timeouts": self.timeouts}
+        return {
+            **counters,
+            "request_timeout_s": self.request_timeout_s,
+            **self.pool.stats(),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start workers + HTTP loop on a background thread (for tests)."""
+        self.pool.start()
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._http.serve_forever, name="serve-http", daemon=True
+            )
+            self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        """Start workers and block on the HTTP loop (the CLI path)."""
+        self.pool.start()
+        LOGGER.info("serving on %s", self.url)
+        self._http.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain the workers, release the socket."""
+        self._http.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.pool.stop()
+        self._http.server_close()
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,274 @@
+"""The daemon's execution side: bounded queue + warm worker pool.
+
+Requests do not run on their connection threads.  The HTTP layer
+enqueues a :class:`ServeJob` onto one bounded :class:`queue.Queue` and
+waits; a fixed pool of worker threads — sized to the machine's cores by
+default — drains it, each running specs through a
+:class:`~repro.flow.Flow` wired to the shared
+:class:`~repro.serve.cache.EngineCache`.  Threads (not processes) are
+the point: warm engines live in this process's memory, and the
+scheduling inner loop is NumPy-heavy enough that the GIL is released
+where it matters, while the expensive construction work is exactly what
+the cache removes.
+
+Backpressure is explicit: a full queue rejects immediately with
+:class:`QueueFullError` carrying a ``Retry-After`` estimate derived
+from queue depth and observed latency — clients retry later instead of
+piling onto an overloaded daemon.  Completed jobs append their record
+to the result store (when configured) with ``served_by``/``request_id``
+provenance before the waiting handler is woken, so a stored row always
+identifies the worker and request that produced it.
+
+All timing here is :func:`time.perf_counter` deltas — durations only,
+never wall-clock timestamps (DET002 applies to the daemon too).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError, ServeError
+from ..flow.runner import Flow
+from ..flow.spec import FlowSpec
+
+__all__ = ["QueueFullError", "ServeJob", "WorkerPool"]
+
+#: Sentinel that tells a worker thread to exit.
+_STOP = object()
+
+
+class QueueFullError(ServeError):
+    """The request queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, depth: int, retry_after_s: int):
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"request queue is full ({depth} pending); "
+            f"retry in ~{retry_after_s}s"
+        )
+
+
+@dataclass
+class ServeJob:
+    """One enqueued evaluation request and its lifecycle state.
+
+    The submitting thread waits on :attr:`done`; the worker fills either
+    :attr:`record` (the served ``RunRecord`` dict) or :attr:`error`
+    (``(kind, message)``) before setting it.  Timing fields are
+    ``perf_counter`` stamps recorded by the queue/worker.
+    """
+
+    request_id: str
+    spec: FlowSpec
+    store: bool = True
+    suite: str = "serve"
+    scenario: str = ""
+    done: threading.Event = field(default_factory=threading.Event)
+    record: Optional[Dict[str, Any]] = None
+    error: Optional[Tuple[str, str]] = None
+    served_by: str = ""
+    enqueued_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def queue_s(self) -> float:
+        """Seconds spent waiting in the queue."""
+        return max(0.0, self.started_at - self.enqueued_at)
+
+    @property
+    def run_s(self) -> float:
+        """Seconds spent executing."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    def timings(self) -> Dict[str, float]:
+        """The wire-format timing summary for this job."""
+        return {
+            "queue_s": round(self.queue_s, 6),
+            "run_s": round(self.run_s, 6),
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class WorkerPool:
+    """Bounded-queue worker pool executing specs against a shared cache.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`~repro.serve.cache.EngineCache` (or ``None``
+        for a cache-less pool — every request cold-builds).
+    workers:
+        Thread count; defaults to the machine's core count.
+    queue_size:
+        Request queue bound; defaults to ``2 * workers``.  A full queue
+        rejects with :class:`QueueFullError` (the HTTP layer's 429).
+    store:
+        Optional :class:`~repro.results.ResultStore` (or directory
+        path); completed jobs with ``store=True`` append their record.
+    latency_window:
+        How many recent request latencies feed the ``/stats``
+        percentiles.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[Any] = None,
+        workers: Optional[int] = None,
+        queue_size: Optional[int] = None,
+        store: Optional[Any] = None,
+        latency_window: int = 512,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if queue_size is None:
+            queue_size = 2 * workers
+        if queue_size < 1:
+            raise ServeError(f"queue_size must be >= 1, got {queue_size}")
+        self.cache = cache
+        self.workers = workers
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self._store = None
+        if store is not None:
+            from ..results.store import ResultStore
+
+            self._store = store if isinstance(store, ResultStore) else ResultStore(store)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            name = f"serve-worker-{index}"
+            thread = threading.Thread(
+                target=self._worker_loop, args=(name,), name=name, daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain-stop: workers finish current jobs, then exit."""
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    # -- submission ----------------------------------------------------
+    def submit(self, job: ServeJob) -> None:
+        """Enqueue *job*, or raise :class:`QueueFullError` (backpressure)."""
+        job.enqueued_at = time.perf_counter()
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            raise QueueFullError(self._queue.qsize(), self.retry_after_s()) from None
+
+    def retry_after_s(self) -> int:
+        """Seconds a rejected client should wait before retrying.
+
+        Drain-time estimate: pending requests times the recent mean
+        latency, divided across the workers — clamped to at least 1s so
+        the header is always meaningful.
+        """
+        with self._lock:
+            mean = (
+                sum(self._latencies) / len(self._latencies)
+                if self._latencies
+                else 1.0
+            )
+        depth = self._queue.qsize()
+        return max(1, int(math.ceil((depth + 1) * mean / self.workers)))
+
+    # -- execution -----------------------------------------------------
+    def _worker_loop(self, name: str) -> None:
+        flow = Flow(cache=self.cache)
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            self._run_job(flow, job, name)
+
+    def _run_job(self, flow: Flow, job: ServeJob, name: str) -> None:
+        job.served_by = name
+        job.started_at = time.perf_counter()
+        try:
+            result = flow.run(job.spec)
+            # served-by provenance rides the record into the store and
+            # back over the wire — a stored row always names its worker
+            result.provenance["served_by"] = name
+            result.provenance["request_id"] = job.request_id
+            record = result.as_record(suite=job.suite, scenario=job.scenario)
+            if job.store and self._store is not None:
+                self._store.append(record)
+            job.record = record.to_dict()
+            ok = True
+        except ReproError as exc:
+            job.error = (type(exc).__name__, str(exc))
+            ok = False
+        except Exception as exc:  # repro: noqa[EXC001] -- a daemon worker must survive any request; the failure is reported to the waiting client, not swallowed
+            job.error = ("internal", f"{type(exc).__name__}: {exc}")
+            ok = False
+        job.finished_at = time.perf_counter()
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self._latencies.append(job.finished_at - job.enqueued_at)
+        job.done.set()
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Queue depth, counters, latency percentiles, cache stats."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            counters = {
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }
+        payload: Dict[str, Any] = {
+            "workers": self.workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.queue_size,
+            **counters,
+            "latency": {
+                "window": len(latencies),
+                "mean_s": round(sum(latencies) / len(latencies), 6)
+                if latencies
+                else 0.0,
+                "p50_s": round(_percentile(latencies, 0.50), 6),
+                "p90_s": round(_percentile(latencies, 0.90), 6),
+                "p99_s": round(_percentile(latencies, 0.99), 6),
+            },
+        }
+        if self.cache is not None and hasattr(self.cache, "stats"):
+            payload["cache"] = self.cache.stats()
+        return payload

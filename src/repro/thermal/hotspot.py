@@ -57,6 +57,64 @@ class HotSpotModel:
         self._queries = 0
 
     # ------------------------------------------------------------------
+    # prebuilt-state extraction / injection (the serving warm path)
+    # ------------------------------------------------------------------
+    def prebuilt_state(self) -> Tuple[object, SteadyStateSolver, ThermalQueryEngine]:
+        """``(network, solver, engine)`` — the expensive immutable parts.
+
+        Everything a :meth:`from_prebuilt` model needs to answer queries
+        without re-building the RC network, re-factorising G, or
+        re-deriving the block response matrix.  Forces the engine build
+        so a cached bundle is warm by construction.
+        """
+        return self.network, self._solver, self.query_engine()
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        floorplan: Floorplan,
+        package: PackageConfig,
+        network,
+        solver: SteadyStateSolver,
+        engine: ThermalQueryEngine,
+    ) -> "HotSpotModel":
+        """A model reusing an extracted ``prebuilt_state``.
+
+        The network/solver/engine are shared structurally but the solver
+        and engine are *forked* (fresh query counters), so a request
+        served from a warm cache reports its own solve provenance, not
+        the accumulated history of every request before it.  The
+        floorplan's block names must match the engine's block order —
+        a mismatched injection would silently answer for the wrong die.
+        """
+        if tuple(floorplan.block_names()) != engine.block_names:
+            raise ThermalError(
+                f"prebuilt engine blocks {list(engine.block_names)} do not "
+                f"match floorplan blocks {floorplan.block_names()}"
+            )
+        model = object.__new__(cls)
+        model.floorplan = floorplan
+        model.package = package
+        model.network = network
+        model._solver = solver.fork()
+        model._block_names = floorplan.block_names()
+        model._block_indices = [
+            network.index(name) for name in model._block_names
+        ]
+        model._engine = engine.fork()
+        model._queries = 0
+        return model
+
+    def attach_engine(self, engine: ThermalQueryEngine) -> None:
+        """Inject a precomputed query engine (block order must match)."""
+        if engine.block_names != tuple(self._block_names):
+            raise ThermalError(
+                f"engine blocks {list(engine.block_names)} do not match "
+                f"model blocks {self._block_names}"
+            )
+        self._engine = engine
+
+    # ------------------------------------------------------------------
     @property
     def block_names(self) -> List[str]:
         """Names of the queryable blocks (PE instances)."""

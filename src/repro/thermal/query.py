@@ -130,6 +130,25 @@ class ThermalQueryEngine:
             setup_solves=inject.shape[1],
         )
 
+    def fork(self) -> "ThermalQueryEngine":
+        """An engine sharing this response matrix with fresh counters.
+
+        The precomputed response (the expensive part — one backsolve per
+        block) is immutable and safely shared; the fork only carries its
+        own ``fast_queries`` provenance.  This is the injection hook the
+        serving layer's warm :class:`~repro.serve.cache.EngineCache`
+        uses: one precomputation, per-request counter isolation.
+        """
+        clone = object.__new__(ThermalQueryEngine)
+        clone.block_names = self.block_names
+        clone._index = self._index
+        clone.response = self.response
+        clone.avg_sensitivity = self.avg_sensitivity
+        clone.ambient_c = self.ambient_c
+        clone.setup_solves = self.setup_solves
+        clone.fast_queries = 0
+        return clone
+
     # ------------------------------------------------------------------
     # name <-> index plumbing
     # ------------------------------------------------------------------

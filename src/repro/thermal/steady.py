@@ -40,6 +40,19 @@ class SteadyStateSolver:
             ) from exc
         self.solve_count = 0
 
+    def fork(self) -> "SteadyStateSolver":
+        """A solver sharing this factorisation with fresh counters.
+
+        The Cholesky factor is the expensive, immutable part; forking
+        skips re-factorising while giving the new consumer (one served
+        request, one leased model) its own ``solve_count`` provenance.
+        """
+        clone = object.__new__(SteadyStateSolver)
+        clone.network = self.network
+        clone._factor = self._factor
+        clone.solve_count = 0
+        return clone
+
     def solve_rise(self, power: np.ndarray) -> np.ndarray:
         """Temperature **rise** over ambient for a raw power vector."""
         if power.shape != (len(self.network),):

@@ -1,0 +1,172 @@
+"""`repro.caching`: the LRU primitive and oldest-first disk pruning.
+
+One eviction policy, two habitats: `LRUCache` bounds the serve daemon's
+in-memory engine cache, `prune_dir` applies the same oldest-first rule
+to on-disk flow result caches (`repro cache prune`).  The pinned
+behaviours: recency refresh on hit, strict entry budgets, the advisory
+byte budget that always keeps at least one entry, and mtime-ordered
+(name tie-broken) disk eviction.
+"""
+
+import os
+
+import pytest
+
+from repro.caching import LRUCache, prune_dir
+from repro.cli import main
+from repro.flow import platform_spec, prune_cache, run_many
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_entry_budget_evicts_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a: b is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_budget_evicts_oldest_first(self):
+        cache = LRUCache(max_entries=None, max_bytes=100)
+        cache.put("a", 1, size=60)
+        cache.put("b", 2, size=60)  # 120 > 100: a goes
+        assert cache.get("a") is None and cache.get("b") == 2
+        assert cache.stats()["bytes"] == 60
+
+    def test_single_oversized_entry_is_kept(self):
+        cache = LRUCache(max_entries=None, max_bytes=10)
+        cache.put("big", "x", size=500)
+        assert cache.get("big") == "x"
+        assert cache.stats()["entries"] == 1
+
+    def test_zero_entries_disables_storage(self):
+        cache = LRUCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_put_replaces_in_place(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats()["entries"] == 1
+
+
+def _seed_files(directory, names_and_sizes):
+    """Create cache-entry files with strictly increasing mtimes."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for index, (name, size) in enumerate(names_and_sizes):
+        path = directory / name
+        path.write_bytes(b"x" * size)
+        stamp = 1_000_000_000 + index
+        os.utime(path, (stamp, stamp))
+
+
+class TestPruneDir:
+    def test_max_entries_removes_oldest_first(self, tmp_path):
+        _seed_files(tmp_path, [(f"e{i}.pkl", 10) for i in range(5)])
+        result = prune_dir(tmp_path, ".pkl", max_entries=2)
+        assert result.scanned == 5 and result.removed == 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "e3.pkl", "e4.pkl",
+        ]
+        assert [os.path.basename(p) for p in result.removed_paths] == [
+            "e0.pkl", "e1.pkl", "e2.pkl",
+        ]
+
+    def test_max_bytes_keeps_newest_within_budget(self, tmp_path):
+        _seed_files(tmp_path, [(f"e{i}.pkl", 100) for i in range(4)])
+        result = prune_dir(tmp_path, ".pkl", max_bytes=250)
+        assert result.removed == 2
+        assert result.kept == 2 and result.kept_bytes == 200
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        _seed_files(tmp_path, [(f"e{i}.pkl", 10) for i in range(3)])
+        result = prune_dir(tmp_path, ".pkl", max_entries=1, dry_run=True)
+        assert result.removed == 2
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_equal_mtimes_tie_break_on_name(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        for name in ("bb.pkl", "aa.pkl"):
+            path = tmp_path / name
+            path.write_bytes(b"x")
+            os.utime(path, (1_000_000_000, 1_000_000_000))
+        result = prune_dir(tmp_path, ".pkl", max_entries=1)
+        assert [os.path.basename(p) for p in result.removed_paths] == ["aa.pkl"]
+
+    def test_other_suffixes_untouched(self, tmp_path):
+        _seed_files(tmp_path, [("a.pkl", 10), ("b.pkl", 10), ("keep.json", 10)])
+        prune_dir(tmp_path, ".pkl", max_entries=0)
+        assert [p.name for p in tmp_path.iterdir()] == ["keep.json"]
+
+    def test_missing_directory_is_empty_result(self, tmp_path):
+        result = prune_dir(tmp_path / "nope", ".pkl", max_entries=1)
+        assert result.scanned == 0 and result.removed == 0
+
+
+class TestFlowCachePrune:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        specs = [
+            platform_spec("Bm1", policy=policy, weight=weight)
+            for policy, weight in (
+                ("thermal", None), ("thermal", 0.7), ("heuristic3", None),
+            )
+        ]
+        run_many(specs, cache_dir=tmp_path / "cache")
+        return tmp_path / "cache"
+
+    def test_prune_cache_applies_the_lru_policy(self, cache_dir):
+        entries = sorted(cache_dir.glob("*.flowresult.pkl"))
+        assert len(entries) == 3
+        result = prune_cache(cache_dir, max_entries=1)
+        assert result.removed == 2 and result.kept == 1
+        assert len(list(cache_dir.glob("*.flowresult.pkl"))) == 1
+
+    def test_cli_prune_json_report(self, cache_dir, capsys):
+        code = main([
+            "cache", "prune", "--dir", str(cache_dir),
+            "--max-entries", "2", "--json",
+        ])
+        assert code == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["scanned"] == 3 and report["removed"] == 1
+
+    def test_cli_prune_dry_run_keeps_entries(self, cache_dir, capsys):
+        code = main([
+            "cache", "prune", "--dir", str(cache_dir),
+            "--max-entries", "0", "--dry-run",
+        ])
+        assert code == 0
+        assert "would remove 3" in capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.flowresult.pkl"))) == 3
+
+    def test_cli_prune_without_budget_exits_two(self, capsys):
+        code = main(["cache", "prune", "--dir", "/tmp/x"])
+        assert code == 2
+        assert "max-entries" in capsys.readouterr().err

@@ -226,6 +226,52 @@ class TestPERF001DenseSolve:
         assert report.ok
 
 
+class TestSRV001ServeHandler:
+    def test_flow_run_in_server_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/serve/server.py":
+                "from repro.flow import Flow\n"
+                "\n"
+                "def handle(spec):\n"
+                "    return Flow().run(spec)\n",
+        }, rules=["SRV001"])
+        violation = one_violation(report, "SRV001")
+        assert violation.path == "src/repro/serve/server.py"
+        assert violation.line == 4
+
+    def test_build_workload_in_protocol_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/serve/protocol.py":
+                "from repro.scenarios.workloads import build_workload\n"
+                "pair = build_workload(None, None, ())\n",
+        }, rules=["SRV001"])
+        assert one_violation(report, "SRV001").line == 2
+
+    def test_dense_solve_in_client_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/serve/client.py":
+                "import numpy as np\n"
+                "x = np.linalg.solve([[1.0]], [1.0])\n",
+        }, rules=["SRV001"])
+        assert one_violation(report, "SRV001").line == 2
+
+    def test_workers_and_cache_are_the_allowed_consumers(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            # execution belongs here — not policed
+            "src/repro/serve/workers.py":
+                "from repro.flow import Flow\n"
+                "flow = Flow()\n",
+            "src/repro/serve/cache.py":
+                "from repro.scenarios.workloads import build_workload\n"
+                "pair = build_workload(None, None, ())\n",
+            # handler-path module doing handler-path things is fine
+            "src/repro/serve/server.py":
+                "import json\n"
+                "payload = json.dumps({'ok': True})\n",
+        }, rules=["SRV001"])
+        assert report.ok
+
+
 class TestPOOL001PoolPicklability:
     def test_lambda_submit_flagged(self, tmp_path):
         report = lint_tree(tmp_path, {
@@ -331,7 +377,7 @@ class TestEngineMechanics:
 
     def test_builtin_rules_registered(self):
         for rule_id in ("DET001", "DET002", "DET003", "SPEC001", "PERF001",
-                        "POOL001", "REG001", "LOG001", "EXC001"):
+                        "SRV001", "POOL001", "REG001", "LOG001", "EXC001"):
             assert rule_id in LINT_RULES
         assert rule_names() == tuple(LINT_RULES.names())
 

@@ -165,6 +165,69 @@ class TestCorruption:
         assert runs.skipped == 1
 
 
+def _append_n_from_child(store_root, record_dict, n, barrier):
+    """Child-process writer: append *n* copies of one record.
+
+    Module-level so spawn/fork both pickle it; waits on the barrier so
+    both writers open the store (and read the same stale sequence
+    number) before either appends — the worst-case interleaving the
+    advisory index lock exists for.
+    """
+    store = ResultStore(store_root)
+    record = RunRecord.from_dict(record_dict)
+    barrier.wait(timeout=30)
+    for _ in range(n):
+        store.append(record)
+
+
+class TestConcurrentAppenders:
+    def test_two_writer_processes_interleave_without_loss(
+        self, tmp_path, records
+    ):
+        """Regression: two unrelated *processes* appending concurrently
+        must produce 2N distinct ledger entries and a fully loadable
+        store.  Before the fcntl index lock, both writers could read the
+        same next-sequence value and race the read-append-write cycle —
+        torn index lines or one blob's entry lost."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        store_root = tmp_path / "contended"
+        ResultStore(store_root)  # create the directory up front
+        n = 20
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(
+                target=_append_n_from_child,
+                args=(store_root, record.to_dict(), n, barrier),
+            )
+            for record in records[:2]
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = ResultStore(store_root)
+        entries = store.index()
+        assert len(entries) == 2 * n
+        assert len({e["id"] for e in entries}) == 2 * n
+        runs = store.load()
+        assert len(runs) == 2 * n
+        assert runs.skipped == 0
+
+    def test_reopened_store_syncs_with_a_foreign_append(self, tmp_path, records):
+        """An open handle notices appends made by another handle (the
+        byte-size staleness check) instead of reusing their ids."""
+        first = ResultStore(tmp_path / "sync")
+        second = ResultStore(tmp_path / "sync")
+        first.append(records[0])
+        second.append(records[1])
+        first.append(records[2])
+        ids = [e["id"] for e in first.index()]
+        assert len(ids) == 3 and len(set(ids)) == 3
+
+
 class TestStreaming:
     def test_pool_streaming_lands_exactly_once_in_input_order(self, tmp_path):
         """Satellite contract: workers > 1 writes each record once, and
