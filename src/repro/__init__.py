@@ -214,7 +214,7 @@ from .results import (
     stream_records,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

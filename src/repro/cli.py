@@ -22,6 +22,8 @@ Subcommands over the unified flow + scenario + results API::
     python -m repro serve --port 8177 --store runs/           # the daemon
     python -m repro submit spec.json --url http://host:8177   # one request
     python -m repro cache prune --dir .flowcache --max-entries 64
+    python -m repro dse run --suite bm1 --strategy nsga2 \\
+        --seed 7 --generations 4 --population 16 --out runs/dse  # search
 
 ``--set key=value[,value...]`` applies dotted-path overrides: single
 values on ``run``, grid axes on ``scenarios show``/``run`` (each value
@@ -601,6 +603,7 @@ def _cmd_workloads_list(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from .devtools.lint import rule_names
+    from .dse.strategies import strategy_names
     from .experiments.runner import EXPERIMENTS
     from .results import analyzer_names
     from .scenarios import catalogue_names, scenario_names
@@ -613,6 +616,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "policies": policy_names(),
         "floorplanners": floorplanner_names(),
         "thermal-solvers": thermal_solver_names(),
+        "dse-strategies": strategy_names(),
         "benchmarks": tuple(BENCHMARK_NAMES) + CONDITIONAL_BENCHMARK_NAMES,
         "generator-families": family_names(),
         "catalogues": catalogue_names(),
@@ -707,6 +711,102 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         )
         rows.append(row)
     print(format_table(rows, title=f"served by {client.url}: {len(rows)} specs"))
+    return 0
+
+
+def _resolve_benchmark_name(name: str) -> str:
+    """Canonical benchmark spelling for a case-insensitive CLI argument."""
+    from .taskgraph.benchmarks import BENCHMARK_NAMES
+    from .taskgraph.conditional import CONDITIONAL_BENCHMARK_NAMES
+
+    for known in tuple(BENCHMARK_NAMES) + tuple(CONDITIONAL_BENCHMARK_NAMES):
+        if known.lower() == str(name).lower():
+            return known
+    return str(name)
+
+
+def _cmd_dse_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a seeded design-space exploration.
+
+    The run directory is the checkpoint: re-invoking with the same
+    config resumes byte-identically; a different config on the same
+    directory is refused.
+    """
+    from .analysis.report import format_table
+    from .dse import DseConfig, run_dse
+    from .dse.strategies import STRATEGIES
+
+    if args.strategy not in STRATEGIES:
+        print(
+            f"unknown dse strategy {args.strategy!r}; "
+            f"available: {STRATEGIES.names()}",
+            file=sys.stderr,
+        )
+        return 2
+    benchmark = _resolve_benchmark_name(args.suite)
+    if args.dvfs == "on":
+        dvfs_options: Tuple[bool, ...] = (True,)
+    elif args.dvfs == "off":
+        dvfs_options = (False,)
+    else:
+        dvfs_options = (False, True)
+    config = DseConfig(
+        benchmark=benchmark,
+        strategy=args.strategy,
+        seed=args.seed,
+        generations=args.generations,
+        population=args.population,
+        catalogue=args.catalogue,
+        pes=tuple(args.pes) if args.pes else (None,),
+        counts=tuple(args.counts),
+        policies=tuple(args.policies),
+        dvfs_options=dvfs_options,
+    )
+    out_dir = args.out or (
+        f".repro-dse/{benchmark}-{args.strategy}-seed{args.seed}"
+    )
+    result = run_dse(
+        config,
+        out_dir,
+        workers=args.workers,
+        stop_after_generations=args.stop_after,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        {
+            "gen": entry.generation,
+            "slot": entry.slot,
+            "spec": entry.spec_hash[:10],
+            "policy": entry.candidate.policy,
+            "pe": entry.candidate.pe or "(platform)",
+            "count": entry.candidate.count,
+            "dvfs": entry.candidate.dvfs,
+            "makespan": round(entry.objectives[0], 3),
+            "peak_c": round(entry.objectives[1], 3),
+            "energy": round(entry.objectives[2], 3),
+        }
+        for entry in result.front
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"dse {args.strategy} on {benchmark}: Pareto front "
+                f"({result.evaluations} evaluations, "
+                f"{result.generations}/{config.generations} generations)"
+            ),
+        )
+    )
+    stats = result.thermal_stats
+    print(
+        f"thermal screen: {stats['incremental']} incremental, "
+        f"{stats['unchanged']} unchanged, "
+        f"{stats['full_rebuilds']} full rebuilds, "
+        f"{stats['conditioning_fallbacks']} conditioning fallbacks"
+    )
+    print(f"run directory: {result.out_dir}")
     return 0
 
 
@@ -980,7 +1080,8 @@ def build_parser() -> argparse.ArgumentParser:
             "thin serve handler path (SRV001), picklable pool callables "
             "(POOL001), registry/CLI/docs "
             "consistency (REG001), no stray print (LOG001), no "
-            "swallowed broad excepts (EXC001).  Suppress with "
+            "swallowed broad excepts (EXC001), shared-evaluator DSE "
+            "strategies (DSE001).  Suppress with "
             "'# repro: noqa[RULE-ID] -- justification'.  See "
             "docs/STATIC_ANALYSIS.md."
         ),
@@ -1160,6 +1261,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_prune.add_argument("--json", action="store_true", help="emit JSON")
     cache_prune.set_defaults(func=_cmd_cache_prune)
+
+    dse_p = sub.add_parser(
+        "dse",
+        help="multi-objective design-space exploration",
+        description=(
+            "Seeded, checkpointable search over (floorplan, PE, policy, "
+            "DVFS) candidates with incremental thermal re-evaluation; "
+            "see docs/DSE.md."
+        ),
+    )
+    dse_p.set_defaults(func=lambda _args: (dse_p.print_help(), 0)[1])
+    dse_sub = dse_p.add_subparsers(dest="dse_command")
+    dse_run = dse_sub.add_parser(
+        "run",
+        help="run (or resume) a search into a checkpoint directory",
+        description=(
+            "Run a seeded DSE; the output directory doubles as the "
+            "crash-safe checkpoint, so re-running the same config "
+            "resumes byte-identically."
+        ),
+    )
+    dse_run.add_argument(
+        "--suite", default="Bm1", metavar="NAME",
+        help="benchmark to search on, case-insensitive (default: Bm1)",
+    )
+    dse_run.add_argument(
+        "--strategy", default="nsga2", metavar="NAME",
+        help="search strategy (see `repro list dse-strategies`)",
+    )
+    dse_run.add_argument("--seed", type=int, default=0, help="master seed")
+    dse_run.add_argument(
+        "--generations", type=int, default=4,
+        help="total generations the run converges to (default: 4)",
+    )
+    dse_run.add_argument(
+        "--population", type=int, default=8,
+        help="candidates per generation (default: 8)",
+    )
+    dse_run.add_argument(
+        "--catalogue", default="default", help="PE catalogue to draw from"
+    )
+    dse_run.add_argument(
+        "--pes", nargs="*", default=None, metavar="TYPE",
+        help="PE types to search over (default: the catalogue platform PE)",
+    )
+    dse_run.add_argument(
+        "--counts", nargs="*", type=int, default=[4], metavar="N",
+        help="core counts to search over (default: 4)",
+    )
+    dse_run.add_argument(
+        "--policies", nargs="*", default=["thermal", "heuristic3"],
+        metavar="NAME", help="scheduling policies to search over",
+    )
+    dse_run.add_argument(
+        "--dvfs", choices=("both", "on", "off"), default="both",
+        help="DVFS settings to search over (default: both)",
+    )
+    dse_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for population evaluation",
+    )
+    dse_run.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="execute at most N new generations this invocation "
+        "(checkpoint and exit; resume by re-running)",
+    )
+    dse_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="run/checkpoint directory "
+        "(default: .repro-dse/<suite>-<strategy>-seed<seed>)",
+    )
+    dse_run.add_argument(
+        "--json", action="store_true",
+        help="emit the result (config, front, stats) as JSON",
+    )
+    dse_run.set_defaults(func=_cmd_dse_run)
 
     list_p = sub.add_parser(
         "list",

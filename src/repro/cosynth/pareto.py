@@ -28,7 +28,13 @@ from ..thermal.hotspot import HotSpotModel
 from ..thermal.package import PackageConfig, default_package
 from .allocation import feasible_allocations
 
-__all__ = ["DesignPoint", "explore_allocations", "pareto_front"]
+__all__ = [
+    "DesignPoint",
+    "dominates_vector",
+    "explore_allocations",
+    "pareto_front",
+    "pareto_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -121,14 +127,78 @@ def explore_allocations(
     return points
 
 
+def dominates_vector(
+    ours: Sequence[float], theirs: Sequence[float], tolerance: float = 1e-12
+) -> bool:
+    """Weak Pareto dominance between two minimised objective vectors.
+
+    ``ours`` dominates ``theirs`` when every component is no worse (within
+    *tolerance*) and at least one is strictly better (beyond *tolerance*).
+    The tolerance makes dominance ties — vectors equal to within float
+    noise — symmetric: neither dominates, both survive filtering.
+    """
+    if len(ours) != len(theirs):
+        raise CoSynthesisError(
+            f"objective vectors have mismatched lengths "
+            f"{len(ours)} and {len(theirs)}"
+        )
+    return all(a <= b + tolerance for a, b in zip(ours, theirs)) and any(
+        a < b - tolerance for a, b in zip(ours, theirs)
+    )
+
+
+def pareto_indices(
+    vectors: Sequence[Sequence[float]], tolerance: float = 1e-12
+) -> List[int]:
+    """Indices of the non-dominated *vectors*, in insertion order.
+
+    The deterministic core both :func:`pareto_front` and the DSE archive
+    are built on.  Two guarantees beyond plain O(n²) filtering:
+
+    * **exact duplicates** keep only their first occurrence — later copies
+      are dropped, so the front never depends on how many times one design
+      was re-evaluated;
+    * **dominance ties** (distinct vectors equal within *tolerance* in
+      every component) are mutually non-dominating and all survive, in
+      insertion order.
+    """
+    vecs = [tuple(float(value) for value in vector) for vector in vectors]
+    if not vecs:
+        return []
+    for vec in vecs:
+        if len(vec) != len(vecs[0]):
+            raise CoSynthesisError(
+                f"objective vectors have mismatched lengths "
+                f"{len(vecs[0])} and {len(vec)}"
+            )
+    front: List[int] = []
+    for i, vec in enumerate(vecs):
+        keep = True
+        for j, other in enumerate(vecs):
+            if j == i:
+                continue
+            if dominates_vector(other, vec, tolerance):
+                keep = False
+                break
+            if j < i and other == vec:
+                keep = False  # exact duplicate of an earlier entry
+                break
+        if keep:
+            front.append(i)
+    return front
+
+
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     """Non-dominated subset of *points*, sorted by total power.
 
     O(n²) dominance filtering — the allocation space is double-digit sized.
+    Duplicate objective vectors keep their first occurrence and full-key
+    ties preserve insertion order, so the front is deterministic for any
+    input permutation of distinct points.
     """
-    front = [
-        point
-        for point in points
-        if not any(other.dominates(point) for other in points)
-    ]
-    return sorted(front, key=lambda p: (p.total_power, p.max_temperature))
+    keep = pareto_indices([point.objectives() for point in points])
+    front = [points[i] for i in keep]
+    return sorted(
+        front,
+        key=lambda p: (p.total_power, p.max_temperature, p.monetary_cost),
+    )

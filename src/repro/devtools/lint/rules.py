@@ -23,6 +23,7 @@ __all__ = [
     "FrozenSpecRule",
     "DenseSolveRule",
     "ServeHandlerRule",
+    "DseStrategyRule",
     "PoolPicklabilityRule",
     "RegistryConsistencyRule",
     "PrintRule",
@@ -523,6 +524,67 @@ class ServeHandlerRule(LintRule):
 
 
 @register_rule
+class DseStrategyRule(LintRule):
+    """DSE001 — search strategies share one evaluator, never build their own.
+
+    A DSE generation evaluates dozens of candidates; the driver owns the
+    one :class:`~repro.dse.thermal.IncrementalThermalEvaluator` per
+    block-set anchor (low-rank updates against a single factorisation)
+    and the one batch/store pipeline.  A strategy that constructs a
+    ``SteadyStateSolver``/``ThermalQueryEngine`` — or runs flows
+    directly — inside its propose/observe loop refactorises per
+    candidate, turning the incremental fast path back into the full
+    rebuild it exists to avoid, and bypasses the result store that makes
+    kill-and-resume byte-identical.
+    """
+
+    rule_id = "DSE001"
+    title = "no fresh solvers/flows inside DSE strategy code"
+    rationale = "incremental re-evaluation: strategies use the shared evaluator"
+
+    #: The strategy-side modules this rule polices.  driver.py,
+    #: evaluate.py and thermal.py are deliberately absent — they are
+    #: where evaluator construction and flow execution are *supposed*
+    #: to happen.
+    STRATEGY_MODULES = frozenset({
+        "repro/dse/strategies.py",
+        "repro/dse/candidate.py",
+        "repro/dse/archive.py",
+    })
+    #: Construction/execution entry points a strategy must reach only
+    #: through the driver-injected evaluator and batch layer.
+    BARE_BANNED = frozenset({
+        "Flow", "run_flow", "run_many", "build_workload",
+        "build_block_network", "HotSpotModel", "SteadyStateSolver",
+        "ThermalQueryEngine", "IncrementalThermalEvaluator",
+        "cho_solve", "cho_factor",
+    })
+    DOTTED_BANNED = (
+        "linalg.solve", "linalg.inv", "linalg.cholesky", "linalg.lstsq",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module_path()
+        if module not in self.STRATEGY_MODULES:
+            return
+        for call in walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if not name:
+                continue
+            banned = name.split(".")[-1] in self.BARE_BANNED or any(
+                name.endswith(suffix) for suffix in self.DOTTED_BANNED
+            )
+            if banned:
+                yield ctx.violation(
+                    self.rule_id, call,
+                    f"{name}() inside DSE strategy code; solver/engine "
+                    f"construction and flow execution belong to the driver's "
+                    f"shared evaluator (repro/dse/thermal.py) and batch "
+                    f"layer (repro/dse/evaluate.py)",
+                )
+
+
+@register_rule
 class PoolPicklabilityRule(LintRule):
     """POOL001 — pool-submitted callables must be module-level.
 
@@ -694,6 +756,7 @@ class RegistryConsistencyRule(LintRule):
         from ...results import analyzer_names, analyzers as results_analyzers
         from ...scenarios import scenario_by_name, scenario_names, suites
         from ...core import heuristics
+        from ...dse import strategies as dse_strategies
         from . import engine as lint_engine
 
         listing = io.StringIO()
@@ -727,6 +790,8 @@ class RegistryConsistencyRule(LintRule):
              EXPERIMENTS.__getitem__, "src/repro/experiments/runner.py"),
             ("lint rule", lint_engine.rule_names(),
              lint_engine.LINT_RULES.get, "src/repro/devtools/lint/rules.py"),
+            ("dse strategy", dse_strategies.strategy_names(),
+             dse_strategies.STRATEGIES.get, "src/repro/dse/strategies.py"),
         )
         del suites  # imported for its registration side effects only
         for kind, names, resolver, module in checks:

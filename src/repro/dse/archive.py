@@ -1,0 +1,71 @@
+"""Byte-stable Pareto archive and trajectory serialisation.
+
+The archive is the run's product: the nondominated set over *every*
+candidate evaluated so far, in (latency, peak temperature, energy)
+space, computed with the deterministic
+:func:`~repro.cosynth.pareto.pareto_indices` (insertion-order-stable,
+duplicate-keeping-first).  Serialisation is sorted-keys JSON with no
+timestamps, so two runs with the same seed — or one run killed and
+resumed — produce byte-identical ``archive.json`` and
+``trajectory.jsonl`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..cosynth.pareto import pareto_indices
+from .evaluate import OBJECTIVE_NAMES, EvaluatedCandidate
+
+__all__ = ["ParetoArchive", "trajectory_line"]
+
+
+def trajectory_line(entry: EvaluatedCandidate) -> str:
+    """One ``trajectory.jsonl`` line (sorted keys, no trailing newline)."""
+    return json.dumps(entry.to_dict(), sort_keys=True)
+
+
+class ParetoArchive:
+    """Accumulates evaluated candidates; exposes the nondominated front.
+
+    Entries are kept in trajectory order (generation, then slot), which
+    together with the deterministic dominance filter makes the archive a
+    pure function of the evaluation sequence.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[EvaluatedCandidate] = []
+
+    def extend(self, evaluated: Sequence[EvaluatedCandidate]) -> None:
+        """Record one generation's evaluations, in slot order."""
+        self._entries.extend(evaluated)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[EvaluatedCandidate]:
+        """All recorded evaluations, in trajectory order."""
+        return list(self._entries)
+
+    def front(self) -> List[EvaluatedCandidate]:
+        """The nondominated entries, insertion-order-stable."""
+        vectors = [entry.objectives for entry in self._entries]
+        return [self._entries[i] for i in pareto_indices(vectors)]
+
+    def payload(self, generations: int) -> Dict[str, Any]:
+        """The ``archive.json`` payload after *generations* generations."""
+        return {
+            "evaluations": len(self._entries),
+            "front": [entry.to_dict() for entry in self.front()],
+            "generations": generations,
+            "objectives": list(OBJECTIVE_NAMES),
+        }
+
+    def dump(self, generations: int) -> str:
+        """Byte-stable JSON text of :meth:`payload`."""
+        return (
+            json.dumps(self.payload(generations), sort_keys=True, indent=2)
+            + "\n"
+        )

@@ -1,0 +1,160 @@
+"""Full-system candidate evaluation through the batch/store machinery.
+
+Candidates are lowered to :class:`~repro.flow.FlowSpec`s and executed
+with :func:`~repro.flow.batch.run_many` (worker pool, spec-hash dedup),
+with every result appended to the run's :class:`~repro.results
+.ResultStore` — which doubles as the crash-safe checkpoint: a resumed
+run looks candidates up by ``spec_hash`` and only executes the ones the
+killed run never finished.
+
+Objectives are minimised (latency, peak temperature, energy): makespan
+and ``max_temperature`` come straight off the record's metrics; energy
+is the DVFS post-pass's ``energy_after`` when the pass ran, else the
+``total_power × makespan`` product of the baseline schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DseError
+from ..flow.batch import run_many
+from ..flow.spec import FlowSpec, spec_hash
+from ..results.record import RunRecord
+from ..results.store import ResultStore
+from .candidate import CandidateSpec
+
+__all__ = [
+    "EvaluatedCandidate",
+    "evaluate_population",
+    "objectives_from_record",
+]
+
+#: Objective component names, in vector order.
+OBJECTIVE_NAMES = ("makespan", "peak_temperature", "energy")
+
+
+def objectives_from_record(record: RunRecord) -> Tuple[float, float, float]:
+    """The minimised (latency, peak temp, energy) vector of one record."""
+    metrics = record.metrics
+    try:
+        makespan = float(metrics["makespan"])
+        peak = float(metrics["max_temperature"])
+        total_power = float(metrics["total_power"])
+    except KeyError as exc:
+        raise DseError(
+            f"record {record.spec_hash} lacks metric {exc} needed for "
+            f"DSE objectives"
+        ) from exc
+    if record.dvfs and record.dvfs.get("energy_after") is not None:
+        energy = float(record.dvfs["energy_after"])
+    else:
+        energy = total_power * makespan
+    return (makespan, peak, energy)
+
+
+@dataclass(frozen=True)
+class EvaluatedCandidate:
+    """One candidate with its objective vector and trajectory position."""
+
+    candidate: CandidateSpec
+    spec_hash: str
+    objectives: Tuple[float, float, float]
+    generation: int
+    slot: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready, byte-stable field order)."""
+        return {
+            "candidate": self.candidate.to_dict(),
+            "generation": self.generation,
+            "objectives": list(self.objectives),
+            "slot": self.slot,
+            "spec_hash": self.spec_hash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluatedCandidate":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            candidate=CandidateSpec.from_dict(data["candidate"]),
+            spec_hash=str(data["spec_hash"]),
+            objectives=tuple(float(v) for v in data["objectives"]),
+            generation=int(data["generation"]),
+            slot=int(data["slot"]),
+        )
+
+
+def _stored_records(
+    store: ResultStore, suite: str
+) -> Dict[str, str]:
+    """First stored record id per spec hash within *suite*."""
+    by_hash: Dict[str, str] = {}
+    for entry in store.index(suite=suite):
+        by_hash.setdefault(entry["spec_hash"], entry["id"])
+    return by_hash
+
+
+def evaluate_population(
+    candidates: Sequence[CandidateSpec],
+    generation: int,
+    store: ResultStore,
+    suite: str = "dse",
+    workers: Optional[int] = None,
+    replay_only: bool = False,
+) -> List[EvaluatedCandidate]:
+    """Evaluate one generation, reusing every stored result.
+
+    Candidates whose flow spec already has a record in *store* (from an
+    earlier generation, a duplicate sibling, or a killed run) are served
+    from the store; only the missing ones execute, through
+    :func:`run_many` with the store attached — so a crash mid-generation
+    loses nothing, and the resumed call converges to the same state.
+
+    With ``replay_only`` (checkpoint replay of completed generations) a
+    missing record is a corrupt run directory and raises
+    :class:`~repro.errors.DseError` instead of silently re-executing.
+    """
+    specs: List[FlowSpec] = [c.to_flow_spec() for c in candidates]
+    hashes = [spec_hash(spec) for spec in specs]
+    known = _stored_records(store, suite)
+    missing_indices = [
+        i for i, digest in enumerate(hashes) if digest not in known
+    ]
+    # one spec per distinct missing hash, in first-appearance order
+    missing: List[FlowSpec] = []
+    seen_missing: Dict[str, bool] = {}
+    for i in missing_indices:
+        if hashes[i] not in seen_missing:
+            seen_missing[hashes[i]] = True
+            missing.append(specs[i])
+    if missing and replay_only:
+        raise DseError(
+            f"checkpoint replay of generation {generation} needs "
+            f"{len(missing)} record(s) absent from the store; the run "
+            f"directory is out of sync with its checkpoint"
+        )
+    if missing:
+        run_many(missing, workers=workers, store=store, suite=suite)
+        known = _stored_records(store, suite)
+    evaluated: List[EvaluatedCandidate] = []
+    for slot, (candidate, digest) in enumerate(zip(candidates, hashes)):
+        try:
+            record_id = known[digest]
+        except KeyError as exc:
+            raise DseError(
+                f"no stored record for candidate {digest} after "
+                f"evaluation"
+            ) from exc
+        record = store.get(record_id)
+        evaluated.append(
+            EvaluatedCandidate(
+                candidate=candidate,
+                spec_hash=digest,
+                objectives=objectives_from_record(record),
+                generation=generation,
+                slot=slot,
+            )
+        )
+    return evaluated

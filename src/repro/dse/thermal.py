@@ -1,0 +1,148 @@
+"""Incremental steady-state re-evaluation for placement mutations.
+
+The DSE loop's dominant mutation only *moves* blocks: the thermal
+network keeps its node set and changes a handful of edge conductances.
+:class:`IncrementalThermalEvaluator` exploits that by anchoring one
+factorised :class:`~repro.thermal.steady.SteadyStateSolver` (plus its
+block-response :class:`~repro.thermal.query.ThermalQueryEngine`) at a
+reference floorplan and answering every same-block-set candidate through
+a Woodbury low-rank correction — a geometric edge diff, ``k`` backsolves
+against the existing factor, and two small matmuls — instead of a full
+rebuild (network construction + Cholesky + per-block influence solves).
+
+Fallbacks are explicit and counted: a changed block set, an update whose
+rank approaches the network size, or an ill-conditioned capacitance
+matrix (:class:`~repro.errors.IllConditionedUpdateError`) all route to a
+full rebuild, so the evaluator is never less accurate than the direct
+path — property tests pin agreement at ≤1e-9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IllConditionedUpdateError
+from ..floorplan.geometry import Floorplan
+from ..thermal.blockmodel import (
+    _edge_conductances,
+    block_network_delta,
+    build_block_network,
+)
+from ..thermal.package import PackageConfig, default_package
+from ..thermal.query import ThermalQueryEngine
+from ..thermal.steady import SteadyStateSolver
+
+__all__ = ["IncrementalThermalEvaluator"]
+
+
+class IncrementalThermalEvaluator:
+    """Shared thermal screener for one anchor block set.
+
+    Build ONE of these per (catalogue, PE type, count) anchor and route
+    every candidate floorplan through :meth:`engine_for` /
+    :meth:`peak_temperature` — the DSE001 lint rule enforces that search
+    strategies never construct solvers or engines themselves.
+    """
+
+    def __init__(
+        self,
+        anchor: Floorplan,
+        package: Optional[PackageConfig] = None,
+        rank_limit: Optional[int] = None,
+        rcond_limit: float = 1e-8,
+    ):
+        self.package = package or default_package()
+        self.anchor = anchor
+        self.network = build_block_network(anchor, self.package)
+        self.solver = SteadyStateSolver(self.network)
+        self.block_names: Tuple[str, ...] = tuple(anchor.block_names())
+        self.base_engine = ThermalQueryEngine.from_network(
+            self.network, self.block_names, solver=self.solver
+        )
+        self._block_indices = [
+            self.network.index(name) for name in self.block_names
+        ]
+        self._anchor_edges = _edge_conductances(anchor, self.package)
+        self._anchor_adjacency = anchor.adjacency()
+        #: Past this many touched nodes a Woodbury update stops being
+        #: cheaper than refactorising; default: half the network.
+        self.rank_limit = (
+            rank_limit if rank_limit is not None else len(self.network) // 2
+        )
+        self.rcond_limit = float(rcond_limit)
+        self.stats: Dict[str, int] = {
+            "incremental": 0,       # served via low-rank correction
+            "unchanged": 0,         # identical conductances: base fork
+            "full_rebuilds": 0,     # changed block set or rank too high
+            "conditioning_fallbacks": 0,  # IllConditionedUpdateError path
+        }
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, plan: Floorplan) -> ThermalQueryEngine:
+        network = build_block_network(plan, self.package)
+        return ThermalQueryEngine.from_network(network, plan.block_names())
+
+    def engine_for(self, plan: Floorplan) -> ThermalQueryEngine:
+        """A query engine for *plan*, incrementally when possible.
+
+        The returned engine's block order is the anchor's whenever the
+        incremental path applies (same block set); full rebuilds use the
+        candidate's own insertion order.
+        """
+        delta = block_network_delta(
+            self.anchor,
+            plan,
+            self.package,
+            anchor_edges=self._anchor_edges,
+            anchor_adjacency=self._anchor_adjacency,
+        )
+        if delta is None:
+            self.stats["full_rebuilds"] += 1
+            return self._rebuild(plan)
+        if not delta:
+            self.stats["unchanged"] += 1
+            return self.base_engine.fork()
+        index_delta = {
+            (self.network.index(a), self.network.index(b)): change
+            for (a, b), change in delta.items()
+        }
+        touched = {index for pair in index_delta for index in pair}
+        if len(touched) > self.rank_limit:
+            self.stats["full_rebuilds"] += 1
+            return self._rebuild(plan)
+        try:
+            update = self.solver.low_rank_update(
+                index_delta, rcond_limit=self.rcond_limit
+            )
+        except IllConditionedUpdateError:
+            self.stats["conditioning_fallbacks"] += 1
+            return self._rebuild(plan)
+        self.stats["incremental"] += 1
+        return ThermalQueryEngine.from_low_rank_update(
+            self.base_engine, update, self._block_indices
+        )
+
+    # ------------------------------------------------------------------
+    def peak_temperature(
+        self,
+        plan: Floorplan,
+        powers: Optional[Sequence[float]] = None,
+        power_w: float = 1.0,
+    ) -> float:
+        """Steady-state peak block temperature (°C) for *plan*.
+
+        With *powers* omitted every block dissipates *power_w* watts —
+        the uniform-stress screen the mutation operators rank moves by.
+        """
+        engine = self.engine_for(plan)
+        if powers is None:
+            vector = np.full(len(engine.block_names), float(power_w))
+        else:
+            vector = np.asarray(list(powers), dtype=float)
+        return float(engine.block_temperatures_vector(vector).max())
+
+    def evaluations(self) -> int:
+        """Total candidate evaluations served (all paths)."""
+        return sum(self.stats.values())

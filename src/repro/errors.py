@@ -18,6 +18,7 @@ __all__ = [
     "SlicingError",
     "ThermalError",
     "SingularNetworkError",
+    "IllConditionedUpdateError",
     "SchedulingError",
     "DeadlineMissError",
     "InfeasibleAllocationError",
@@ -28,6 +29,7 @@ __all__ = [
     "ResultError",
     "ServeError",
     "LintError",
+    "DseError",
 ]
 
 
@@ -69,6 +71,27 @@ class ThermalError(ReproError):
 
 class SingularNetworkError(ThermalError):
     """The thermal conductance matrix is singular (network not grounded)."""
+
+
+class IllConditionedUpdateError(ThermalError):
+    """A low-rank conductance update is too ill-conditioned to apply.
+
+    Raised by :meth:`~repro.thermal.steady.SteadyStateSolver
+    .low_rank_update` when the Woodbury capacitance matrix's reciprocal
+    condition number falls below the caller's threshold.  Carries the
+    measured ``rcond`` so callers (the incremental DSE evaluator) can
+    log it before falling back to a full refactorisation.
+    """
+
+    def __init__(self, rcond: float, limit: float, message: str = ""):
+        self.rcond = float(rcond)
+        self.limit = float(limit)
+        text = message or (
+            f"low-rank update capacitance matrix has rcond "
+            f"{self.rcond:.3e} < limit {self.limit:.3e}; "
+            f"refactorise from scratch instead"
+        )
+        super().__init__(text)
 
 
 class SchedulingError(ReproError):
@@ -122,3 +145,7 @@ class ServeError(ReproError):
 
 class LintError(ReproError):
     """A ``repro lint`` invocation is invalid (bad path, unknown rule)."""
+
+
+class DseError(ReproError):
+    """A design-space-exploration run is misconfigured or corrupt."""

@@ -128,13 +128,17 @@ def retime_schedule(
 
     finish: Dict[str, float] = {}
     new_assignments: Dict[str, Assignment] = {}
-    pending = set(graph.task_names())
     # iterate until every task is placed; each round places tasks whose
     # graph predecessors and PE predecessor are both done (this always
-    # progresses because the original schedule induces an acyclic order)
+    # progresses because the original schedule induces an acyclic order).
+    # The worklist keeps the graph's task order — placement order feeds
+    # dict insertion order and thus float summation order downstream
+    # (total_energy), so it must not depend on set hash order.
+    pending = list(graph.task_names())
     while pending:
         placed_any = False
-        for task_name in list(pending):
+        remaining = []
+        for task_name in pending:
             preds_done = all(
                 p in finish for p in graph.predecessors(task_name)
             )
@@ -142,6 +146,7 @@ def retime_schedule(
             pos = position[task_name]
             pe_pred = order_on_pe[pe][pos - 1] if pos > 0 else None
             if not preds_done or (pe_pred is not None and pe_pred not in finish):
+                remaining.append(task_name)
                 continue
             ready = max(
                 (finish[p] for p in graph.predecessors(task_name)),
@@ -154,9 +159,9 @@ def retime_schedule(
             new_assignments[task_name] = Assignment(
                 task_name, pe, start, end, powers[task_name]
             )
-            pending.discard(task_name)
             placed_any = True
-        if not placed_any:
+        pending = remaining
+        if pending and not placed_any:
             raise SchedulingError(
                 "retiming deadlocked: the schedule's PE order conflicts "
                 "with the graph's precedence order"

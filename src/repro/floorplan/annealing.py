@@ -9,6 +9,7 @@ M1/M2/M3 (+rotation) move set and a geometric cooling schedule.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -20,6 +21,9 @@ from .objectives import FloorplanObjective, area_objective
 from .slicing import PolishExpression
 
 __all__ = ["AnnealingConfig", "AnnealingResult", "anneal_floorplan"]
+
+#: Injected evaluation callback: expression -> (cost, floorplan).
+EvaluateFn = Callable[[PolishExpression], Tuple[float, Floorplan]]
 
 
 @dataclass(frozen=True)
@@ -76,24 +80,37 @@ def anneal_floorplan(
     config: Optional[AnnealingConfig] = None,
     seed: SeedLike = None,
     initial: Optional[PolishExpression] = None,
+    evaluate: Optional[EvaluateFn] = None,
+    rng: Optional[random.Random] = None,
 ) -> AnnealingResult:
     """Anneal a slicing floorplan for *architecture*.
 
     Single-block architectures are returned immediately (nothing to search).
     The best-ever state is tracked separately from the current state, so the
     result never regresses due to late uphill acceptances.
+
+    *evaluate* and *rng* are the DSE injection hooks: *evaluate* replaces
+    the default expression scoring (evaluate + normalise + *objective*)
+    with an arbitrary ``expression -> (cost, floorplan)`` callback, and
+    *rng* supplies an externally owned random stream (it wins over *seed*),
+    letting a driver hand each run a deterministic substream.  With both
+    omitted the behaviour — including the RNG call sequence — is exactly
+    the legacy one.
     """
     if len(architecture) == 0:
         raise FloorplanError("cannot floorplan an empty architecture")
     objective = objective or area_objective()
     config = config or AnnealingConfig()
-    rng = as_random(seed)
+    rng = rng if rng is not None else as_random(seed)
+    if evaluate is None:
+        def evaluate(expression: PolishExpression) -> Tuple[float, Floorplan]:
+            plan = expression.evaluate().normalised()
+            return objective(plan), plan
 
     current = initial if initial is not None else PolishExpression.initial(
         _dims_of(architecture), order=architecture.pe_names()
     )
-    current_plan = current.evaluate().normalised()
-    current_cost = objective(current_plan)
+    current_cost, current_plan = evaluate(current)
     best, best_plan, best_cost = current, current_plan, current_cost
     evaluations = 1
     accepted = 0
@@ -108,8 +125,7 @@ def anneal_floorplan(
                 candidate = current.random_move(rng)
             except SlicingError:
                 continue
-            plan = candidate.evaluate().normalised()
-            cost = objective(plan)
+            cost, plan = evaluate(candidate)
             evaluations += 1
             delta = cost - current_cost
             if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):

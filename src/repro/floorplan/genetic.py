@@ -19,8 +19,9 @@ conventional floorplanner — both modes are exercised by ablation A3.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import FloorplanError, SlicingError
 from ..library.pe import Architecture
@@ -30,6 +31,9 @@ from .objectives import FloorplanObjective, area_objective
 from .slicing import OPERATORS, PolishExpression
 
 __all__ = ["GeneticConfig", "GeneticResult", "evolve_floorplan"]
+
+#: Injected evaluation callback: expression -> (cost, floorplan).
+EvaluateFn = Callable[[PolishExpression], Tuple[float, Floorplan]]
 
 
 @dataclass(frozen=True)
@@ -137,22 +141,32 @@ def evolve_floorplan(
     objective: Optional[FloorplanObjective] = None,
     config: Optional[GeneticConfig] = None,
     seed: SeedLike = None,
+    evaluate: Optional[EvaluateFn] = None,
+    rng: Optional[random.Random] = None,
 ) -> GeneticResult:
     """Evolve a slicing floorplan for *architecture* under *objective*.
 
     Deterministic for a given ``(architecture, objective, config, seed)``.
     Single-block architectures return immediately.
+
+    *evaluate* and *rng* are the DSE injection hooks: *evaluate* replaces
+    the default expression scoring (evaluate + normalise + *objective*)
+    with an arbitrary ``expression -> (cost, floorplan)`` callback, and
+    *rng* supplies an externally owned random stream (it wins over *seed*).
+    With both omitted the behaviour — including the RNG call sequence — is
+    exactly the legacy one.
     """
     if len(architecture) == 0:
         raise FloorplanError("cannot floorplan an empty architecture")
     objective = objective or area_objective()
     config = config or GeneticConfig()
-    rng = as_random(seed)
+    rng = rng if rng is not None else as_random(seed)
     dims = _dims_of(architecture)
 
-    def evaluate(individual: PolishExpression) -> Tuple[float, Floorplan]:
-        plan = individual.evaluate().normalised()
-        return objective(plan), plan
+    if evaluate is None:
+        def evaluate(individual: PolishExpression) -> Tuple[float, Floorplan]:
+            plan = individual.evaluate().normalised()
+            return objective(plan), plan
 
     if len(architecture) == 1:
         only = PolishExpression.initial(dims)

@@ -150,6 +150,26 @@ def _annealing_floorplanner(architecture, spec):
     return anneal_floorplan(architecture, seed=spec.seed).floorplan
 
 
+@register_floorplanner("explicit")
+def _explicit_floorplanner(architecture, spec):
+    """Verbatim layout from ``spec.placement`` (the DSE candidate path)."""
+    from ..errors import FlowError
+    from ..floorplan.geometry import Floorplan
+
+    placed = [entry[0] for entry in spec.placement]
+    expected = architecture.pe_names()
+    if sorted(placed) != sorted(expected):
+        raise FlowError(
+            f"explicit floorplan places blocks {sorted(placed)} but the "
+            f"architecture has PEs {sorted(expected)}"
+        )
+    floorplan = Floorplan()
+    for name, x, y, w, h in spec.placement:
+        floorplan.place(name, x, y, w, h)
+    floorplan.validate()
+    return floorplan
+
+
 # ----------------------------------------------------------------------
 # built-in thermal solvers
 # ----------------------------------------------------------------------

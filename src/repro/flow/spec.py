@@ -333,6 +333,13 @@ class FloorplanSpec(_FlatSpec):
     one-for-one; they apply to the genetic floorplanner (and to the
     per-candidate floorplans of the co-synthesis flow), the other kinds
     ignore them.
+
+    ``kind="explicit"`` lays the die out verbatim from ``placement`` —
+    a tuple of ``(block_name, x, y, w, h)`` rectangles in mm, one per PE.
+    This is how the DSE driver pins a candidate's mutated floorplan into
+    an otherwise ordinary :class:`FlowSpec`.  ``placement`` must stay
+    empty for every other kind; serialization omits the field when empty
+    so existing spec hashes are unchanged.
     """
 
     kind: str = "platform"
@@ -344,12 +351,78 @@ class FloorplanSpec(_FlatSpec):
     mutation_rate: float = 0.35
     elite_count: int = 2
     init_shuffle_moves: int = 4
+    placement: Tuple[Tuple[str, float, float, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
             raise FlowSpecError("floorplan population_size must be >= 2")
         if self.generations < 1:
             raise FlowSpecError("floorplan generations must be >= 1")
+        if not isinstance(self.placement, tuple):
+            object.__setattr__(
+                self,
+                "placement",
+                tuple(tuple(entry) for entry in self.placement),
+            )
+        else:
+            object.__setattr__(
+                self,
+                "placement",
+                tuple(
+                    entry if isinstance(entry, tuple) else tuple(entry)
+                    for entry in self.placement
+                ),
+            )
+        for entry in self.placement:
+            if (
+                len(entry) != 5
+                or not isinstance(entry[0], str)
+                or not entry[0]
+                or any(
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    for value in entry[1:]
+                )
+            ):
+                raise FlowSpecError(
+                    f"floorplan placement entries must be "
+                    f"(name, x, y, w, h) tuples, got {entry!r}"
+                )
+        if self.placement:
+            names = [entry[0] for entry in self.placement]
+            if len(set(names)) != len(names):
+                raise FlowSpecError(
+                    f"floorplan placement repeats block names: {names}"
+                )
+            if self.kind != "explicit":
+                raise FlowSpecError(
+                    f"floorplan placement applies to kind='explicit' only, "
+                    f"not {self.kind!r}"
+                )
+        elif self.kind == "explicit":
+            raise FlowSpecError(
+                "explicit floorplans need a non-empty placement"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready); ``placement`` omitted when empty."""
+        payload = _scalar_fields_to_dict(self)
+        if self.placement:
+            payload["placement"] = [list(entry) for entry in self.placement]
+        else:
+            del payload["placement"]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FloorplanSpec":
+        """Rebuild from :meth:`to_dict` output; strict on unknown keys."""
+        payload = _require_mapping(cls, data)
+        placement = payload.pop("placement", ())
+        if not isinstance(placement, (list, tuple)):
+            raise FlowSpecError("floorplan placement must be a list")
+        return cls(
+            placement=tuple(tuple(entry) for entry in placement), **payload
+        )
 
     def genetic_config(self):
         """The equivalent :class:`GeneticConfig` (validates the fields)."""

@@ -272,6 +272,55 @@ class TestSRV001ServeHandler:
         assert report.ok
 
 
+class TestDSE001DseStrategy:
+    def test_solver_in_strategies_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/dse/strategies.py":
+                "from repro.thermal.steady import SteadyStateSolver\n"
+                "\n"
+                "def propose(network):\n"
+                "    return SteadyStateSolver(network)\n",
+        }, rules=["DSE001"])
+        violation = one_violation(report, "DSE001")
+        assert violation.path == "src/repro/dse/strategies.py"
+        assert violation.line == 4
+
+    def test_run_many_in_candidate_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/dse/candidate.py":
+                "from repro.flow.batch import run_many\n"
+                "records = run_many([])\n",
+        }, rules=["DSE001"])
+        assert one_violation(report, "DSE001").line == 2
+
+    def test_dense_solve_in_archive_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/dse/archive.py":
+                "import numpy as np\n"
+                "x = np.linalg.cholesky([[1.0]])\n",
+        }, rules=["DSE001"])
+        assert one_violation(report, "DSE001").line == 2
+
+    def test_driver_and_thermal_are_the_allowed_consumers(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            # the shared evaluator builds the solvers — not policed
+            "src/repro/dse/thermal.py":
+                "from repro.thermal.steady import SteadyStateSolver\n"
+                "solver = SteadyStateSolver(None)\n",
+            "src/repro/dse/driver.py":
+                "from repro.flow.batch import run_many\n"
+                "records = run_many([])\n",
+            "src/repro/dse/evaluate.py":
+                "from repro.flow.batch import run_many\n"
+                "records = run_many([])\n",
+            # strategy module doing strategy things is fine
+            "src/repro/dse/strategies.py":
+                "def propose(rng):\n"
+                "    return rng.random()\n",
+        }, rules=["DSE001"])
+        assert report.ok
+
+
 class TestPOOL001PoolPicklability:
     def test_lambda_submit_flagged(self, tmp_path):
         report = lint_tree(tmp_path, {
@@ -377,7 +426,8 @@ class TestEngineMechanics:
 
     def test_builtin_rules_registered(self):
         for rule_id in ("DET001", "DET002", "DET003", "SPEC001", "PERF001",
-                        "SRV001", "POOL001", "REG001", "LOG001", "EXC001"):
+                        "SRV001", "DSE001", "POOL001", "REG001", "LOG001",
+                        "EXC001"):
             assert rule_id in LINT_RULES
         assert rule_names() == tuple(LINT_RULES.names())
 

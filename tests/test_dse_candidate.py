@@ -1,0 +1,223 @@
+"""Tests for the DSE candidate encoding and variation operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.candidate import (
+    CandidateSpec,
+    MUTATION_KINDS,
+    architecture_for,
+    crossover,
+    mutate,
+    placement_of,
+    random_candidate,
+    seeded_layout,
+    substream,
+)
+from repro.errors import DseError
+
+SPACE = dict(
+    pes=(None,),
+    counts=(3, 4),
+    policies=("thermal", "heuristic3"),
+    dvfs_options=(False, True),
+)
+
+
+def sample_candidate(seed: int = 0, **overrides) -> CandidateSpec:
+    kwargs = dict(SPACE)
+    kwargs.update(overrides)
+    return random_candidate(substream(seed, "sample"), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# substreams
+# ----------------------------------------------------------------------
+class TestSubstream:
+    def test_same_path_same_stream(self):
+        a = [substream(7, 3, 1, "mutate").random() for _ in range(5)]
+        b = [substream(7, 3, 1, "mutate").random() for _ in range(5)]
+        assert a == b
+
+    def test_distinct_paths_distinct_streams(self):
+        draws = {
+            substream(7, *path).random()
+            for path in [(0, 0, "init"), (0, 1, "init"), (1, 0, "init")]
+        }
+        assert len(draws) == 3
+
+    def test_seed_participates(self):
+        assert substream(1, "x").random() != substream(2, "x").random()
+
+    def test_no_global_state(self):
+        import random as stdlib_random
+
+        stdlib_random.seed(123)
+        first = substream(9, "probe").random()
+        stdlib_random.seed(456)
+        assert substream(9, "probe").random() == first
+
+
+# ----------------------------------------------------------------------
+# the spec itself
+# ----------------------------------------------------------------------
+class TestCandidateSpec:
+    def test_round_trip(self):
+        candidate = sample_candidate(seed=3)
+        clone = CandidateSpec.from_dict(candidate.to_dict())
+        assert clone == candidate
+
+    def test_unknown_keys_rejected(self):
+        payload = sample_candidate().to_dict()
+        payload["frequency"] = 2.0
+        with pytest.raises(DseError, match="frequency"):
+            CandidateSpec.from_dict(payload)
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(DseError, match="placement"):
+            CandidateSpec(placement=())
+
+    def test_count_placement_mismatch_rejected(self):
+        with pytest.raises(DseError, match="places"):
+            CandidateSpec(count=2, placement=(("pe0", 0.0, 0.0, 2.0, 2.0),))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(DseError, match=">= 1"):
+            CandidateSpec(count=0, placement=(("pe0", 0.0, 0.0, 2.0, 2.0),))
+
+    def test_floorplan_is_validated(self):
+        candidate = sample_candidate()
+        plan = candidate.floorplan()
+        assert sorted(plan.block_names()) == sorted(
+            name for name, *_ in candidate.placement
+        )
+
+    def test_lowering_targets_explicit_floorplanner(self):
+        candidate = sample_candidate()
+        spec = candidate.to_flow_spec()
+        assert spec.floorplan.kind == "explicit"
+        assert spec.floorplan.placement == candidate.placement
+        assert spec.architecture.count == candidate.count
+        assert spec.dvfs.enabled == candidate.dvfs
+
+    def test_spec_hash_is_stable(self):
+        from repro.flow.spec import spec_hash
+
+        a = sample_candidate(seed=5).to_flow_spec()
+        b = sample_candidate(seed=5).to_flow_spec()
+        assert spec_hash(a) == spec_hash(b)
+
+
+# ----------------------------------------------------------------------
+# generation and variation
+# ----------------------------------------------------------------------
+class TestRandomCandidate:
+    def test_deterministic_per_stream(self):
+        a = random_candidate(substream(11, 0, "init"), **SPACE)
+        b = random_candidate(substream(11, 0, "init"), **SPACE)
+        assert a == b
+
+    def test_draws_from_configured_space(self):
+        seen_counts = {
+            random_candidate(substream(s, "probe"), **SPACE).count
+            for s in range(12)
+        }
+        assert seen_counts <= {3, 4}
+        assert len(seen_counts) == 2
+
+    def test_layout_matches_architecture(self):
+        candidate = random_candidate(substream(4, "probe"), **SPACE)
+        architecture = architecture_for(
+            candidate.catalogue, candidate.pe, candidate.count
+        )
+        assert sorted(name for name, *_ in candidate.placement) == sorted(
+            pe.name for pe in architecture
+        )
+
+
+class TestMutate:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_children_are_valid_and_deterministic(self, seed):
+        parent = sample_candidate()
+        child = mutate(parent, substream(seed, "mutate"), **SPACE)
+        again = mutate(parent, substream(seed, "mutate"), **SPACE)
+        assert child == again
+        child.floorplan()  # validates: no overlaps, consistent block set
+        assert child.policy in SPACE["policies"]
+        assert child.count in SPACE["counts"]
+
+    def test_operator_mixture_covers_all_kinds(self):
+        parent = sample_candidate()
+        kinds = set()
+        for seed in range(200):
+            child = mutate(parent, substream(seed, "mix"), **SPACE)
+            if child.count != parent.count or child.pe != parent.pe:
+                kinds.add("arch")
+            elif child.policy != parent.policy:
+                kinds.add("policy")
+            elif child.dvfs != parent.dvfs:
+                kinds.add("dvfs")
+            elif child.placement != parent.placement:
+                kinds.add("placement")
+        assert {"arch", "policy", "dvfs", "placement"} <= kinds
+
+    def test_weights_sum_to_one(self):
+        assert sum(w for _, w in MUTATION_KINDS) == pytest.approx(1.0)
+
+    def test_screen_picks_the_coolest_move(self):
+        parent = sample_candidate()
+        calls = []
+
+        def screen(placement):
+            calls.append(placement)
+            return float(len(calls))  # first proposal is "coolest"
+
+        for seed in range(40):
+            child = mutate(
+                parent, substream(seed, "screened"), screen=screen, **SPACE
+            )
+            if calls:
+                assert child.placement == calls[0]
+                break
+        else:
+            pytest.fail("no move mutation drawn in 40 seeds")
+
+
+class TestCrossover:
+    def test_deterministic(self):
+        a, b = sample_candidate(seed=1), sample_candidate(seed=2)
+        child = crossover(a, b, substream(5, "x"))
+        again = crossover(a, b, substream(5, "x"))
+        assert child == again
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_children_are_valid(self, seed):
+        a = sample_candidate(seed=1)
+        b = sample_candidate(seed=2)
+        child = crossover(a, b, substream(seed, "x"))
+        child.floorplan()
+        assert child.policy in {a.policy, b.policy}
+        assert child.dvfs in {a.dvfs, b.dvfs}
+
+    def test_incompatible_parents_inherit_whole_structure(self):
+        a = sample_candidate(seed=1, counts=(3,))
+        b = sample_candidate(seed=2, counts=(4,))
+        child = crossover(a, b, substream(9, "x"))
+        assert child.placement in {a.placement, b.placement}
+
+
+# ----------------------------------------------------------------------
+# layout plumbing
+# ----------------------------------------------------------------------
+class TestLayouts:
+    def test_seeded_layout_deterministic(self):
+        architecture = architecture_for("default", None, 4)
+        a = seeded_layout(architecture, substream(3, "layout"))
+        b = seeded_layout(architecture, substream(3, "layout"))
+        assert a == b
+
+    def test_placement_of_round_trips(self):
+        candidate = sample_candidate()
+        assert placement_of(candidate.floorplan()) == candidate.placement

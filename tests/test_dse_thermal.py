@@ -1,0 +1,245 @@
+"""Property tests for the DSE incremental thermal evaluator.
+
+The evaluator's contract (ISSUE 8): every candidate answered through the
+Woodbury low-rank correction agrees with a full network rebuild to
+≤1e-9 °C, and every fallback (changed block set, excessive rank,
+ill-conditioned update) routes to the exact path and is counted.  These
+tests are what licenses the DSE strategies to screen thousands of
+placement mutations without refactorising.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.thermal import IncrementalThermalEvaluator
+from repro.floorplan.geometry import Floorplan
+from repro.thermal.blockmodel import (
+    _diff_edge_maps,
+    _edge_conductances,
+    block_network_delta,
+    build_block_network,
+)
+from repro.thermal.package import default_package
+from repro.thermal.query import ThermalQueryEngine
+
+TOL = 1e-9
+
+
+def abutting_grid(side: int, pitch: float = 2.5, loose: str = "") -> Floorplan:
+    """A fully-abutting *side*×*side* grid; *loose* names a block shrunk
+    to 2.3×2.3 so it can slide without overlapping its neighbours."""
+    plan = Floorplan()
+    for row in range(side):
+        for col in range(side):
+            name = f"pe{row * side + col}"
+            size = 2.3 if name == loose else pitch
+            plan.place(name, col * pitch, row * pitch, size, size)
+    return plan
+
+
+def with_move(base: Floorplan, name: str, dx: float, dy: float) -> Floorplan:
+    plan = Floorplan()
+    for block in base.blocks():
+        r = block.rect
+        if block.name == name:
+            plan.place(block.name, r.x + dx, r.y + dy, r.w, r.h)
+        else:
+            plan.place(block.name, r.x, r.y, r.w, r.h)
+    return plan
+
+
+def full_peak(plan: Floorplan, powers: np.ndarray) -> float:
+    network = build_block_network(plan, default_package())
+    engine = ThermalQueryEngine.from_network(network, plan.block_names())
+    return float(engine.block_temperatures_vector(powers).max())
+
+
+# ----------------------------------------------------------------------
+# incremental vs. full rebuild agreement
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    loose=st.integers(min_value=0, max_value=8),
+    dx=st.floats(min_value=0.0, max_value=0.18),
+    dy=st.floats(min_value=0.0, max_value=0.18),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_single_move_matches_full_rebuild(loose, dx, dy, seed):
+    """Woodbury-corrected temperatures == full rebuild, ≤1e-9 °C.
+
+    The shrunken block only has slack on its +x/+y side, so moves are
+    non-negative; which path serves the query (correction, unchanged
+    fork, or rank-limit rebuild) is the evaluator's business — the
+    contract under test is exactness on every one of them.
+    """
+    name = f"pe{loose}"
+    anchor = abutting_grid(3, loose=name)
+    evaluator = IncrementalThermalEvaluator(anchor)
+    rng = np.random.default_rng(seed)
+    powers = rng.uniform(0.5, 6.0, size=len(anchor))
+
+    candidate = with_move(anchor, name, dx, dy)
+    engine = evaluator.engine_for(candidate)
+    got = float(engine.block_temperatures_vector(powers).max())
+    assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+    assert evaluator.stats["conditioning_fallbacks"] == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    moves=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=0.15),
+            st.floats(min_value=0.0, max_value=0.15),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_move_sequences_match_full_rebuild(moves, seed):
+    """A whole mutation trajectory stays ≤1e-9 against direct solves —
+    each candidate is corrected from the SAME anchor factorisation."""
+    anchor = abutting_grid(4, loose="pe5")
+    evaluator = IncrementalThermalEvaluator(anchor)
+    rng = np.random.default_rng(seed)
+    powers = rng.uniform(0.5, 6.0, size=len(anchor))
+
+    for dx, dy in moves:
+        candidate = with_move(anchor, "pe5", dx, dy)
+        got = evaluator.peak_temperature(candidate, powers=powers)
+        assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+    assert evaluator.evaluations() == len(moves)
+    assert evaluator.stats["full_rebuilds"] == 0
+    assert evaluator.stats["conditioning_fallbacks"] == 0
+
+
+def test_boundary_move_changes_overhang_and_still_agrees():
+    """Sliding a block past the die bbox changes the spreader overhang:
+    the delta falls back to a full edge-map diff, yet stays exact."""
+    anchor = abutting_grid(3, loose="pe8")  # corner block, free to slide out
+    evaluator = IncrementalThermalEvaluator(anchor)
+    candidate = with_move(anchor, "pe8", 0.4, 0.0)  # grows the bbox
+    assert candidate.die_size()[0] > anchor.die_size()[0]
+    powers = np.full(len(anchor), 2.0)
+    got = evaluator.peak_temperature(candidate, powers=powers)
+    assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+
+
+# ----------------------------------------------------------------------
+# the moved-block fast delta
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    loose=st.integers(min_value=0, max_value=15),
+    dx=st.floats(min_value=0.0, max_value=0.18),
+    dy=st.floats(min_value=0.0, max_value=0.18),
+)
+def test_fast_delta_matches_full_edge_map_diff(loose, dx, dy):
+    """block_network_delta's O(moved·n) path == the brute-force diff of
+    two complete edge maps, key for key."""
+    name = f"pe{loose}"
+    anchor = abutting_grid(4, loose=name)
+    candidate = with_move(anchor, name, dx, dy)
+    package = default_package()
+
+    fast = block_network_delta(anchor, candidate, package)
+    slow = _diff_edge_maps(
+        _edge_conductances(anchor, package),
+        _edge_conductances(candidate, package),
+    )
+    assert fast is not None
+    assert set(fast) == set(slow)
+    for key, change in slow.items():
+        assert fast[key] == pytest.approx(change, rel=1e-9, abs=1e-12)
+
+
+def test_unmoved_plan_yields_empty_delta():
+    anchor = abutting_grid(3)
+    copy = with_move(anchor, "pe0", 0.0, 0.0)
+    assert block_network_delta(anchor, copy, default_package()) == {}
+
+
+def test_changed_block_set_yields_none():
+    anchor = abutting_grid(2)
+    other = Floorplan()
+    other.place("alone", 0.0, 0.0, 5.0, 5.0)
+    assert block_network_delta(anchor, other, default_package()) is None
+
+
+# ----------------------------------------------------------------------
+# fallback routing and accounting
+# ----------------------------------------------------------------------
+def test_interior_move_is_served_incrementally():
+    """The bench fixture shape: one shrunken interior block sliding a
+    fraction of a pitch MUST take the low-rank path, not a rebuild."""
+    anchor = abutting_grid(4, loose="pe5")
+    evaluator = IncrementalThermalEvaluator(anchor)
+    candidate = with_move(anchor, "pe5", 0.1, 0.05)
+    powers = np.full(len(anchor), 2.0)
+    got = evaluator.peak_temperature(candidate, powers=powers)
+    assert evaluator.stats["incremental"] == 1
+    assert evaluator.stats["full_rebuilds"] == 0
+    assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+
+
+def test_unchanged_candidate_forks_base_engine():
+    anchor = abutting_grid(2)
+    evaluator = IncrementalThermalEvaluator(anchor)
+    engine = evaluator.engine_for(with_move(anchor, "pe0", 0.0, 0.0))
+    assert evaluator.stats["unchanged"] == 1
+    powers = np.full(len(anchor), 1.0)
+    assert float(
+        engine.block_temperatures_vector(powers).max()
+    ) == pytest.approx(full_peak(anchor, powers), abs=TOL)
+
+
+def test_changed_block_set_routes_to_full_rebuild():
+    anchor = abutting_grid(2)
+    evaluator = IncrementalThermalEvaluator(anchor)
+    bigger = abutting_grid(3, loose="pe4")
+    powers = np.full(len(bigger), 1.5)
+    got = evaluator.peak_temperature(bigger, powers=powers)
+    assert evaluator.stats["full_rebuilds"] == 1
+    assert evaluator.stats["incremental"] == 0
+    assert got == pytest.approx(full_peak(bigger, powers), abs=TOL)
+
+
+def test_rank_limit_routes_to_full_rebuild():
+    anchor = abutting_grid(4, loose="pe5")
+    evaluator = IncrementalThermalEvaluator(anchor, rank_limit=0)
+    candidate = with_move(anchor, "pe5", 0.1, 0.05)
+    powers = np.full(len(anchor), 2.0)
+    got = evaluator.peak_temperature(candidate, powers=powers)
+    assert evaluator.stats["full_rebuilds"] == 1
+    assert evaluator.stats["incremental"] == 0
+    assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+
+
+def test_conditioning_fallback_is_counted_and_exact():
+    """An impossible rcond floor forces IllConditionedUpdateError on
+    every correction; the evaluator must rebuild and stay exact."""
+    anchor = abutting_grid(4, loose="pe5")
+    evaluator = IncrementalThermalEvaluator(anchor, rcond_limit=1.1)
+    candidate = with_move(anchor, "pe5", 0.1, 0.05)
+    powers = np.full(len(anchor), 2.0)
+    got = evaluator.peak_temperature(candidate, powers=powers)
+    assert evaluator.stats["conditioning_fallbacks"] == 1
+    assert evaluator.stats["incremental"] == 0
+    assert got == pytest.approx(full_peak(candidate, powers), abs=TOL)
+
+
+def test_stats_partition_the_evaluation_count():
+    anchor = abutting_grid(4, loose="pe5")
+    evaluator = IncrementalThermalEvaluator(anchor)
+    evaluator.peak_temperature(with_move(anchor, "pe5", 0.1, 0.0))
+    evaluator.peak_temperature(with_move(anchor, "pe5", 0.0, 0.0))
+    evaluator.peak_temperature(abutting_grid(2))
+    assert evaluator.stats == {
+        "incremental": 1,
+        "unchanged": 1,
+        "full_rebuilds": 1,
+        "conditioning_fallbacks": 0,
+    }
+    assert evaluator.evaluations() == 3

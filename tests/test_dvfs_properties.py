@@ -80,3 +80,46 @@ def test_deeper_ladder_never_worse(schedule):
     shallow = reclaim_slack(schedule, levels=DEFAULT_LEVELS[:2])
     deep = reclaim_slack(schedule, levels=DEFAULT_LEVELS)
     assert deep.energy_after <= shallow.energy_after + 1e-9
+
+
+@given(schedule=scheduled_workloads(), stretch=st.floats(1.0, 2.0))
+@settings(max_examples=25, deadline=None)
+def test_retiming_iteration_order_is_hash_independent(schedule, stretch):
+    # assignment insertion order feeds float summation order downstream
+    # (total_energy -> the DSE energy objective -> byte-identical
+    # archives), so it must be a function of the graph's task order, not
+    # of set hash order.  The placement loop keeps worklist order: any
+    # round's placements appear in graph.task_names() relative order.
+    durations = {a.task: a.duration * stretch for a in schedule}
+    powers = {a.task: a.power for a in schedule}
+    retimed = retime_schedule(schedule, durations, powers)
+    placed = [a.task for a in retimed]
+    rank = {task: i for i, task in enumerate(schedule.graph.task_names())}
+    finish = {}
+    expected = []
+    pending = list(schedule.graph.task_names())
+    pe_of = {a.task: a.pe for a in schedule}
+    order_on_pe = {
+        pe.name: [a.task for a in schedule.pe_assignments(pe.name)]
+        for pe in schedule.architecture
+    }
+    position = {
+        task: i for tasks in order_on_pe.values()
+        for i, task in enumerate(tasks)
+    }
+    while pending:
+        remaining = []
+        for task in pending:
+            pe_pred_list = order_on_pe[pe_of[task]]
+            pos = position[task]
+            pe_pred = pe_pred_list[pos - 1] if pos > 0 else None
+            if all(
+                p in finish for p in schedule.graph.predecessors(task)
+            ) and (pe_pred is None or pe_pred in finish):
+                finish[task] = True
+                expected.append(task)
+            else:
+                remaining.append(task)
+        pending = remaining
+    assert placed == expected
+    assert sorted(placed, key=rank.get) == sorted(expected, key=rank.get)

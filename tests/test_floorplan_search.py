@@ -216,3 +216,72 @@ class TestPlatformLayouts:
             grid_floorplan(platform4, spacing_mm=-1.0)
         with pytest.raises(FloorplanError):
             row_floorplan(platform4, spacing_mm=-0.5)
+
+
+class TestInjectedSearchHooks:
+    """The DSE injection refactor must leave legacy behaviour untouched:
+    ``rng=as_random(seed)`` and a default-replicating ``evaluate`` pin
+    byte-identical results against the plain ``seed=`` path."""
+
+    def test_annealer_injected_rng_matches_seed_path(self):
+        from repro.rng import as_random
+
+        legacy = anneal_floorplan(hetero_arch(), config=FAST_SA, seed=5)
+        injected = anneal_floorplan(
+            hetero_arch(), config=FAST_SA, rng=as_random(5)
+        )
+        assert injected.cost == legacy.cost
+        assert injected.expression.tokens == legacy.expression.tokens
+        assert injected.evaluations == legacy.evaluations
+
+    def test_genetic_injected_rng_matches_seed_path(self):
+        from repro.rng import as_random
+
+        legacy = evolve_floorplan(hetero_arch(), config=FAST_GA, seed=9)
+        injected = evolve_floorplan(
+            hetero_arch(), config=FAST_GA, rng=as_random(9)
+        )
+        assert injected.cost == legacy.cost
+        assert injected.expression.tokens == legacy.expression.tokens
+
+    def test_annealer_injected_default_evaluate_is_identical(self):
+        objective = area_objective()
+
+        def evaluate(expression):
+            plan = expression.evaluate().normalised()
+            return objective(plan), plan
+
+        legacy = anneal_floorplan(hetero_arch(), config=FAST_SA, seed=5)
+        injected = anneal_floorplan(
+            hetero_arch(), config=FAST_SA, seed=5, evaluate=evaluate
+        )
+        assert injected.cost == legacy.cost
+        assert injected.expression.tokens == legacy.expression.tokens
+
+    def test_genetic_injected_default_evaluate_is_identical(self):
+        objective = area_objective()
+
+        def evaluate(expression):
+            plan = expression.evaluate().normalised()
+            return objective(plan), plan
+
+        legacy = evolve_floorplan(hetero_arch(), config=FAST_GA, seed=9)
+        injected = evolve_floorplan(
+            hetero_arch(), config=FAST_GA, seed=9, evaluate=evaluate
+        )
+        assert injected.cost == legacy.cost
+        assert injected.expression.tokens == legacy.expression.tokens
+
+    def test_custom_evaluate_drives_the_search(self):
+        calls = []
+
+        def evaluate(expression):
+            plan = expression.evaluate().normalised()
+            calls.append(plan)
+            return float(len(calls)), plan  # monotone: first plan "wins"
+
+        result = anneal_floorplan(
+            hetero_arch(), config=FAST_SA, seed=5, evaluate=evaluate
+        )
+        assert result.evaluations == len(calls)
+        assert result.cost == 1.0  # ever-rising costs keep the initial plan

@@ -203,3 +203,90 @@ class TestConfigTranslation:
         spec = platform_spec("Bm1").with_(dvfs=DVFSSpec(enabled=True))
         assert spec.dvfs.enabled
         assert spec.graph.name == "Bm1"
+
+
+class TestExplicitFloorplan:
+    """The DSE candidate path: kind='explicit' pins a verbatim layout."""
+
+    PLACEMENT = (
+        ("pe0", 0.0, 0.0, 6.0, 6.0),
+        ("pe1", 6.0, 0.0, 6.0, 6.0),
+        ("pe2", 0.0, 6.0, 6.0, 6.0),
+        ("pe3", 6.0, 6.0, 6.0, 6.0),
+    )
+
+    def explicit_spec(self):
+        return platform_spec("Bm1").with_(
+            floorplan=FloorplanSpec(kind="explicit", placement=self.PLACEMENT)
+        )
+
+    def test_round_trip_preserves_placement(self):
+        spec = self.explicit_spec()
+        clone = FlowSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.floorplan.placement == self.PLACEMENT
+
+    def test_placement_participates_in_hash(self):
+        moved = platform_spec("Bm1").with_(
+            floorplan=FloorplanSpec(
+                kind="explicit",
+                placement=self.PLACEMENT[:-1]
+                + (("pe3", 6.5, 6.0, 5.5, 6.0),),
+            )
+        )
+        assert spec_hash(moved) != spec_hash(self.explicit_spec())
+
+    def test_empty_placement_omitted_from_serialization(self):
+        # legacy hash stability: non-explicit specs serialize exactly as
+        # they did before the placement field existed
+        assert "placement" not in FloorplanSpec(kind="genetic").to_dict()
+
+    def test_explicit_requires_placement(self):
+        with pytest.raises(FlowSpecError, match="non-empty placement"):
+            FloorplanSpec(kind="explicit")
+
+    def test_placement_requires_explicit_kind(self):
+        with pytest.raises(FlowSpecError, match="explicit"):
+            FloorplanSpec(kind="genetic", placement=self.PLACEMENT)
+
+    def test_malformed_entries_rejected(self):
+        with pytest.raises(FlowSpecError, match="placement entries"):
+            FloorplanSpec(kind="explicit", placement=(("pe0", 0.0, 0.0),))
+        with pytest.raises(FlowSpecError, match="placement entries"):
+            FloorplanSpec(
+                kind="explicit", placement=(("pe0", 0.0, 0.0, True, 2.0),)
+            )
+
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(FlowSpecError, match="repeats"):
+            FloorplanSpec(
+                kind="explicit",
+                placement=(
+                    ("pe0", 0.0, 0.0, 2.0, 2.0),
+                    ("pe0", 3.0, 0.0, 2.0, 2.0),
+                ),
+            )
+
+    def test_flow_runs_on_the_pinned_layout(self):
+        from repro.flow.runner import run_flow
+
+        result = run_flow(self.explicit_spec())
+        placed = {
+            (b.name, b.rect.x, b.rect.y, b.rect.w, b.rect.h)
+            for b in result.floorplan
+        }
+        assert placed == set(self.PLACEMENT)
+
+    def test_mismatched_block_names_rejected_at_run(self):
+        from repro.errors import FlowError
+        from repro.flow.runner import run_flow
+
+        bad = platform_spec("Bm1").with_(
+            floorplan=FloorplanSpec(
+                kind="explicit",
+                placement=(("weird", 0.0, 0.0, 6.0, 6.0),)
+                + self.PLACEMENT[1:],
+            )
+        )
+        with pytest.raises(FlowError, match="explicit floorplan"):
+            run_flow(bad)

@@ -114,3 +114,54 @@ class TestExploration:
         )
         row = points[0].as_row()
         assert {"architecture", "total_pow", "max_temp", "meets_deadline"} <= set(row)
+
+
+class TestVectorDominance:
+    """The deterministic vector core the DSE Pareto archive rides on."""
+
+    def test_dominates_strict_and_ties(self):
+        from repro.cosynth.pareto import dominates_vector
+
+        assert dominates_vector((1.0, 2.0), (2.0, 3.0))
+        assert not dominates_vector((2.0, 3.0), (1.0, 2.0))
+        # equal-within-tolerance vectors are mutually non-dominating
+        assert not dominates_vector((1.0, 2.0), (1.0 + 1e-14, 2.0))
+        assert not dominates_vector((1.0 + 1e-14, 2.0), (1.0, 2.0))
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.cosynth.pareto import dominates_vector, pareto_indices
+
+        with pytest.raises(CoSynthesisError, match="mismatched"):
+            dominates_vector((1.0,), (1.0, 2.0))
+        with pytest.raises(CoSynthesisError, match="mismatched"):
+            pareto_indices([(1.0, 2.0), (1.0,)])
+
+    def test_indices_in_insertion_order(self):
+        from repro.cosynth.pareto import pareto_indices
+
+        vectors = [(3.0, 1.0), (5.0, 5.0), (1.0, 3.0), (2.0, 2.0)]
+        assert pareto_indices(vectors) == [0, 2, 3]
+
+    def test_exact_duplicates_keep_first(self):
+        from repro.cosynth.pareto import pareto_indices
+
+        vectors = [(2.0, 2.0), (1.0, 3.0), (2.0, 2.0), (2.0, 2.0)]
+        assert pareto_indices(vectors) == [0, 1]
+
+    def test_dominance_ties_all_survive(self):
+        from repro.cosynth.pareto import pareto_indices
+
+        base = (1.0, 1.0)
+        tied = (1.0 + 1e-14, 1.0 - 1e-14)  # distinct, equal within tolerance
+        assert pareto_indices([base, tied, (2.0, 2.0)]) == [0, 1]
+
+    def test_empty_input(self):
+        from repro.cosynth.pareto import pareto_indices
+
+        assert pareto_indices([]) == []
+
+    def test_duplicate_design_points_keep_first(self):
+        twin_a = make_point(10.0, 90.0, name="first")
+        twin_b = make_point(10.0, 90.0, name="second")
+        front = pareto_front([twin_a, twin_b])
+        assert [p.architecture_name for p in front] == ["first"]
