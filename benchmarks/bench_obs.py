@@ -1,0 +1,152 @@
+"""Benchmark: the ``repro.obs`` overhead and trace-coverage contracts.
+
+Two contracts guard the observability story:
+
+* **disabled overhead ≤ 1 %** — a ``Flow.run`` with the default null
+  recorder vs the same run before obs existed.  The null path costs a
+  handful of ``perf_counter`` stamps and attribute checks per flow;
+  measured against the Bm1 thermal flow (the bench_flow_api workload)
+  that must stay inside the noise floor.  Measured both ways: the
+  end-to-end flow time ratio (enabled recorder swapped for null), and a
+  microbenchmark bound — null-span unit cost x spans-per-flow as a
+  fraction of flow wall time.
+* **trace coverage** — with tracing enabled, the ``flow.*`` phase spans
+  of a Bm1 thermal run must account for ≥ 95 % of the root ``flow``
+  span (the acceptance gate: a trace that loses 5 % of the wall time to
+  un-spanned gaps is not a profile).
+
+The measured numbers are emitted as one JSON object on stdout (marker
+``OBS_BENCH_JSON``; env overrides: ``BENCH_OBS_JSON`` writes the JSON
+to a file, ``BENCH_OBS_TRACE`` writes the enabled-run Chrome trace):
+``pytest benchmarks/bench_obs.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.flow import Flow, platform_spec
+from repro.obs import NullRecorder, capture
+from repro.obs.export import phase_totals, write_chrome_trace
+
+from conftest import print_report
+
+#: Repetitions for the flow timings (the platform flow is ~10 ms).
+REPEATS = 20
+#: Null-span microbenchmark iterations.
+SPAN_ITERS = 20_000
+#: Spans one traced platform flow records (root + phases).
+SPANS_PER_FLOW = 7
+
+#: Disabled-mode overhead budget (fraction of flow wall time).
+MAX_DISABLED_OVERHEAD = float(os.environ.get("BENCH_OBS_MAX_OVERHEAD", "0.01"))
+#: Enabled-mode coverage floor: phase spans vs the root span.
+MIN_COVERAGE = 0.95
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    flow = Flow()
+    spec = platform_spec("Bm1", policy="thermal")
+    flow.run(spec)  # warm the workload memo
+
+    # -- disabled overhead: end-to-end -------------------------------
+    disabled_s = _time(lambda: flow.run(spec), REPEATS)
+
+    def run_traced():
+        with capture():
+            flow.run(spec)
+
+    enabled_s = _time(run_traced, REPEATS)
+
+    # -- disabled overhead: microbenchmark bound ----------------------
+    null = NullRecorder()
+
+    def null_spans():
+        for _ in range(SPAN_ITERS):
+            with null.span("x"):
+                pass
+
+    span_unit_s = _time(null_spans, 5) / SPAN_ITERS
+    overhead_bound = span_unit_s * SPANS_PER_FLOW / disabled_s
+
+    # -- enabled coverage ---------------------------------------------
+    with capture() as recorder:
+        flow.run(spec)
+    spans = recorder.export_spans()
+    totals = phase_totals(spans)
+    root_s = totals["flow"]
+    # direct children of the root only — schedule/evaluate/etc. nest
+    # under flow.run and must not be double-counted
+    phases_s = sum(
+        totals.get(name, 0.0)
+        for name in ("flow.library", "flow.run", "flow.dvfs", "flow.leakage")
+    )
+    coverage = phases_s / root_s
+
+    trace_path = os.environ.get("BENCH_OBS_TRACE")
+    if trace_path:
+        write_chrome_trace(trace_path, spans)
+
+    data = {
+        "workload": "Bm1/thermal platform flow",
+        "repeats": REPEATS,
+        "disabled_flow_s": round(disabled_s, 6),
+        "enabled_flow_s": round(enabled_s, 6),
+        "enabled_overhead_ratio": round(enabled_s / disabled_s - 1.0, 4),
+        "null_span_unit_s": span_unit_s,
+        "spans_per_flow": SPANS_PER_FLOW,
+        "disabled_overhead_bound": round(overhead_bound, 6),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "trace_spans": len(spans),
+        "phase_coverage": round(coverage, 4),
+        "min_phase_coverage": MIN_COVERAGE,
+    }
+    out = os.environ.get("BENCH_OBS_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+    print_report(
+        "obs overhead and coverage",
+        "OBS_BENCH_JSON " + json.dumps(data, indent=2),
+    )
+    return data
+
+
+def test_disabled_overhead_bound(measurements):
+    """Null-span cost x spans-per-flow stays ≤ 1% of the flow time."""
+    assert measurements["disabled_overhead_bound"] <= MAX_DISABLED_OVERHEAD, (
+        f"null-recorder spans cost {measurements['disabled_overhead_bound']:.2%} "
+        f"of a Bm1 thermal flow; the disabled path must stay under "
+        f"{MAX_DISABLED_OVERHEAD:.0%}"
+    )
+
+
+def test_enabled_phase_coverage(measurements):
+    """Enabled Bm1 trace: phase spans cover ≥95% of the root flow span."""
+    assert measurements["phase_coverage"] >= MIN_COVERAGE, (
+        f"flow.* phase spans cover only {measurements['phase_coverage']:.1%} "
+        f"of the root span; the trace is losing wall time to un-spanned gaps"
+    )
+    assert measurements["phase_coverage"] <= 1.0 + 1e-9
+
+
+def test_enabled_mode_stays_cheap(measurements):
+    """A live recorder may not distort the flow it measures (≤25%)."""
+    assert measurements["enabled_overhead_ratio"] <= 0.25, (
+        f"tracing adds {measurements['enabled_overhead_ratio']:.1%} to the "
+        f"Bm1 thermal flow; span recording must stay out of the way"
+    )

@@ -37,6 +37,12 @@ batches stream into an append-only :class:`~repro.results.ResultStore`
 registered analyzers (``summary``, ``compare``, ``pareto``...) report over
 the stored :class:`~repro.results.RunSet` — see docs/RESULTS.md.
 
+Every layer is observable through :mod:`repro.obs` — hierarchical
+spans, a metrics registry, Chrome-trace/Prometheus exporters — at zero
+cost until a recorder is enabled (``repro trace record``, the serve
+daemon's ``/metrics``, or ``repro.obs.capture()``); see
+docs/OBSERVABILITY.md.
+
 The same flows are scriptable from the shell (``python -m repro --help``:
 ``run`` / ``sweep`` / ``scenarios`` / ``results`` / ``experiments`` /
 ``list``).  Legacy entry points
@@ -214,7 +220,7 @@ from .results import (
     stream_records,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

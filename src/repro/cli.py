@@ -16,6 +16,8 @@ Subcommands over the unified flow + scenario + results API::
     python -m repro results report summary --store runs/      # analyzers
     python -m repro workloads list                            # graph sources
     python -m repro bench --benchmarks Bm1 Bm2                # profiling
+    python -m repro trace record -o trace.json --benchmarks Bm1  # spans
+    python -m repro trace summarize trace.json                # phase table
     python -m repro lint src benchmarks examples              # invariants
     python -m repro experiments table3                        # paper artefacts
     python -m repro list policies                             # registries
@@ -477,24 +479,37 @@ def _cmd_results_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Profile flows: per-phase wall time, solve counts, fast-path rates.
+    """Profile flows: per-phase span time, solve counts, fast-path rates.
 
-    Every number comes from the FlowResult itself (``timings``,
-    ``provenance``, ``diagnostics``) — the same provenance that lands in
-    the result store, so stored records can be profiled the same way.
+    Each repetition runs under an isolated :func:`repro.obs.capture`
+    recorder; the per-phase columns come from the best repetition's
+    span tree (``flow``/``flow.library``/``flow.run``), the counts from
+    FlowResult diagnostics — the same numbers a stored trace or record
+    carries, so offline profiling agrees with this table.  ``--trace``
+    additionally writes the best repetition's spans as a Chrome trace.
     """
     from .analysis.report import format_table
     from .flow import platform_spec
+    from .obs import capture
+    from .obs.export import phase_totals, write_chrome_trace
 
     rows: List[Dict[str, Any]] = []
+    best_spans: List[Dict[str, Any]] = []
     for bench in args.benchmarks:
         for policy in args.policies:
             spec = platform_spec(bench, policy=policy)
-            elapsed = []
+            best = None
             result = None
             for _ in range(max(1, args.repeat)):
-                result = run_many([spec])[0]
-                elapsed.append(result.provenance.get("elapsed_s", 0.0))
+                with capture() as recorder:
+                    result = run_many([spec])[0]
+                spans = recorder.export_spans()
+                totals = phase_totals(spans)
+                elapsed = totals.get("flow", 0.0)
+                if best is None or elapsed < best[0]:
+                    best = (elapsed, totals, spans)
+            elapsed, totals, spans = best
+            best_spans.extend(spans)
             thermal = result.diagnostics.get("thermal_query", {}) or {}
             scheduler = result.diagnostics.get("scheduler", {}) or {}
             candidates = scheduler.get("candidates_evaluated", 0)
@@ -504,9 +519,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 {
                     "benchmark": bench,
                     "policy": policy,
-                    "elapsed_s": round(min(elapsed), 4),
-                    "build_s": round(result.timings.get("build", 0.0), 4),
-                    "run_s": round(result.timings.get("run", 0.0), 4),
+                    "elapsed_s": round(elapsed, 4),
+                    "build_s": round(totals.get("flow.library", 0.0), 4),
+                    "run_s": round(totals.get("flow.run", 0.0), 4),
                     "candidates": candidates,
                     "hotspot_queries": result.diagnostics.get(
                         "hotspot_queries", 0
@@ -523,6 +538,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     ),
                 }
             )
+    if args.trace:
+        write_chrome_trace(args.trace, best_spans)
     if args.json:
         text = json.dumps(rows, indent=2)
     else:
@@ -530,6 +547,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             rows, title=f"bench: {len(rows)} flows (best of {args.repeat})"
         )
     _emit(text, args.out)
+    return 0
+
+
+def _trace_specs(args: argparse.Namespace) -> List[FlowSpec]:
+    return [
+        platform_spec(bench, policy=policy)
+        for bench in args.benchmarks
+        for policy in args.policies
+    ]
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """Run a benchmark x policy sweep under a recorder; write the trace."""
+    from .obs import capture
+    from .obs.export import write_chrome_trace, write_jsonl
+
+    specs = _trace_specs(args)
+    with capture() as recorder:
+        run_many(specs, workers=args.workers)
+    spans = recorder.export_spans()
+    if args.format == "jsonl":
+        write_jsonl(args.out, spans)
+    else:
+        write_chrome_trace(args.out, spans)
+    print(
+        f"trace: {len(spans)} spans from {len(specs)} flows -> {args.out} "
+        f"({args.format})"
+    )
+    if recorder.dropped:
+        print(f"trace: {recorder.dropped} spans dropped (buffer full)")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Aggregate a recorded trace into a per-phase table."""
+    from .analysis.report import format_table
+    from .obs.export import phase_summary, read_spans
+
+    spans = read_spans(args.trace)
+    rows = phase_summary(spans)
+    if args.json:
+        text = json.dumps(rows, indent=2)
+    else:
+        text = format_table(
+            rows, title=f"trace: {len(spans)} spans, {len(rows)} phases"
+        )
+    _emit(text, args.out)
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Convert a recorded trace between the chrome and jsonl formats."""
+    from .obs.export import read_spans, write_chrome_trace, write_jsonl
+
+    spans = read_spans(args.trace)
+    if args.format == "jsonl":
+        write_jsonl(args.out, spans)
+    else:
+        write_chrome_trace(args.out, spans)
+    print(f"trace: {len(spans)} spans -> {args.out} ({args.format})")
     return 0
 
 
@@ -1067,7 +1144,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to FILE instead of stdout",
     )
     bench_p.add_argument("--json", action="store_true", help="emit JSON rows")
+    bench_p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the best repetitions' spans as a Chrome trace",
+    )
     bench_p.set_defaults(func=_cmd_bench)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record, summarize, and export repro.obs span traces",
+        description=(
+            "The repro.obs tracing front end: 'record' runs a benchmark "
+            "x policy sweep under a span recorder and writes a "
+            "Perfetto-loadable Chrome trace (or a JSONL span log), "
+            "'summarize' aggregates a recorded trace into a per-phase "
+            "table, 'export' converts between the two formats.  See "
+            "docs/OBSERVABILITY.md."
+        ),
+    )
+    trace_p.set_defaults(func=lambda _args: (trace_p.print_help(), 0)[1])
+    trace_sub = trace_p.add_subparsers(dest="trace_command", metavar="action")
+
+    trace_record = trace_sub.add_parser(
+        "record", help="run flows under a recorder and write the trace"
+    )
+    trace_record.add_argument(
+        "--benchmarks", nargs="+", default=["Bm1"],
+        help="benchmark names (default: Bm1)",
+    )
+    trace_record.add_argument(
+        "--policies", nargs="+", default=["heuristic3", "thermal"],
+        help="DC policy names (default: heuristic3 thermal)",
+    )
+    trace_record.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="evaluate on a process pool; worker spans merge into the trace",
+    )
+    trace_record.add_argument(
+        "-o", "--out", default="trace.json", metavar="FILE",
+        help="output file (default: trace.json)",
+    )
+    trace_record.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="output format (default: chrome)",
+    )
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="per-phase aggregate table from a recorded trace"
+    )
+    trace_summarize.add_argument("trace", help="trace file (chrome or jsonl)")
+    trace_summarize.add_argument(
+        "--json", action="store_true", help="emit JSON rows"
+    )
+    trace_summarize.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    trace_summarize.set_defaults(func=_cmd_trace_summarize)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace between chrome and jsonl formats"
+    )
+    trace_export.add_argument("trace", help="trace file (chrome or jsonl)")
+    trace_export.add_argument(
+        "-o", "--out", required=True, metavar="FILE", help="output file"
+    )
+    trace_export.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="output format (default: chrome)",
+    )
+    trace_export.set_defaults(func=_cmd_trace_export)
 
     lint_p = sub.add_parser(
         "lint",
@@ -1081,7 +1228,8 @@ def build_parser() -> argparse.ArgumentParser:
             "(POOL001), registry/CLI/docs "
             "consistency (REG001), no stray print (LOG001), no "
             "swallowed broad excepts (EXC001), shared-evaluator DSE "
-            "strategies (DSE001).  Suppress with "
+            "strategies (DSE001), obs-routed timing/stats (OBS001).  "
+            "Suppress with "
             "'# repro: noqa[RULE-ID] -- justification'.  See "
             "docs/STATIC_ANALYSIS.md."
         ),

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..errors import DeadlineMissError, InfeasibleAllocationError, ThermalError
 from ..library.bus import CommunicationModel, zero_cost_comm
+from ..obs import Counters
 from ..library.pe import Architecture
 from ..library.technology import TechnologyLibrary
 from ..power.model import PowerAccumulator
@@ -112,8 +113,10 @@ class ListScheduler:
             self._candidates[task.name] = pes
         #: Profiling counters of the most recent :meth:`run` (steps,
         #: candidates evaluated, thermal fast-path hits); see
-        #: ``docs/PERFORMANCE.md``.
-        self.last_run_stats: Dict[str, int] = {}
+        #: ``docs/PERFORMANCE.md``.  A :class:`~repro.obs.Counters`
+        #: bundle — reads like the plain dict it used to be, but the
+        #: values also land in an enabled obs registry.
+        self.last_run_stats: Counters = Counters(namespace="scheduler")
 
     def _build_thermal_query(
         self, accumulator: PowerAccumulator
@@ -341,15 +344,16 @@ class ListScheduler:
                 if unscheduled_preds[successor] == 0:
                     ready.add(successor)
 
-        self.last_run_stats = {
-            "steps": steps,
-            "candidates_evaluated": candidates_evaluated,
-            "thermal_fast_path": int(thermal_query is not None),
-            "thermal_fast_queries": (
+        self.last_run_stats = Counters(
+            namespace="scheduler",
+            steps=steps,
+            candidates_evaluated=candidates_evaluated,
+            thermal_fast_path=int(thermal_query is not None),
+            thermal_fast_queries=(
                 thermal_query.fast_hits if thermal_query is not None else 0
             ),
-            "thermal_exact_requeries": exact_requeries,
-        }
+            thermal_exact_requeries=exact_requeries,
+        )
         schedule = Schedule(graph, self.architecture, assignments, policy.name)
         if check_deadline and not schedule.meets_deadline:
             raise DeadlineMissError(schedule.makespan, graph.deadline)

@@ -28,6 +28,7 @@ __all__ = [
     "RegistryConsistencyRule",
     "PrintRule",
     "BroadExceptRule",
+    "ObsInstrumentationRule",
 ]
 
 
@@ -721,6 +722,74 @@ class BroadExceptRule(LintRule):
         if isinstance(node, ast.Tuple):
             return any(self._is_broad(elt) for elt in node.elts)
         return dotted_name(node).split(".")[-1] in self._BROAD
+
+
+@register_rule
+class ObsInstrumentationRule(LintRule):
+    """OBS001 — timing and stats go through ``repro.obs``.
+
+    PR 9 unified every hand-rolled timer and ad-hoc counters dict onto
+    one telemetry surface: spans carry timing (``rec.span(...)`` /
+    ``repro.obs.now``), :class:`~repro.obs.Counters` carries counts —
+    so a trace of any layer is complete and ``/metrics`` sees every
+    increment.  A raw ``time.perf_counter()`` call or a fresh
+    ``self.stats = {...}`` dict in library code is invisible to both;
+    this rule keeps them from growing back.  ``repro/obs/`` itself is
+    exempt (it is where ``perf_counter`` is *supposed* to live).
+    """
+
+    rule_id = "OBS001"
+    title = "timing/stats through repro.obs, not raw perf_counter or dicts"
+    rationale = "one telemetry surface: complete traces, complete /metrics"
+
+    _TIMERS = frozenset({"perf_counter", "perf_counter_ns", "monotonic",
+                         "monotonic_ns"})
+    _STATS_SUFFIXES = ("stats", "counters")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module_path()
+        if not module or module.startswith("repro/obs/"):
+            return
+        imports = _ImportMap(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            head, tail = parts[0], parts[-1]
+            raw_timer = (
+                len(parts) == 2
+                and head in imports.time_modules
+                and tail in self._TIMERS
+            ) or (
+                len(parts) == 1
+                and imports.from_time.get(head) in self._TIMERS
+            )
+            if raw_timer:
+                yield ctx.violation(
+                    self.rule_id, call,
+                    f"raw {name}() timer in library code; time through an "
+                    f"obs span (get_recorder().span(...)) or repro.obs.now "
+                    f"so traces stay complete",
+                )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not isinstance(value, (ast.Dict, ast.DictComp)):
+                continue
+            for target in targets:
+                target_name = dotted_name(target).split(".")[-1]
+                if target_name.lower().endswith(self._STATS_SUFFIXES):
+                    yield ctx.violation(
+                        self.rule_id, node,
+                        f"ad-hoc stats dict {target_name!r}; use "
+                        f"repro.obs.Counters (a Mapping drop-in) so the "
+                        f"counts also reach the metrics registry",
+                    )
 
 
 @register_rule

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import DseError
 from ..floorplan.geometry import Floorplan
+from ..obs import get_recorder
 from ..results.store import ResultStore
 from .archive import ParetoArchive, trajectory_line
 from .candidate import CandidateSpec
@@ -267,19 +268,25 @@ def run_dse(
             + "\n",
         )
 
+    rec = get_recorder()
+    trace_id = f"dse-{config.benchmark}-s{config.seed}"
+
     # ---- replay completed generations from the store -----------------
     for generation in range(completed):
-        proposals = strategy.propose(generation)
-        evaluated = evaluate_population(
-            proposals,
-            generation,
-            store,
-            suite=DSE_SUITE,
-            workers=workers,
-            replay_only=True,
-        )
-        strategy.observe(generation, evaluated)
-        archive.extend(evaluated)
+        with rec.span(
+            "dse.generation", trace=trace_id, generation=generation, replay=True
+        ):
+            proposals = strategy.propose(generation)
+            evaluated = evaluate_population(
+                proposals,
+                generation,
+                store,
+                suite=DSE_SUITE,
+                workers=workers,
+                replay_only=True,
+            )
+            strategy.observe(generation, evaluated)
+            archive.extend(evaluated)
 
     # ---- execute the remaining generations ---------------------------
     executed = 0
@@ -289,16 +296,22 @@ def run_dse(
             and executed >= stop_after_generations
         ):
             break
-        proposals = strategy.propose(generation)
-        evaluated = evaluate_population(
-            proposals,
-            generation,
-            store,
-            suite=DSE_SUITE,
-            workers=workers,
-        )
-        strategy.observe(generation, evaluated)
-        archive.extend(evaluated)
+        with rec.span(
+            "dse.generation", trace=trace_id, generation=generation, replay=False
+        ):
+            proposals = strategy.propose(generation)
+            evaluated = evaluate_population(
+                proposals,
+                generation,
+                store,
+                suite=DSE_SUITE,
+                workers=workers,
+            )
+            strategy.observe(generation, evaluated)
+            archive.extend(evaluated)
+        if rec.enabled:
+            rec.counter("dse.generations")
+            rec.counter("dse.evaluations", len(evaluated))
         executed += 1
         _checkpoint(generation + 1)
 

@@ -19,11 +19,12 @@ path — property tests pin agreement at ≤1e-9.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import IllConditionedUpdateError
+from ..obs import Counters
 from ..floorplan.geometry import Floorplan
 from ..thermal.blockmodel import (
     _edge_conductances,
@@ -72,12 +73,15 @@ class IncrementalThermalEvaluator:
             rank_limit if rank_limit is not None else len(self.network) // 2
         )
         self.rcond_limit = float(rcond_limit)
-        self.stats: Dict[str, int] = {
-            "incremental": 0,       # served via low-rank correction
-            "unchanged": 0,         # identical conductances: base fork
-            "full_rebuilds": 0,     # changed block set or rank too high
-            "conditioning_fallbacks": 0,  # IllConditionedUpdateError path
-        }
+        self.stats: Counters = Counters(
+            (
+                "incremental",      # served via low-rank correction
+                "unchanged",        # identical conductances: base fork
+                "full_rebuilds",    # changed block set or rank too high
+                "conditioning_fallbacks",  # IllConditionedUpdateError path
+            ),
+            namespace="dse.thermal",
+        )
 
     # ------------------------------------------------------------------
     def _rebuild(self, plan: Floorplan) -> ThermalQueryEngine:
@@ -99,10 +103,10 @@ class IncrementalThermalEvaluator:
             anchor_adjacency=self._anchor_adjacency,
         )
         if delta is None:
-            self.stats["full_rebuilds"] += 1
+            self.stats.inc("full_rebuilds")
             return self._rebuild(plan)
         if not delta:
-            self.stats["unchanged"] += 1
+            self.stats.inc("unchanged")
             return self.base_engine.fork()
         index_delta = {
             (self.network.index(a), self.network.index(b)): change
@@ -110,16 +114,16 @@ class IncrementalThermalEvaluator:
         }
         touched = {index for pair in index_delta for index in pair}
         if len(touched) > self.rank_limit:
-            self.stats["full_rebuilds"] += 1
+            self.stats.inc("full_rebuilds")
             return self._rebuild(plan)
         try:
             update = self.solver.low_rank_update(
                 index_delta, rcond_limit=self.rcond_limit
             )
         except IllConditionedUpdateError:
-            self.stats["conditioning_fallbacks"] += 1
+            self.stats.inc("conditioning_fallbacks")
             return self._rebuild(plan)
-        self.stats["incremental"] += 1
+        self.stats.inc("incremental")
         return ThermalQueryEngine.from_low_rank_update(
             self.base_engine, update, self._block_indices
         )

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import FlowError
+from ..obs import get_recorder
 from .runner import Flow, FlowResult
 from .spec import FlowSpec, spec_hash
 
@@ -122,9 +123,22 @@ def _store_cached(cache_dir: Path, digest: str, result: FlowResult) -> None:
         raise
 
 
-def _run_spec_json(payload: str) -> FlowResult:
-    """Process-pool entry point (module-level so it pickles)."""
-    return Flow().run(FlowSpec.from_json(payload))
+def _run_spec_json(payload: str, obs: bool = False) -> FlowResult:
+    """Process-pool entry point (module-level so it pickles).
+
+    With *obs* set (the parent's recorder was enabled at submission),
+    the worker records the run into a fresh captured recorder and ships
+    the span/metric buffer back on ``result.obs`` — the existing result
+    channel, no side pipe.  The parent merges it exactly once.
+    """
+    if not obs:
+        return Flow().run(FlowSpec.from_json(payload))
+    from ..obs import capture
+
+    with capture() as recorder:
+        result = Flow().run(FlowSpec.from_json(payload))
+    result.obs = recorder.export_buffer()
+    return result
 
 
 def _validate(specs: Sequence[FlowSpec], workers: Optional[int]) -> None:
@@ -181,12 +195,26 @@ def iter_results(
     miss_order = [d for d in dict.fromkeys(digests) if d not in candidates]
 
     live: Dict[str, FlowResult] = {}
+    rec = get_recorder()
 
     def _computed(digest: str, result: FlowResult, worker: str) -> FlowResult:
         result.provenance["worker"] = worker
+        # a traced pool worker shipped its span buffer on the result:
+        # fold it into the parent recorder exactly once (consumption is
+        # input-ordered, so merged span order is deterministic), then
+        # strip it so neither the cache nor callers see it again
+        buffer = result.obs
+        if buffer is not None:
+            result.obs = None
+            if rec.enabled:
+                rec.merge_buffer(buffer, proc=f"pool:{digest[:12]}")
         if cache is not None and _cacheable(first_spec[digest]):
             _store_cached(cache, digest, result)
         return result
+
+    def _count(name: str) -> None:
+        if rec.enabled:
+            rec.counter(name)
 
     if pool_mode and miss_order:
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -199,7 +227,9 @@ def iter_results(
         def _fill() -> None:
             while payloads and len(pending) < window_size:
                 digest, payload = payloads.popleft()
-                pending.append((digest, pool.submit(_run_spec_json, payload)))
+                pending.append(
+                    (digest, pool.submit(_run_spec_json, payload, rec.enabled))
+                )
 
         try:
             _fill()
@@ -208,13 +238,21 @@ def iter_results(
                     if digest in candidates:
                         result = _load_cached(cache, digest)
                         if result is None:  # corrupt/stale: compute inline
+                            _count("batch.cache.misses")
                             result = _computed(
                                 digest, Flow().run(first_spec[digest]), "serial"
                             )
+                        else:
+                            _count("batch.cache.hits")
                     else:
+                        _count("batch.cache.misses")
                         expected, future = pending.popleft()
                         assert expected == digest  # both follow miss order
-                        result = _computed(digest, future.result(), "pool")
+                        with rec.span("batch.wait", digest=digest[:12]) as waited:
+                            result = future.result()
+                        if rec.enabled:
+                            rec.observe("batch.queue_wait_s", waited.elapsed)
+                        result = _computed(digest, result, "pool")
                         _fill()
                     live[digest] = result
                 result = live[digest]
@@ -232,6 +270,10 @@ def iter_results(
             result = None
             if cache is not None and _cacheable(first_spec[digest]):
                 result = _load_cached(cache, digest)
+                _count(
+                    "batch.cache.hits" if result is not None
+                    else "batch.cache.misses"
+                )
             if result is None:
                 result = _computed(digest, flow.run(first_spec[digest]), "serial")
             live[digest] = result

@@ -24,7 +24,6 @@ process, so sweeps over policies do not regenerate identical substrates.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -46,6 +45,7 @@ from ..floorplan.geometry import Floorplan
 from ..library.bus import shared_bus_comm, zero_cost_comm
 from ..library.catalogues import catalogue_by_name
 from ..library.pe import Architecture
+from ..obs import get_recorder
 from ..taskgraph.conditional import ConditionalTaskGraph
 from ..thermal.leakage import LeakageModel, LeakageSolution, solve_with_leakage
 from ..thermal.package import default_package
@@ -158,6 +158,10 @@ class FlowResult:
     diagnostics: Dict[str, Any] = field(default_factory=dict)
     provenance: Dict[str, Any] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Span/metric buffer a traced pool worker ships back to the parent
+    #: (:meth:`repro.obs.Recorder.export_buffer`); ``None`` in-process.
+    #: The batch layer consumes it exactly once and never caches it.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def meets_deadline(self) -> bool:
@@ -246,25 +250,31 @@ def _platform_runner(
     byte-identical either way, because the prebuilt parts are functions
     of the same spec fields they replace.
     """
+    rec = get_recorder()
     if prebuilt is not None:
         architecture = prebuilt.architecture
         floorplan = prebuilt.floorplan
         thermal = prebuilt.thermal
     else:
-        architecture = _build_architecture(spec)
-        floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
-        floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(architecture, floorplan_spec)
-        package = _build_package(spec)
-        thermal = THERMAL_SOLVERS.get(spec.thermal.solver)(
-            floorplan, package, spec.thermal
-        )
+        with rec.span("flow.floorplan"):
+            architecture = _build_architecture(spec)
+            floorplan_spec = spec.floorplan or FloorplanSpec(kind="platform")
+            floorplan = FLOORPLANNERS.get(floorplan_spec.kind)(
+                architecture, floorplan_spec
+            )
+        with rec.span("flow.thermal_build", solver=spec.thermal.solver):
+            package = _build_package(spec)
+            thermal = THERMAL_SOLVERS.get(spec.thermal.solver)(
+                floorplan, package, spec.thermal
+            )
     policy = build_policy(spec.policy)
 
     if spec.conditional.enabled:
-        conditional = schedule_conditional(
-            graph, architecture, library, policy, hotspot=thermal,
-            comm=_build_comm(spec),
-        )
+        with rec.span("flow.schedule", scenarios=True):
+            conditional = schedule_conditional(
+                graph, architecture, library, policy, hotspot=thermal,
+                comm=_build_comm(spec),
+            )
         worst = next(
             r
             for r in conditional.results
@@ -287,8 +297,10 @@ def _platform_runner(
     scheduler = ListScheduler(
         graph, architecture, library, thermal=thermal, comm=_build_comm(spec)
     )
-    schedule = scheduler.run(policy)
-    evaluation = evaluate_schedule(schedule, hotspot=thermal)
+    with rec.span("flow.schedule", policy=spec.policy.name):
+        schedule = scheduler.run(policy)
+    with rec.span("flow.evaluate"):
+        evaluation = evaluate_schedule(schedule, hotspot=thermal)
     return _FlowOutcome(
         architecture=architecture,
         floorplan=floorplan,
@@ -352,9 +364,10 @@ def _cosynthesis_runner(spec: FlowSpec, graph, library) -> _FlowOutcome:
     screening = (
         _SCREENING_COSTS[spec.cosynth.screening]() if spec.cosynth.screening else None
     )
-    result = framework.run(
-        graph, library, policy, final_cost=final_cost, screening=screening
-    )
+    with get_recorder().span("flow.search", kind="cosynthesis"):
+        result = framework.run(
+            graph, library, policy, final_cost=final_cost, screening=screening
+        )
     return _FlowOutcome(
         architecture=result.architecture,
         floorplan=result.floorplan,
@@ -392,6 +405,50 @@ def _accepts_prebuilt(runner: Any) -> bool:
         return False
 
 
+def _obs_summary(
+    trace_id: str,
+    timings: Dict[str, float],
+    diagnostics: Dict[str, Any],
+    provenance: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The per-run obs digest stored in provenance (traced runs only).
+
+    Per-phase durations plus the cache-effectiveness rates the
+    diagnostics counters already imply — so a stored record answers
+    "where did this run spend its time" without the full span buffer.
+    """
+    summary: Dict[str, Any] = {
+        "trace_id": trace_id,
+        "phases": {name: round(value, 6) for name, value in timings.items()},
+    }
+    scheduler = diagnostics.get("scheduler") or {}
+    candidates = scheduler.get("candidates_evaluated", 0)
+    requeries = scheduler.get("thermal_exact_requeries", 0)
+    if candidates and scheduler.get("thermal_fast_queries", 0):
+        summary["scheduler_fast_hit_rate"] = round(
+            (candidates - requeries) / candidates, 4
+        )
+    engine_cache = provenance.get("engine_cache")
+    if engine_cache is not None:
+        summary["engine_cache"] = dict(engine_cache)
+    return summary
+
+
+def _record_flow_metrics(rec: Any, diagnostics: Dict[str, Any]) -> None:
+    """Mirror the run's diagnostics counters into the metrics registry.
+
+    The diagnostics dicts keep their pinned shapes (they are the
+    record-level adapter); the registry gets the same counts under
+    ``flow.*`` names for ``/metrics``-style aggregation.
+    """
+    rec.counter("flow.runs")
+    rec.counter("flow.hotspot_queries", diagnostics.get("hotspot_queries", 0))
+    thermal = diagnostics.get("thermal_query") or {}
+    for key in ("queries", "solver_solves", "engine_fast_queries"):
+        if key in thermal:
+            rec.counter(f"flow.thermal.{key}", thermal[key])
+
+
 class Flow:
     """Facade executing declarative :class:`FlowSpec` configurations.
 
@@ -420,110 +477,122 @@ class Flow:
                 f"(build one with FlowSpec/platform_spec/cosynthesis_spec)"
             )
         timings: Dict[str, float] = {}
-        started = time.perf_counter()
+        rec = get_recorder()
+        digest = spec_hash(spec)
+        with rec.span(
+            "flow", trace=digest[:16], flow=spec.flow, policy=spec.policy.name
+        ) as root:
+            with rec.span("flow.library", graph=spec.graph.name) as phase:
+                pair = None
+                if self.cache is not None and hasattr(self.cache, "workload_for"):
+                    pair = self.cache.workload_for(spec)
+                if pair is not None:
+                    graph, library = pair
+                    _check_workload(spec, graph)
+                else:
+                    graph, library = _build_workload(spec)
+            timings["build"] = phase.elapsed
 
-        tick = time.perf_counter()
-        pair = None
-        if self.cache is not None and hasattr(self.cache, "workload_for"):
-            pair = self.cache.workload_for(spec)
-        if pair is not None:
-            graph, library = pair
-            _check_workload(spec, graph)
-        else:
-            graph, library = _build_workload(spec)
-        timings["build"] = time.perf_counter() - tick
+            with rec.span("flow.run", kind=spec.flow) as phase:
+                runner = FLOWS.get(spec.flow)
+                prebuilt: Optional[PrebuiltPlatform] = None
+                if (
+                    self.cache is not None
+                    and hasattr(self.cache, "platform_for")
+                    and _accepts_prebuilt(runner)
+                ):
+                    prebuilt = self.cache.platform_for(spec)
+                if prebuilt is not None:
+                    outcome = runner(spec, graph, library, prebuilt=prebuilt)
+                else:
+                    outcome = runner(spec, graph, library)
+            timings["run"] = phase.elapsed
 
-        tick = time.perf_counter()
-        runner = FLOWS.get(spec.flow)
-        prebuilt: Optional[PrebuiltPlatform] = None
-        if (
-            self.cache is not None
-            and hasattr(self.cache, "platform_for")
-            and _accepts_prebuilt(runner)
-        ):
-            prebuilt = self.cache.platform_for(spec)
-        if prebuilt is not None:
-            outcome = runner(spec, graph, library, prebuilt=prebuilt)
-        else:
-            outcome = runner(spec, graph, library)
-        timings["run"] = time.perf_counter() - tick
+            dvfs_result: Optional[DVFSResult] = None
+            schedule = outcome.schedule
+            evaluation = outcome.evaluation
+            if spec.dvfs.enabled:
+                with rec.span("flow.dvfs") as phase:
+                    if outcome.conditional is not None:
+                        raise FlowError(
+                            "the DVFS post-pass needs a single schedule; "
+                            "conditional flows aggregate many"
+                        )
+                    levels: Tuple[DVFSLevel, ...] = DEFAULT_LEVELS
+                    if spec.dvfs.levels:
+                        levels = tuple(
+                            DVFSLevel(l.name, l.frequency, l.voltage)
+                            for l in spec.dvfs.levels
+                        )
+                    dvfs_result = reclaim_slack(schedule, levels=levels)
+                    schedule = dvfs_result.schedule
+                    thermal = outcome.thermal_model
+                    if thermal is not None:
+                        evaluation = evaluate_schedule(schedule, hotspot=thermal)
+                    else:
+                        evaluation = evaluate_schedule(
+                            schedule,
+                            floorplan=outcome.floorplan,
+                            package=_build_package(spec),
+                        )
+                timings["dvfs"] = phase.elapsed
 
-        dvfs_result: Optional[DVFSResult] = None
-        schedule = outcome.schedule
-        evaluation = outcome.evaluation
-        if spec.dvfs.enabled:
-            tick = time.perf_counter()
-            if outcome.conditional is not None:
-                raise FlowError(
-                    "the DVFS post-pass needs a single schedule; conditional "
-                    "flows aggregate many"
-                )
-            levels: Tuple[DVFSLevel, ...] = DEFAULT_LEVELS
-            if spec.dvfs.levels:
-                levels = tuple(
-                    DVFSLevel(l.name, l.frequency, l.voltage) for l in spec.dvfs.levels
-                )
-            dvfs_result = reclaim_slack(schedule, levels=levels)
-            schedule = dvfs_result.schedule
-            thermal = outcome.thermal_model
-            if thermal is not None:
-                evaluation = evaluate_schedule(schedule, hotspot=thermal)
-            else:
-                evaluation = evaluate_schedule(
-                    schedule,
-                    floorplan=outcome.floorplan,
-                    package=_build_package(spec),
-                )
-            timings["dvfs"] = time.perf_counter() - tick
+            leakage_result: Optional[LeakageSolution] = None
+            if spec.leakage.enabled:
+                with rec.span("flow.leakage") as phase:
+                    model = LeakageModel(
+                        leakage_fraction=spec.leakage.leakage_fraction,
+                        beta=spec.leakage.beta,
+                        t_ref_c=spec.leakage.t_ref_c,
+                    )
+                    thermal = outcome.thermal_model
+                    if thermal is None or not hasattr(thermal, "block_names"):
+                        from ..thermal.hotspot import HotSpotModel
 
-        leakage_result: Optional[LeakageSolution] = None
-        if spec.leakage.enabled:
-            tick = time.perf_counter()
-            model = LeakageModel(
-                leakage_fraction=spec.leakage.leakage_fraction,
-                beta=spec.leakage.beta,
-                t_ref_c=spec.leakage.t_ref_c,
-            )
-            thermal = outcome.thermal_model
-            if thermal is None or not hasattr(thermal, "block_names"):
-                from ..thermal.hotspot import HotSpotModel
+                        thermal = HotSpotModel(
+                            outcome.floorplan, _build_package(spec)
+                        )
+                    leakage_result = solve_with_leakage(
+                        thermal, evaluation.pe_powers, leakage=model
+                    )
+                timings["leakage"] = phase.elapsed
 
-                thermal = HotSpotModel(outcome.floorplan, _build_package(spec))
-            leakage_result = solve_with_leakage(
-                thermal, evaluation.pe_powers, leakage=model
-            )
-            timings["leakage"] = time.perf_counter() - tick
+            import repro as _repro  # late: the package root imports this module
 
-        import repro as _repro  # late: the package root imports this module
-
-        provenance = {
-            "spec_hash": spec_hash(spec),
-            "flow": spec.flow,
-            "policy": spec.policy.name,
-            "repro_version": getattr(_repro, "__version__", "unknown"),
-            "cache_hit": False,
-            "elapsed_s": round(time.perf_counter() - started, 6),
-        }
-        if self.cache is not None:
-            # provenance only — which construction stages the attached
-            # cache actually short-circuited for this run
-            provenance["engine_cache"] = {
-                "workload": pair is not None,
-                "platform": prebuilt is not None,
+            provenance = {
+                "spec_hash": digest,
+                "flow": spec.flow,
+                "policy": spec.policy.name,
+                "repro_version": getattr(_repro, "__version__", "unknown"),
+                "cache_hit": False,
+                "elapsed_s": round(root.elapsed, 6),
             }
-        return FlowResult(
-            spec=spec,
-            architecture=outcome.architecture,
-            floorplan=outcome.floorplan,
-            schedule=schedule,
-            evaluation=evaluation,
-            conditional=outcome.conditional,
-            dvfs=dvfs_result,
-            leakage=leakage_result,
-            diagnostics=dict(outcome.diagnostics),
-            provenance=provenance,
-            timings=timings,
-        )
+            if self.cache is not None:
+                # provenance only — which construction stages the attached
+                # cache actually short-circuited for this run
+                provenance["engine_cache"] = {
+                    "workload": pair is not None,
+                    "platform": prebuilt is not None,
+                }
+            diagnostics = dict(outcome.diagnostics)
+            if rec.enabled:
+                provenance["obs"] = _obs_summary(
+                    digest[:16], timings, diagnostics, provenance
+                )
+                _record_flow_metrics(rec, diagnostics)
+            return FlowResult(
+                spec=spec,
+                architecture=outcome.architecture,
+                floorplan=outcome.floorplan,
+                schedule=schedule,
+                evaluation=evaluation,
+                conditional=outcome.conditional,
+                dvfs=dvfs_result,
+                leakage=leakage_result,
+                diagnostics=diagnostics,
+                provenance=provenance,
+                timings=timings,
+            )
 
 
 def run_flow(spec: FlowSpec) -> FlowResult:

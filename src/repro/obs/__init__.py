@@ -1,0 +1,61 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+One telemetry surface for every execution layer (Flow.run phases, the
+batch pool, the serve daemon, the DSE driver): hierarchical spans on
+``perf_counter``, a metrics registry with byte-stable exports, and a
+no-op default so disabled mode costs a single attribute check.  See
+docs/OBSERVABILITY.md for the span/metric catalogue.
+
+Quick tour::
+
+    from repro.obs import capture
+    from repro.obs.export import write_chrome_trace
+
+    with capture() as rec:
+        Flow().run(platform_spec("Bm1", policy="thermal"))
+    write_chrome_trace("trace.json", rec.export_spans())
+
+Library code instruments unconditionally — ``get_recorder().span(...)``
+is a no-op-cost context manager when tracing is off — and guards metric
+pushes with ``if rec.enabled:``.  Lint rule OBS001 keeps raw
+``perf_counter`` timing and ad-hoc stats dicts from growing outside
+this package.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Counters,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .recorder import (
+    NullRecorder,
+    Recorder,
+    Span,
+    capture,
+    disable,
+    enable,
+    get_recorder,
+    now,
+    set_recorder,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Counters",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "capture",
+    "disable",
+    "enable",
+    "get_recorder",
+    "now",
+    "set_recorder",
+]

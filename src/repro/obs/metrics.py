@@ -1,0 +1,357 @@
+"""The obs metrics registry: counters, gauges, histograms, adapters.
+
+One process-wide :class:`MetricsRegistry` (owned by the active
+:class:`~repro.obs.recorder.Recorder`) collects every counter the
+platform increments — flow diagnostics, batch cache hits, serve request
+latencies, DSE re-evaluation paths.  Three properties make it safe to
+leave wired in everywhere:
+
+* **fixed bucket boundaries** — histograms never adapt their buckets to
+  the data, so two runs that observe the same values export byte-equal
+  Prometheus text;
+* **deterministic rendering** — :meth:`MetricsRegistry.to_prometheus_text`
+  sorts metric names and label sets, so the exposition is a pure
+  function of the recorded values;
+* **adapter bundles** — :class:`Counters` is a ``Mapping`` drop-in for
+  the ad-hoc ``{"completed": 0, ...}`` dicts the serve pool, scheduler
+  and DSE evaluator used to keep, preserving every pinned dict shape
+  while mirroring increments into the live registry when one is enabled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Counters",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram boundaries (seconds).  Fixed — never derived from
+#: observed data — so exports are byte-stable across runs.  The implicit
+#: final bucket is ``+Inf``.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, utilization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram; quantiles resolve to bucket bounds.
+
+    Reporting a bucket upper bound (rather than interpolating) keeps
+    every derived number — p50/p99 lines, Prometheus text — a function
+    of the bucket counts alone, hence byte-stable.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # last: +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """The smallest bucket bound covering quantile *q* of observations.
+
+        Returns the last finite bound for observations past it (there is
+        no meaningful number to report for the ``+Inf`` bucket).
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return self.buckets[-1] if self.buckets else 0.0
+
+
+#: A (name, sorted-label-items) registry key.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> _Key:
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    """Internal dotted name → a valid Prometheus metric name."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (integral floats render as integers)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Thread-safe home of every live counter/gauge/histogram.
+
+    Metric names are dotted (``serve.request.latency_s``); the
+    Prometheus renderer maps them to ``repro_serve_request_latency_s``.
+    Registering one name as two different kinds raises ``ValueError`` —
+    a kind clash is a programming error, not data.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {existing}, "
+                f"cannot reuse it as a {kind}"
+            )
+
+    # -- access --------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            self._claim(name, "counter")
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            self._claim(name, "gauge")
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            self._claim(name, "histogram")
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # -- serialization -------------------------------------------------
+    def export(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (the pool workers' wire form)."""
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": name, "labels": list(labels), "value": m.value}
+                    for (name, labels), m in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    {"name": name, "labels": list(labels), "value": m.value}
+                    for (name, labels), m in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    {
+                        "name": name,
+                        "labels": list(labels),
+                        "buckets": list(m.buckets),
+                        "counts": list(m.counts),
+                        "sum": m.sum,
+                        "count": m.count,
+                    }
+                    for (name, labels), m in sorted(self._histograms.items())
+                ],
+            }
+
+    def merge(self, exported: Mapping[str, Any]) -> None:
+        """Fold a worker's :meth:`export` snapshot into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins — gauges are point-in-time).
+        """
+        for entry in exported.get("counters", ()):
+            labels = {k: v for k, v in entry.get("labels", ())}
+            self.counter(entry["name"], **labels).inc(entry["value"])
+        for entry in exported.get("gauges", ()):
+            labels = {k: v for k, v in entry.get("labels", ())}
+            self.gauge(entry["name"], **labels).set(entry["value"])
+        for entry in exported.get("histograms", ()):
+            labels = {k: v for k, v in entry.get("labels", ())}
+            histogram = self.histogram(
+                entry["name"], buckets=entry["buckets"], **labels
+            )
+            with self._lock:
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += int(count)
+                histogram.sum += float(entry["sum"])
+                histogram.count += int(entry["count"])
+
+    # -- rendering -----------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition (sorted, byte-stable)."""
+        lines: List[str] = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        seen_types: Dict[str, str] = {}
+
+        def _type_line(name: str, kind: str) -> None:
+            if seen_types.get(name) != kind:
+                seen_types[name] = kind
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), counter in counters:
+            prom = _prom_name(name)
+            _type_line(prom, "counter")
+            lines.append(f"{prom}{_prom_labels(labels)} {_fmt(counter.value)}")
+        for (name, labels), gauge in gauges:
+            prom = _prom_name(name)
+            _type_line(prom, "gauge")
+            lines.append(f"{prom}{_prom_labels(labels)} {_fmt(gauge.value)}")
+        for (name, labels), histogram in histograms:
+            prom = _prom_name(name)
+            _type_line(prom, "histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.buckets, histogram.counts):
+                cumulative += count
+                le = 'le="' + _fmt(bound) + '"'
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(labels, le)} {cumulative}"
+                )
+            cumulative += histogram.counts[-1]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{prom}_bucket{_prom_labels(labels, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {repr(histogram.sum)}"
+            )
+            lines.append(
+                f"{prom}_count{_prom_labels(labels)} {histogram.count}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class Counters(Mapping[str, int]):
+    """A dict-shaped counter bundle mirrored into the live registry.
+
+    Drop-in for the ad-hoc ``{"completed": 0, ...}`` stats dicts:
+    ``bundle["completed"]``, ``dict(bundle)``, ``bundle.items()`` and
+    ``sum(bundle.values())`` all behave exactly as before, so every
+    pinned dict shape stays green.  The difference is that
+    :meth:`inc` (and keyword-initialised values) also land in the
+    enabled recorder's :class:`MetricsRegistry` under
+    ``<namespace>.<key>`` — one increment, two consumers.
+    """
+
+    __slots__ = ("_values", "_namespace")
+
+    def __init__(
+        self,
+        names: Sequence[str] = (),
+        namespace: str = "",
+        **initial: int,
+    ) -> None:
+        self._namespace = namespace
+        self._values: Dict[str, int] = {name: 0 for name in names}
+        for name, value in initial.items():
+            self._values[name] = int(value)
+            if value:
+                self._mirror(name, value)
+
+    def _mirror(self, name: str, amount: float) -> None:
+        if not self._namespace:
+            return
+        from .recorder import get_recorder  # late: recorder imports metrics
+
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.counter(f"{self._namespace}.{name}", amount)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to *name* (creating it at zero if unseen)."""
+        self._values[name] = self._values.get(name, 0) + amount
+        self._mirror(name, amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    # -- Mapping protocol ----------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Counters):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return f"Counters({self._values!r}, namespace={self._namespace!r})"

@@ -46,7 +46,12 @@ __all__ = [
 #: Version of the record flattening.  Bump on any incompatible change to
 #: the dict shape below; the result store and the batch cache refuse
 #: payloads stamped with a different version.
-RECORD_SCHEMA_VERSION = 1
+#:
+#: v2: traced runs may carry an ``obs`` summary (per-phase durations,
+#: cache hit rates, trace id) inside ``provenance`` — absent when the
+#: null recorder is active, so untraced records are unchanged in
+#: content, but the stamp moves so caches never mix the two readings.
+RECORD_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------

@@ -163,6 +163,26 @@ class ServeClient:
             self._raise_error(status, payload)
         return payload["stats"]
 
+    def metrics(self) -> str:
+        """The daemon's ``GET /metrics`` Prometheus text exposition.
+
+        Unlike every other endpoint this one is plain text, not the
+        JSON envelope — it goes straight to a scraper.  Empty string
+        when the daemon runs with ``obs=False``.
+        """
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                if response.status != 200:
+                    raise ServeError(
+                        f"/metrics answered HTTP {response.status}"
+                    )
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.url}: {exc.reason}"
+            ) from exc
+
     def health(self) -> bool:
         """Whether the daemon answers its liveness probe."""
         try:

@@ -18,6 +18,12 @@ wait — every evaluation runs on the :class:`~repro.serve.workers
   evaluation keeps running on its worker and is still stored when
   storing was requested — the *wait* timed out, not the work.
 
+``GET /metrics`` exposes the live :mod:`repro.obs` registry as the
+Prometheus text exposition — request counters, queue-depth and
+worker-utilization gauges, and latency histograms — rendered by
+:meth:`ServeDaemon.metrics_text` (the daemon enables tracing by
+default; pass ``obs=False`` to keep the null recorder).
+
 The daemon is deliberately plain stdlib (``http.server``): requests are
 seconds-scale scheduling runs, so connection throughput is never the
 bottleneck — engine warmth is, and that lives in the pool.
@@ -33,6 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ServeError
+from ..obs import Counters, enable, get_recorder, set_recorder
 from . import protocol
 from .cache import DEFAULT_MAX_ENTRIES, EngineCache
 from .workers import QueueFullError, ServeJob, WorkerPool
@@ -83,6 +90,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        """Plain-text response (the Prometheus exposition, not JSON)."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- endpoints -----------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         daemon = self.server.daemon_ref  # type: ignore[attr-defined]
@@ -90,6 +106,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, protocol.health_payload())
         elif self.path == "/stats":
             self._respond(200, protocol.stats_payload(daemon.stats()))
+        elif self.path == "/metrics":
+            self._respond_text(200, daemon.metrics_text())
         else:
             self._respond(
                 404, protocol.error_payload("not-found", f"no endpoint {self.path!r}")
@@ -138,11 +156,19 @@ class ServeDaemon:
         cache_bytes: Optional[int] = None,
         store: Optional[Any] = None,
         request_timeout_s: float = 300.0,
+        obs: bool = True,
     ):
         if request_timeout_s <= 0:
             raise ServeError(
                 f"request_timeout_s must be positive, got {request_timeout_s}"
             )
+        self._prev_recorder = None
+        if obs and not get_recorder().enabled:
+            # per-request spans + the /metrics registry need a live
+            # recorder; remember what we displaced so shutdown() can
+            # put it back (embedded daemons must not leak global state)
+            self._prev_recorder = get_recorder()
+            enable()
         self.cache = EngineCache(max_entries=cache_entries, max_bytes=cache_bytes)
         self.pool = WorkerPool(
             cache=self.cache, workers=workers, queue_size=queue_size, store=store
@@ -150,8 +176,7 @@ class ServeDaemon:
         self.request_timeout_s = request_timeout_s
         self._counter = itertools.count()
         self._lock = threading.Lock()
-        self.requests = 0
-        self.timeouts = 0
+        self._counters = Counters(("requests", "timeouts"), namespace="serve.http")
         self._http = _ServeHTTPServer((host, port), _Handler)
         self._http.daemon_ref = self
         self._serve_thread: Optional[threading.Thread] = None
@@ -184,7 +209,7 @@ class ServeDaemon:
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """Process one ``POST /run`` body → (status, payload, headers)."""
         with self._lock:
-            self.requests += 1
+            self._counters.inc("requests")
         try:
             request = protocol.parse_submit(raw)
         except ServeError as exc:
@@ -206,7 +231,7 @@ class ServeDaemon:
             )
         if not job.done.wait(timeout=self.request_timeout_s):
             with self._lock:
-                self.timeouts += 1
+                self._counters.inc("timeouts")
             return (
                 504,
                 protocol.error_payload(
@@ -232,12 +257,44 @@ class ServeDaemon:
     def stats(self) -> Dict[str, Any]:
         """Daemon counters + pool/cache stats (the ``/stats`` body)."""
         with self._lock:
-            counters = {"requests": self.requests, "timeouts": self.timeouts}
+            counters = self._counters.as_dict()
         return {
             **counters,
             "request_timeout_s": self.request_timeout_s,
             **self.pool.stats(),
         }
+
+    # counter properties: the pre-obs ints, kept as the public API
+    @property
+    def requests(self) -> int:
+        return self._counters["requests"]
+
+    @property
+    def timeouts(self) -> int:
+        return self._counters["timeouts"]
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: live registry as Prometheus text.
+
+        Point-in-time gauges (queue depth, busy workers, utilization)
+        are refreshed on every render; counters and histograms stream
+        in from the pool as requests complete.  With the null recorder
+        (``obs=False``) the body is empty but the endpoint still
+        answers 200 — scrapers should not flap on configuration.
+        """
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return ""
+        registry = recorder.metrics
+        registry.gauge("serve.queue_depth").set(self.pool.queue_depth())
+        registry.gauge("serve.queue_capacity").set(self.pool.queue_size)
+        registry.gauge("serve.workers").set(self.pool.workers)
+        busy = self.pool.busy_workers()
+        registry.gauge("serve.workers_busy").set(busy)
+        registry.gauge("serve.worker_utilization").set(
+            round(busy / self.pool.workers, 6)
+        )
+        return registry.to_prometheus_text()
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -263,6 +320,9 @@ class ServeDaemon:
             self._serve_thread = None
         self.pool.stop()
         self._http.server_close()
+        if self._prev_recorder is not None:
+            set_recorder(self._prev_recorder)
+            self._prev_recorder = None
 
     def __enter__(self) -> "ServeDaemon":
         self.start()

@@ -19,8 +19,12 @@ to the result store (when configured) with ``served_by``/``request_id``
 provenance before the waiting handler is woken, so a stored row always
 identifies the worker and request that produced it.
 
-All timing here is :func:`time.perf_counter` deltas — durations only,
-never wall-clock timestamps (DET002 applies to the daemon too).
+All timing here is monotonic :func:`repro.obs.now` deltas — durations
+only, never wall-clock timestamps (DET002 applies to the daemon too).
+Each request also runs inside a ``serve.request`` obs span (with a
+back-dated ``serve.queue`` span for its time on the queue), so a traced
+daemon ships per-request latency breakdowns through the same recorder
+the flow phases use.
 """
 
 from __future__ import annotations
@@ -29,7 +33,6 @@ import math
 import os
 import queue
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -37,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..errors import ReproError, ServeError
 from ..flow.runner import Flow
 from ..flow.spec import FlowSpec
+from ..obs import Counters, get_recorder, now
 
 __all__ = ["QueueFullError", "ServeJob", "WorkerPool"]
 
@@ -149,9 +153,10 @@ class WorkerPool:
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._latencies: "deque[float]" = deque(maxlen=latency_window)
-        self.completed = 0
-        self.failed = 0
-        self.rejected = 0
+        self._counters = Counters(
+            ("completed", "failed", "rejected"), namespace="serve.jobs"
+        )
+        self._busy = 0
         self._store = None
         if store is not None:
             from ..results.store import ResultStore
@@ -182,12 +187,12 @@ class WorkerPool:
     # -- submission ----------------------------------------------------
     def submit(self, job: ServeJob) -> None:
         """Enqueue *job*, or raise :class:`QueueFullError` (backpressure)."""
-        job.enqueued_at = time.perf_counter()
+        job.enqueued_at = now()
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             with self._lock:
-                self.rejected += 1
+                self._counters.inc("rejected")
             raise QueueFullError(self._queue.qsize(), self.retry_after_s()) from None
 
     def retry_after_s(self) -> int:
@@ -216,32 +221,46 @@ class WorkerPool:
             self._run_job(flow, job, name)
 
     def _run_job(self, flow: Flow, job: ServeJob, name: str) -> None:
+        rec = get_recorder()
         job.served_by = name
-        job.started_at = time.perf_counter()
-        try:
-            result = flow.run(job.spec)
-            # served-by provenance rides the record into the store and
-            # back over the wire — a stored row always names its worker
-            result.provenance["served_by"] = name
-            result.provenance["request_id"] = job.request_id
-            record = result.as_record(suite=job.suite, scenario=job.scenario)
-            if job.store and self._store is not None:
-                self._store.append(record)
-            job.record = record.to_dict()
-            ok = True
-        except ReproError as exc:
-            job.error = (type(exc).__name__, str(exc))
-            ok = False
-        except Exception as exc:  # repro: noqa[EXC001] -- a daemon worker must survive any request; the failure is reported to the waiting client, not swallowed
-            job.error = ("internal", f"{type(exc).__name__}: {exc}")
-            ok = False
-        job.finished_at = time.perf_counter()
+        job.started_at = now()
         with self._lock:
-            if ok:
-                self.completed += 1
-            else:
-                self.failed += 1
+            self._busy += 1
+        with rec.span(
+            "serve.request", trace=job.request_id, worker=name, suite=job.suite
+        ):
+            if rec.enabled:
+                # back-date the queue wait as a child span so traces show
+                # (request -> queue, flow) per request id
+                rec.emit(
+                    "serve.queue", job.enqueued_at, job.started_at, worker=name
+                )
+            try:
+                result = flow.run(job.spec)
+                # served-by provenance rides the record into the store and
+                # back over the wire — a stored row always names its worker
+                result.provenance["served_by"] = name
+                result.provenance["request_id"] = job.request_id
+                record = result.as_record(suite=job.suite, scenario=job.scenario)
+                if job.store and self._store is not None:
+                    self._store.append(record)
+                job.record = record.to_dict()
+                ok = True
+            except ReproError as exc:
+                job.error = (type(exc).__name__, str(exc))
+                ok = False
+            except Exception as exc:  # repro: noqa[EXC001] -- a daemon worker must survive any request; the failure is reported to the waiting client, not swallowed
+                job.error = ("internal", f"{type(exc).__name__}: {exc}")
+                ok = False
+        job.finished_at = now()
+        if rec.enabled:
+            rec.observe("serve.request.latency_s", job.finished_at - job.enqueued_at)
+            rec.observe("serve.request.queue_s", job.queue_s)
+            rec.observe("serve.request.run_s", job.run_s)
+        with self._lock:
+            self._counters.inc("completed" if ok else "failed")
             self._latencies.append(job.finished_at - job.enqueued_at)
+            self._busy -= 1
         job.done.set()
 
     # -- introspection -------------------------------------------------
@@ -249,11 +268,7 @@ class WorkerPool:
         """Queue depth, counters, latency percentiles, cache stats."""
         with self._lock:
             latencies = sorted(self._latencies)
-            counters = {
-                "completed": self.completed,
-                "failed": self.failed,
-                "rejected": self.rejected,
-            }
+            counters = self._counters.as_dict()
         payload: Dict[str, Any] = {
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
@@ -272,3 +287,25 @@ class WorkerPool:
         if self.cache is not None and hasattr(self.cache, "stats"):
             payload["cache"] = self.cache.stats()
         return payload
+
+    # counter properties: the pre-obs ints, kept as the public API
+    @property
+    def completed(self) -> int:
+        return self._counters["completed"]
+
+    @property
+    def failed(self) -> int:
+        return self._counters["failed"]
+
+    @property
+    def rejected(self) -> int:
+        return self._counters["rejected"]
+
+    def queue_depth(self) -> int:
+        """Current number of pending requests."""
+        return self._queue.qsize()
+
+    def busy_workers(self) -> int:
+        """Worker threads currently executing a job."""
+        with self._lock:
+            return self._busy

@@ -399,6 +399,71 @@ class TestEXC001BroadExcept:
         assert [v.line for v in report.violations] == [3]
 
 
+class TestOBS001ObsInstrumentation:
+    def test_raw_perf_counter_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/timer.py":
+                "import time\n"
+                "\n"
+                "def run():\n"
+                "    t0 = time.perf_counter()\n"
+                "    return t0\n",
+        }, rules=["OBS001"])
+        assert one_violation(report, "OBS001").line == 4
+
+    def test_from_time_import_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/serve/timer.py":
+                "from time import perf_counter as tick\n"
+                "stamp = tick()\n",
+        }, rules=["OBS001"])
+        assert one_violation(report, "OBS001").line == 2
+
+    def test_stats_dict_literal_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/dse/eval.py":
+                "class E:\n"
+                "    def __init__(self):\n"
+                "        self.stats = {'hits': 0, 'misses': 0}\n",
+        }, rules=["OBS001"])
+        assert one_violation(report, "OBS001").line == 3
+
+    def test_obs_package_and_non_library_exempt(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            # the obs package is where perf_counter is supposed to live
+            "src/repro/obs/recorder.py":
+                "from time import perf_counter\n"
+                "stamp = perf_counter()\n",
+            # benchmarks/examples are outside the repro package dirs
+            "benchmarks/bench_x.py":
+                "import time\n"
+                "t0 = time.perf_counter()\n"
+                "stats = {'n': 0}\n",
+        }, rules=["OBS001"])
+        assert report.ok
+
+    def test_noqa_suppresses(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/t.py":
+                "import time\n"
+                "t0 = time.perf_counter()  "
+                "# repro: noqa[OBS001] -- calibration needs the raw timer\n",
+        }, rules=["OBS001"])
+        assert report.ok
+
+    def test_counters_bundle_and_plain_dicts_allowed(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/ok.py":
+                "from repro.obs import Counters\n"
+                "\n"
+                "class E:\n"
+                "    def __init__(self):\n"
+                "        self.stats = Counters(('hits',), namespace='e')\n"
+                "        self.config = {'depth': 4}\n",
+        }, rules=["OBS001"])
+        assert report.ok
+
+
 class TestEngineMechanics:
     def test_parse_error_reported_as_parse001(self, tmp_path):
         report = lint_tree(tmp_path, {

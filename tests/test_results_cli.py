@@ -56,7 +56,7 @@ class TestStoreWiring:
         payload = json.loads(capsys.readouterr().out)
         assert isinstance(payload["metrics"]["max_temperature"], float)
         assert isinstance(payload["row"]["max_temp"], float)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
 
 
 class TestResultsCommands:
