@@ -478,6 +478,34 @@ def _cmd_results_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_results_fsck(args: argparse.Namespace) -> int:
+    """Verify (exit 1 on damage) or --repair a store; see docs/RESILIENCE.md."""
+    from .results import fsck_store
+
+    report = fsck_store(_open_store(args), repair=args.repair)
+    payload = report.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        verb = "repaired" if report.repaired else "checked"
+        print(f"{verb} store {report.root}: "
+              f"{report.entries_kept} entries kept, "
+              f"{report.loadable} loadable")
+        for key in (
+            "torn_lines", "duplicate_entries", "missing_blobs",
+            "corrupt_blobs", "orphan_blobs", "schema_mismatch", "stale_tmp",
+        ):
+            if payload[key]:
+                print(f"  {key.replace('_', ' ')}: {payload[key]}")
+        for problem in report.problems:
+            print(f"  - {problem}")
+        if report.ok() and not report.problems:
+            print("  clean")
+    # verify mode signals damage via the exit code so CI can gate on it;
+    # a completed repair exits 0 — the damage is gone
+    return 0 if (report.repaired or report.ok()) else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Profile flows: per-phase span time, solve counts, fast-path rates.
 
@@ -734,6 +762,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         store=args.store,
         request_timeout_s=args.timeout,
+        circuit_threshold=args.circuit_threshold,
+        circuit_cooldown_s=args.circuit_cooldown,
     )
     print(f"serving on {daemon.url} (ctrl-c to stop)")
     try:
@@ -1117,6 +1147,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     res_report.set_defaults(func=_cmd_results_report)
 
+    res_fsck = res_sub.add_parser(
+        "fsck",
+        help="verify/repair a store (torn ledger, corrupt/orphaned blobs)",
+        description=(
+            "Check a result store for torn ledger lines, missing or "
+            "corrupt blobs, orphaned blobs, and stale tmp files.  "
+            "Verify mode (the default) mutates nothing and exits 1 when "
+            "damage is found; --repair re-indexes orphans, quarantines "
+            "corrupt blobs under <store>/quarantine/, and atomically "
+            "rewrites a clean ledger.  Runbook: docs/RESILIENCE.md."
+        ),
+    )
+    res_fsck.add_argument(
+        "--store", default=_default_store(),
+        help="result store directory (default: $REPRO_RESULTS_STORE "
+        "or .repro-results)",
+    )
+    res_fsck.add_argument(
+        "--repair", action="store_true",
+        help="fix what verify finds (quarantine + reindex + rewrite)",
+    )
+    res_fsck.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    res_fsck.set_defaults(func=_cmd_results_fsck)
+
     bench_p = sub.add_parser(
         "bench",
         help="profile flows: phase timings, solve counts, fast-path rates",
@@ -1325,6 +1381,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--timeout", type=float, default=300.0,
         help="per-request wait budget in seconds before 504 (default: 300)",
+    )
+    serve_p.add_argument(
+        "--circuit-threshold", type=int, default=5,
+        help="consecutive failures that open a spec family's circuit "
+        "breaker; 0 disables breaking (default: 5)",
+    )
+    serve_p.add_argument(
+        "--circuit-cooldown", type=float, default=30.0,
+        help="seconds an open circuit rejects before one probe "
+        "(default: 30)",
     )
     serve_p.set_defaults(func=_cmd_serve)
 

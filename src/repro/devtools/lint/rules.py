@@ -29,6 +29,7 @@ __all__ = [
     "PrintRule",
     "BroadExceptRule",
     "ObsInstrumentationRule",
+    "ResilienceRetryRule",
 ]
 
 
@@ -790,6 +791,98 @@ class ObsInstrumentationRule(LintRule):
                         f"repro.obs.Counters (a Mapping drop-in) so the "
                         f"counts also reach the metrics registry",
                     )
+
+
+@register_rule
+class ResilienceRetryRule(LintRule):
+    """RES001 — retries are bounded and sleeps live in ``repro.resilience``.
+
+    PR 10 gave the platform one auditable retry contract
+    (:class:`~repro.resilience.RetryPolicy`: capped attempts,
+    deterministic jittered backoff, sweep-wide budgets).  A raw
+    ``time.sleep`` in library code is a backoff the policy cannot see
+    (and chaos tests cannot fast-forward), and a ``while True`` loop
+    that ``continue``s out of an exception handler is an unbounded
+    retry — the exact failure mode a poison spec turns into a hung
+    sweep.  ``repro/resilience/`` itself is exempt: it is where the one
+    sanctioned ``sleep_for`` (and the fault injector's delay shims)
+    deliberately live.
+    """
+
+    rule_id = "RES001"
+    title = "no raw time.sleep or unbounded retry loops outside repro.resilience"
+    rationale = "one bounded retry contract (docs/RESILIENCE.md)"
+
+    _EXEMPT_PREFIX = "repro/resilience/"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module = ctx.module_path()
+        if not module or module.startswith(self._EXEMPT_PREFIX):
+            return
+        imports = _ImportMap(ctx.tree)
+        for call in walk_calls(ctx.tree):
+            name = dotted_name(call.func)
+            parts = name.split(".") if name else []
+            raw_sleep = (
+                len(parts) == 2
+                and parts[0] in imports.time_modules
+                and parts[1] == "sleep"
+            ) or (
+                len(parts) == 1
+                and imports.from_time.get(parts[0]) == "sleep"
+            )
+            if raw_sleep:
+                yield ctx.violation(
+                    self.rule_id, call,
+                    f"raw {name}() in library code; back off through "
+                    f"repro.resilience (RetryPolicy.delay_s + sleep_for) "
+                    f"so waits are bounded, jittered, and test-visible",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            for handler in self._handlers(node):
+                if self._retries(handler):
+                    yield ctx.violation(
+                        self.rule_id, handler,
+                        "unbounded retry: 'while True' continues out of an "
+                        "exception handler with no attempt cap; bound it "
+                        "with repro.resilience.RetryPolicy (or a budget)",
+                    )
+
+    def _handlers(self, loop: ast.While) -> Iterator[ast.ExceptHandler]:
+        """Except handlers belonging to *loop* (not to nested loops)."""
+        stack: List[ast.stmt] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.While, ast.For, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                continue  # a nested loop's continue targets that loop
+            if isinstance(node, ast.Try):
+                yield from node.handlers
+                stack.extend(node.body + node.orelse + node.finalbody)
+            elif isinstance(node, ast.If):
+                stack.extend(node.body + node.orelse)
+            elif isinstance(node, ast.With):
+                stack.extend(node.body)
+
+    def _retries(self, handler: ast.ExceptHandler) -> bool:
+        """Whether *handler* reaches a ``continue`` of the enclosing loop."""
+        stack: List[ast.stmt] = list(handler.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Continue):
+                return True
+            if isinstance(node, (ast.While, ast.For, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                continue
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+        return False
 
 
 @register_rule

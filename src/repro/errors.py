@@ -28,8 +28,11 @@ __all__ = [
     "FlowSpecError",
     "ResultError",
     "ServeError",
+    "ServeConnectionError",
     "LintError",
     "DseError",
+    "ResilienceError",
+    "InjectedFaultError",
 ]
 
 
@@ -143,9 +146,39 @@ class ServeError(ReproError):
     """A serving request, response, or daemon configuration is invalid."""
 
 
+class ServeConnectionError(ServeError):
+    """A transport-level failure talking to the daemon (reset, refused).
+
+    Distinguished from protocol-level :class:`ServeError` so the client
+    can retry these under its bounded budget — a connection reset is a
+    transient network event, while a 422 error payload is not.
+    """
+
+
 class LintError(ReproError):
     """A ``repro lint`` invocation is invalid (bad path, unknown rule)."""
 
 
 class DseError(ReproError):
     """A design-space-exploration run is misconfigured or corrupt."""
+
+
+class ResilienceError(ReproError):
+    """A fault plan or retry policy is invalid (see docs/RESILIENCE.md)."""
+
+
+class InjectedFaultError(ResilienceError):
+    """An armed :class:`~repro.resilience.FaultPlan` fired at this site.
+
+    Only ever raised while a plan is armed — production code paths never
+    construct it.  Carrying the site and ordinal lets chaos tests assert
+    *which* injected failure they recovered from.
+    """
+
+    def __init__(self, site: str, ordinal: int, message: str = ""):
+        self.site = site
+        self.ordinal = int(ordinal)
+        text = message or (
+            f"injected fault at {site!r} (ordinal {self.ordinal})"
+        )
+        super().__init__(text)

@@ -25,6 +25,19 @@ expensive and fully deterministic.  The batch layer therefore
 
 Results come back in input order, provenance marked with
 ``cache_hit``/``worker`` so callers can audit what actually ran.
+
+With a :class:`~repro.resilience.RetryPolicy` passed as ``retry``, the
+sweep also *survives*: a crashed pool worker (``BrokenProcessPool``)
+restarts the pool and resubmits the in-flight window, a spec that
+exceeds the per-spec wait budget (``timeout_s``) is resubmitted, and a
+spec that exhausts its attempts is **quarantined** into the
+:class:`~repro.resilience.RunReport` — its indices yield nothing and
+the rest of the sweep completes — instead of aborting everything.
+Without ``retry`` the failure behaviour is unchanged (first error
+propagates), and fault-free runs are byte-identical either way: retry
+bookkeeping never touches result payloads or provenance.  The
+``batch.*`` fault sites of :mod:`repro.resilience.faults` are hooked
+here and are inert unless a plan is armed.
 """
 
 from __future__ import annotations
@@ -34,11 +47,22 @@ import pickle
 import tempfile
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..errors import FlowError
+from ..errors import FlowError, InjectedFaultError, ReproError, ResilienceError
 from ..obs import get_recorder
+from ..resilience.faults import (
+    active_injector,
+    apply_worker_fault,
+    check_fault,
+    fire,
+    worker_fault_action,
+)
+from ..resilience.report import RunReport
+from ..resilience.retry import RetryBudget, RetryPolicy, sleep_for
 from .runner import Flow, FlowResult
 from .spec import FlowSpec, spec_hash
 
@@ -121,16 +145,29 @@ def _store_cached(cache_dir: Path, digest: str, result: FlowResult) -> None:
         except OSError:
             pass
         raise
+    if check_fault("batch.cache-corrupt", digest=digest[:12]) is not None:
+        # chaos hook: the pickle we just published is garbage now —
+        # the next load must treat it as a miss, never crash
+        with _cache_path(cache_dir, digest).open("wb") as handle:
+            handle.write(b"\x80repro-injected-corruption")
 
 
-def _run_spec_json(payload: str, obs: bool = False) -> FlowResult:
+def _run_spec_json(
+    payload: str, obs: bool = False, fault: Optional[str] = None
+) -> FlowResult:
     """Process-pool entry point (module-level so it pickles).
 
     With *obs* set (the parent's recorder was enabled at submission),
     the worker records the run into a fresh captured recorder and ships
     the span/metric buffer back on ``result.obs`` — the existing result
     channel, no side pipe.  The parent merges it exactly once.
+
+    *fault* is the parent-decided chaos action (crash/stall) for this
+    submission; ``None`` — always, unless a fault plan is armed — is a
+    single falsy check.
     """
+    if fault:
+        apply_worker_fault(fault)
     if not obs:
         return Flow().run(FlowSpec.from_json(payload))
     from ..obs import capture
@@ -156,6 +193,9 @@ def iter_results(
     specs: Sequence[FlowSpec],
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    report: Optional[RunReport] = None,
 ) -> Iterator[Tuple[int, FlowResult]]:
     """Yield ``(input_index, result)`` pairs in input order, incrementally.
 
@@ -165,10 +205,33 @@ def iter_results(
     a grid of distinct specs streams through O(workers) live results
     instead of O(len(specs)).  Equal input specs yield the same result
     object at each of their indices.
+
+    Resilience (all opt-in, see docs/RESILIENCE.md):
+
+    * ``retry`` — a :class:`~repro.resilience.RetryPolicy`.  Worker
+      crashes (``BrokenProcessPool``) restart the pool and resubmit;
+      per-spec wait timeouts resubmit; a spec out of attempts (or the
+      sweep out of its retry budget) is *quarantined*: recorded in the
+      report, its indices never yielded, the sweep continues.  Without
+      ``retry``, the first failure propagates exactly as before.
+    * ``timeout_s`` — per-spec wait budget in pool mode (each wait on a
+      spec's future; the stale computation is abandoned, not killed).
+      Ignored serially, where nothing can interrupt the call.
+    * ``report`` — a :class:`~repro.resilience.RunReport` to fill in;
+      one is created internally when omitted.  When a fault plan is
+      armed, the injector's fault report is attached on completion.
     """
     specs = list(specs)
     _validate(specs, workers)
+    if timeout_s is not None and timeout_s <= 0:
+        raise FlowError(f"timeout_s must be positive, got {timeout_s}")
+    report = report if report is not None else RunReport()
+    max_attempts = retry.max_attempts if retry is not None else 1
     digests = [spec_hash(spec) for spec in specs]
+    # sweep-wide bound: enough for every distinct spec to burn its full
+    # attempt ladder, never more — a melting pool exhausts this and the
+    # stragglers quarantine immediately
+    budget = RetryBudget((max_attempts - 1) * max(1, len(set(digests))))
     remaining: Dict[str, int] = {}
     for digest in digests:
         remaining[digest] = remaining.get(digest, 0) + 1
@@ -195,6 +258,7 @@ def iter_results(
     miss_order = [d for d in dict.fromkeys(digests) if d not in candidates]
 
     live: Dict[str, FlowResult] = {}
+    poisoned = set()  # digests quarantined this sweep (membership only)
     rec = get_recorder()
 
     def _computed(digest: str, result: FlowResult, worker: str) -> FlowResult:
@@ -216,6 +280,28 @@ def iter_results(
         if rec.enabled:
             rec.counter(name)
 
+    def _quarantine(digest: str, attempts: int, error: BaseException) -> None:
+        """Poison *digest*: record it, skip its indices, keep sweeping."""
+        indices = tuple(i for i, d in enumerate(digests) if d == digest)
+        report.record_quarantine(
+            spec_hash=digest,
+            indices=indices,
+            error=f"{type(error).__name__}: {error}",
+            attempts=attempts,
+        )
+        poisoned.add(digest)
+        _count("batch.retry.quarantined")
+
+    def _backoff(digest: str, attempt: int, error: BaseException) -> None:
+        report.record_resubmit(digest, attempt, type(error).__name__)
+        _count("batch.retry.resubmitted")
+        sleep_for(retry.delay_s(attempt, key=digest))
+
+    def _attach_faults() -> None:
+        injector = active_injector()
+        if injector is not None:
+            report.attach_faults(injector.report())
+
     if pool_mode and miss_order:
         pool = ProcessPoolExecutor(max_workers=workers)
         window_size = 2 * workers
@@ -224,16 +310,52 @@ def iter_results(
             (d, first_spec[d].to_json()) for d in miss_order
         )
 
+        def _recycle_pool() -> None:
+            nonlocal pool
+            report.record_pool_restart()
+            _count("batch.retry.pool_restarts")
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=workers)
+
+        def _submit(payload: str):
+            # the chaos decision is made here, in the parent, so the
+            # ordinal sequence is the (deterministic) submission order
+            fault = worker_fault_action()
+            try:
+                return pool.submit(_run_spec_json, payload, rec.enabled, fault)
+            except BrokenProcessPool:
+                # a crash landed between our wait and this submission:
+                # the executor is already condemned, so recycle it here
+                # (futures lost with it fail their waits and re-enter
+                # the per-spec retry ladder)
+                if retry is None:
+                    raise
+                _recycle_pool()
+                return pool.submit(_run_spec_json, payload, rec.enabled, fault)
+
         def _fill() -> None:
             while payloads and len(pending) < window_size:
                 digest, payload = payloads.popleft()
+                pending.append((digest, _submit(payload)))
+
+        def _restart_pool() -> None:
+            # a dead child poisons every in-flight future: stand up a
+            # fresh pool and resubmit the surviving window in miss order
+            _recycle_pool()
+            window = [d for d, _ in pending]
+            pending.clear()
+            for digest in window:
                 pending.append(
-                    (digest, pool.submit(_run_spec_json, payload, rec.enabled))
+                    (digest, _submit(first_spec[digest].to_json()))
                 )
+            _fill()
 
         try:
             _fill()
             for index, digest in enumerate(digests):
+                if digest in poisoned:
+                    remaining[digest] -= 1
+                    continue
                 if digest not in live:
                     if digest in candidates:
                         result = _load_cached(cache, digest)
@@ -246,26 +368,92 @@ def iter_results(
                             _count("batch.cache.hits")
                     else:
                         _count("batch.cache.misses")
-                        expected, future = pending.popleft()
-                        assert expected == digest  # both follow miss order
-                        with rec.span("batch.wait", digest=digest[:12]) as waited:
-                            result = future.result()
-                        if rec.enabled:
-                            rec.observe("batch.queue_wait_s", waited.elapsed)
-                        result = _computed(digest, result, "pool")
+                        attempts = 0
+                        result = None
+                        while True:
+                            expected, future = pending.popleft()
+                            assert expected == digest  # both follow miss order
+                            attempts += 1
+                            try:
+                                with rec.span(
+                                    "batch.wait", digest=digest[:12]
+                                ) as waited:
+                                    result = future.result(timeout=timeout_s)
+                            except _FutureTimeout as exc:
+                                # the stale computation is abandoned (its
+                                # worker finishes it into the void); the
+                                # spec re-enters under the retry ladder
+                                report.record_timeout(digest)
+                                _count("batch.retry.timeouts")
+                                if retry is None:
+                                    raise FlowError(
+                                        f"spec {digest[:12]} exceeded its "
+                                        f"{timeout_s}s wait budget "
+                                        f"(pass retry= to resubmit instead)"
+                                    ) from exc
+                                if attempts >= max_attempts or not budget.take():
+                                    _quarantine(digest, attempts, exc)
+                                    break
+                                _backoff(digest, attempts, exc)
+                                pending.appendleft(
+                                    (digest, _submit(first_spec[digest].to_json()))
+                                )
+                            except BrokenProcessPool as exc:
+                                if retry is None:
+                                    raise
+                                _restart_pool()
+                                if attempts >= max_attempts or not budget.take():
+                                    _quarantine(digest, attempts, exc)
+                                    break
+                                _backoff(digest, attempts, exc)
+                                pending.appendleft(
+                                    (digest, _submit(first_spec[digest].to_json()))
+                                )
+                            except ReproError as exc:
+                                # the spec itself failed — deterministic, so
+                                # an attempt ladder cannot change the outcome
+                                if retry is None:
+                                    raise
+                                _quarantine(digest, attempts, exc)
+                                break
+                            else:
+                                if rec.enabled:
+                                    rec.observe(
+                                        "batch.queue_wait_s", waited.elapsed
+                                    )
+                                result = _computed(digest, result, "pool")
+                                break
                         _fill()
+                        if result is None:  # quarantined above
+                            remaining[digest] -= 1
+                            continue
                     live[digest] = result
                 result = live[digest]
                 remaining[digest] -= 1
                 if remaining[digest] == 0:
                     del live[digest]
                 yield index, result
+            _attach_faults()
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return
 
     flow = Flow()
+
+    def _run_serial(digest: str) -> FlowResult:
+        # cannot kill the caller's own process: the serial analogue of a
+        # worker crash is a raised InjectedFaultError; a slow worker is
+        # just the stall (nothing can time a serial call out)
+        fire("batch.worker-crash")
+        hit = check_fault("batch.worker-slow")
+        if hit is not None:
+            sleep_for(hit.delay_s)
+        return flow.run(first_spec[digest])
+
     for index, digest in enumerate(digests):
+        if digest in poisoned:
+            remaining[digest] -= 1
+            continue
         if digest not in live:
             result = None
             if cache is not None and _cacheable(first_spec[digest]):
@@ -275,13 +463,36 @@ def iter_results(
                     else "batch.cache.misses"
                 )
             if result is None:
-                result = _computed(digest, flow.run(first_spec[digest]), "serial")
+                attempts = 0
+                computed = None
+                while computed is None:
+                    attempts += 1
+                    try:
+                        computed = _run_serial(digest)
+                    except InjectedFaultError as exc:
+                        # a simulated crash: transient by construction
+                        if retry is None:
+                            raise
+                        if attempts >= max_attempts or not budget.take():
+                            _quarantine(digest, attempts, exc)
+                            break
+                        _backoff(digest, attempts, exc)
+                    except ReproError as exc:
+                        if retry is None:
+                            raise
+                        _quarantine(digest, attempts, exc)
+                        break
+                if computed is None:  # quarantined above
+                    remaining[digest] -= 1
+                    continue
+                result = _computed(digest, computed, "serial")
             live[digest] = result
         result = live[digest]
         remaining[digest] -= 1
         if remaining[digest] == 0:
             del live[digest]
         yield index, result
+    _attach_faults()
 
 
 def run_many(
@@ -291,6 +502,9 @@ def run_many(
     store=None,
     suite: str = "",
     scenario: str = "",
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    report: Optional[RunReport] = None,
 ) -> List[FlowResult]:
     """Run every spec, in order, with dedup / caching / parallelism.
 
@@ -314,27 +528,59 @@ def run_many(
         tagged with *suite*/*scenario*.  For large grids that only need
         the store, prefer :func:`repro.results.run_to_store`, which
         never materializes the result list.
+    retry / timeout_s / report:
+        Resilience knobs, passed through to :func:`iter_results`: with
+        ``retry`` set, crashed/stalled workers are resubmitted under the
+        policy's budget, store appends are retried (a torn write is a
+        transient), and a spec out of attempts is quarantined into
+        *report* — its slot in the returned list stays ``None`` instead
+        of aborting the sweep.  Without ``retry``, behaviour (including
+        the returned ``List[FlowResult]`` type) is unchanged.
 
     Returns
     -------
     list of FlowResult
         One per input spec, in input order.  Equal input specs share one
-        result object.
+        result object.  Quarantined specs (only possible with ``retry``)
+        leave ``None`` at their indices; ``report.poisoned()`` names
+        them.
     """
     specs = list(specs)
     results: List[Optional[FlowResult]] = [None] * len(specs)
+    if retry is not None and report is None:
+        report = RunReport()
     if store is not None:
         from ..results.record import RunRecord
         from ..results.store import ResultStore
 
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
-    for index, result in iter_results(specs, workers=workers, cache_dir=cache_dir):
+
+    def _append(record) -> None:
+        store.append(record)
+
+    for index, result in iter_results(
+        specs,
+        workers=workers,
+        cache_dir=cache_dir,
+        retry=retry,
+        timeout_s=timeout_s,
+        report=report,
+    ):
         results[index] = result
         if store is not None:
-            store.append(
-                RunRecord.from_result(result, suite=suite, scenario=scenario)
-            )
+            record = RunRecord.from_result(result, suite=suite, scenario=scenario)
+            if retry is None:
+                store.append(record)
+            else:
+                # a torn index write (crash mid-append) is transient: the
+                # appender self-heals the ledger tail on the next attempt
+                retry.call(
+                    lambda: _append(record),
+                    retry_on=(ResilienceError, OSError),
+                    key=f"store:{index}",
+                    on_retry=lambda _a, _e: report.record_store_retry(),
+                )
     return results  # type: ignore[return-value]
 
 

@@ -1,0 +1,54 @@
+""":mod:`repro.resilience` — deterministic faults in, graceful recovery out.
+
+Three pieces (see docs/RESILIENCE.md for the operator view):
+
+* :mod:`~repro.resilience.faults` — a seeded fault-injection harness.
+  :class:`FaultPlan` names which failure fires at which invocation of a
+  named hook site (worker crash, slow worker, torn index write, corrupt
+  blob/cache pickle, connection reset, handler exception); hooks are
+  inert unless a plan is armed via :func:`inject`.
+* :mod:`~repro.resilience.retry` — the shared :class:`RetryPolicy`
+  (capped exponential backoff, deterministic seeded jitter), sweep-wide
+  :class:`RetryBudget`, and the per-key :class:`CircuitBreaker` the
+  daemon uses.
+* :mod:`~repro.resilience.report` — :class:`RunReport`, the sweep
+  ledger of resubmissions, timeouts, and quarantined poison specs.
+
+The batch pool (:func:`repro.flow.run_many`), the serve stack, and the
+result store adopt these pieces; ``repro results fsck`` repairs what a
+crash leaves behind.  Lint rule RES001 keeps ad-hoc retry loops and raw
+sleeps from growing back elsewhere.
+"""
+
+from .faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    arm,
+    check_fault,
+    disarm,
+    fire,
+    inject,
+)
+from .report import RunReport
+from .retry import CircuitBreaker, RetryBudget, RetryPolicy, sleep_for
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "active_injector",
+    "arm",
+    "disarm",
+    "inject",
+    "check_fault",
+    "fire",
+    "RetryPolicy",
+    "RetryBudget",
+    "CircuitBreaker",
+    "sleep_for",
+    "RunReport",
+]

@@ -1,0 +1,143 @@
+"""The sweep-level resilience ledger: what was retried, what was lost.
+
+A fault-tolerant sweep must not *silently* tolerate faults — every
+resubmission, timeout, pool restart, and quarantined spec is recorded
+here, and the CI chaos job uploads :meth:`RunReport.as_dict` as its
+artifact.  The contract with :func:`repro.flow.run_many` is:
+
+* every retry consumed anywhere in the sweep appears in the report;
+* a spec that exhausts its attempts is *quarantined* — its failure is
+  recorded with the indices it occupied and the sweep continues — so
+  ``report.poisoned()`` plus the returned results always account for
+  every input spec (zero silently-lost specs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["RunReport"]
+
+
+class RunReport:
+    """Mutable, thread-safe record of one sweep's resilience events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._resubmitted: List[Dict[str, Any]] = []
+        self._quarantined: List[Dict[str, Any]] = []
+        self._timed_out: List[str] = []
+        self._pool_restarts = 0
+        self._store_retries = 0
+        self._fault_report: Optional[Dict[str, Any]] = None
+
+    # -- recording (called by the batch loop) --------------------------
+    def record_resubmit(self, spec_hash: str, attempt: int, error: str) -> None:
+        with self._lock:
+            self._resubmitted.append(
+                {"spec_hash": spec_hash, "attempt": attempt, "error": error}
+            )
+
+    def record_timeout(self, spec_hash: str) -> None:
+        with self._lock:
+            self._timed_out.append(spec_hash)
+
+    def record_pool_restart(self) -> None:
+        with self._lock:
+            self._pool_restarts += 1
+
+    def record_store_retry(self) -> None:
+        with self._lock:
+            self._store_retries += 1
+
+    def record_quarantine(
+        self,
+        spec_hash: str,
+        indices: Tuple[int, ...],
+        error: str,
+        attempts: int,
+    ) -> None:
+        with self._lock:
+            self._quarantined.append(
+                {
+                    "spec_hash": spec_hash,
+                    "indices": list(indices),
+                    "error": error,
+                    "attempts": attempts,
+                }
+            )
+
+    def attach_faults(self, fault_report: Dict[str, Any]) -> None:
+        """Merge the injector's report so one artifact tells the whole
+        story: what was injected and what the sweep did about it."""
+        with self._lock:
+            self._fault_report = fault_report
+
+    # -- reading -------------------------------------------------------
+    def poisoned(self) -> Tuple[str, ...]:
+        """Spec hashes quarantined this sweep, in quarantine order."""
+        with self._lock:
+            return tuple(entry["spec_hash"] for entry in self._quarantined)
+
+    def lost_indices(self) -> Tuple[int, ...]:
+        """Result positions that hold no record (poison slots), sorted."""
+        with self._lock:
+            indices = [
+                index
+                for entry in self._quarantined
+                for index in entry["indices"]
+            ]
+        return tuple(sorted(indices))
+
+    @property
+    def resubmissions(self) -> int:
+        with self._lock:
+            return len(self._resubmitted)
+
+    @property
+    def timeouts(self) -> int:
+        with self._lock:
+            return len(self._timed_out)
+
+    @property
+    def pool_restarts(self) -> int:
+        with self._lock:
+            return self._pool_restarts
+
+    @property
+    def store_retries(self) -> int:
+        with self._lock:
+            return self._store_retries
+
+    @property
+    def quarantined(self) -> Tuple[Dict[str, Any], ...]:
+        with self._lock:
+            return tuple(dict(entry) for entry in self._quarantined)
+
+    def ok(self) -> bool:
+        """True when nothing was lost (retries are fine; poison is not)."""
+        with self._lock:
+            return not self._quarantined
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-safe report (the chaos-smoke artifact body)."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "ok": not self._quarantined,
+                "resubmitted": [dict(e) for e in self._resubmitted],
+                "quarantined": [dict(e) for e in self._quarantined],
+                "timed_out": list(self._timed_out),
+                "pool_restarts": self._pool_restarts,
+                "store_retries": self._store_retries,
+            }
+            if self._fault_report is not None:
+                payload["faults"] = self._fault_report
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"RunReport(resubmitted={self.resubmissions}, "
+            f"quarantined={len(self.quarantined)}, "
+            f"timeouts={self.timeouts}, pool_restarts={self.pool_restarts})"
+        )

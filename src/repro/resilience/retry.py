@@ -1,0 +1,300 @@
+"""Retry policies, budgets, and circuit breaking — the recovery half.
+
+:mod:`repro.resilience.faults` makes things fail on demand; this module
+is how the platform absorbs those failures (and the real ones they
+model).  One :class:`RetryPolicy` shape is shared by every retry loop
+in the library — the batch pool's crash resubmission, the serve
+client's 429/5xx/reset absorption, the store-append retry — so backoff
+behaviour is a single auditable contract instead of N ad-hoc loops
+(lint rule RES001 enforces the "single" part: raw ``time.sleep`` and
+unbounded retry loops outside this package are violations).
+
+Determinism: backoff *jitter* is derived from the policy seed and the
+retry key via SHA-256, never from ``random`` or the clock (DET001/
+DET002-safe) — two runs of the same sweep back off identically, while
+distinct keys (e.g. per-process) decorrelate real fleets.  The
+:class:`CircuitBreaker` measures cooldowns with monotonic
+:func:`repro.obs.now` deltas, durations only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Type, TypeVar
+
+from ..errors import ResilienceError
+from ..obs import now
+
+__all__ = [
+    "RetryPolicy",
+    "RetryBudget",
+    "CircuitBreaker",
+    "sleep_for",
+]
+
+T = TypeVar("T")
+
+
+def sleep_for(seconds: float) -> None:
+    """The library's one sanctioned blocking sleep.
+
+    Every backoff wait routes through here so tests can monkeypatch a
+    single symbol to run chaos suites at full speed, and so RES001 has
+    a truthful story: sleeps happen in :mod:`repro.resilience`, nowhere
+    else.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _unit_interval(seed: int, key: str, attempt: int) -> float:
+    """A deterministic value in ``[0, 1)`` from (seed, key, attempt)."""
+    digest = hashlib.sha256(
+        f"repro.retry:{seed}:{key}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first; ``1`` means "never retry".
+    base_delay_s / multiplier / max_delay_s:
+        Attempt *n* (1-based) waits ``base * multiplier**(n-1)`` seconds
+        before attempt *n+1*, capped at ``max_delay_s``.
+    jitter:
+        Fraction of each wait that is randomized *downward*: the actual
+        wait lands in ``[delay * (1 - jitter), delay]``, so the cap
+        still holds and synchronized clients spread out.
+    seed:
+        Jitter stream seed.  Same (seed, key, attempt) → same jitter,
+        which keeps retried sweeps byte-replayable; give each process a
+        distinct seed (e.g. its pid) when decorrelation matters more
+        than replay.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ResilienceError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """The backoff before attempt ``attempt + 1`` (1-based)."""
+        if attempt < 1:
+            raise ResilienceError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_s)
+        if self.jitter == 0 or capped == 0:
+            return capped
+        return capped * (1.0 - self.jitter * _unit_interval(self.seed, key, attempt))
+
+    def delays(self, key: str = "") -> Tuple[float, ...]:
+        """Every backoff this policy would sleep, in order."""
+        return tuple(
+            self.delay_s(attempt, key=key)
+            for attempt in range(1, self.max_attempts)
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        key: str = "",
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = sleep_for,
+    ) -> T:
+        """Run *fn* under this policy, retrying ``retry_on`` failures.
+
+        The final failure is re-raised unchanged; ``on_retry(attempt,
+        exc)`` fires before each backoff so callers can count or log.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(self.delay_s(attempt, key=key))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "multiplier": self.multiplier,
+            "max_delay_s": self.max_delay_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+class RetryBudget:
+    """A shared cap on *total* retries across one sweep.
+
+    Per-spec attempt limits bound the worst spec; this bounds the worst
+    sweep — a pool melting down (every spec crashing) exhausts the
+    budget after ``limit`` resubmissions and the remaining failures
+    quarantine immediately instead of each burning a full attempt
+    ladder.  Thread-safe.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ResilienceError(f"retry budget must be >= 0, got {limit}")
+        self.limit = limit
+        self._used = 0
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        """Consume one retry if any remain; False means budget exhausted."""
+        with self._lock:
+            if self._used < self.limit:
+                self._used += 1
+                return True
+            return False
+
+    @property
+    def used(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self.limit - self._used
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {"limit": self.limit, "used": self._used}
+
+
+class _Circuit:
+    """Per-key breaker state (internal)."""
+
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Per-key failure circuit: open after ``threshold`` consecutive
+    failures, reject until ``cooldown_s`` passes, then let one probe
+    through (half-open) and close again only if it succeeds.
+
+    Keys are opaque strings — the daemon keys by spec-hash family so a
+    pathological spec stops burning workers while healthy families keep
+    flowing.  Time is monotonic :func:`repro.obs.now`; thread-safe.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 30.0):
+        if threshold < 1:
+            raise ResilienceError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ResilienceError(
+                f"cooldown_s must be positive, got {cooldown_s}"
+            )
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._circuits: Dict[str, _Circuit] = {}
+
+    def allow(self, key: str) -> bool:
+        """Whether a request for *key* may proceed right now."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.opened_at is None:
+                return True
+            if circuit.probing:
+                return False
+            if now() - circuit.opened_at >= self.cooldown_s:
+                circuit.probing = True  # half-open: exactly one probe
+                return True
+            return False
+
+    def record_success(self, key: str) -> None:
+        """A request for *key* succeeded; close and forget its circuit."""
+        with self._lock:
+            self._circuits.pop(key, None)
+
+    def record_failure(self, key: str) -> None:
+        """A request for *key* failed; open the circuit at threshold."""
+        with self._lock:
+            circuit = self._circuits.setdefault(key, _Circuit())
+            circuit.failures += 1
+            if circuit.probing:
+                # the half-open probe failed: re-open for a fresh cooldown
+                circuit.opened_at = now()
+                circuit.probing = False
+            elif circuit.opened_at is None and circuit.failures >= self.threshold:
+                circuit.opened_at = now()
+
+    def state(self, key: str) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` for *key*."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.opened_at is None:
+                return "closed"
+            if circuit.probing or now() - circuit.opened_at >= self.cooldown_s:
+                return "half-open"
+            return "open"
+
+    def open_keys(self) -> Tuple[str, ...]:
+        """Keys whose circuit is currently open or half-open, sorted."""
+        with self._lock:
+            keys = [
+                key
+                for key in self._circuits
+                if self._circuits[key].opened_at is not None
+            ]
+        return tuple(sorted(keys))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view for ``/stats``: per-key state and failures."""
+        with self._lock:
+            items = sorted(self._circuits.items())
+            view = {
+                key: {
+                    "failures": circuit.failures,
+                    "state": "closed"
+                    if circuit.opened_at is None
+                    else ("half-open" if circuit.probing else "open"),
+                }
+                for key, circuit in items
+            }
+        return {
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "circuits": view,
+        }

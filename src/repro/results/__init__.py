@@ -14,10 +14,13 @@ Every result leaves the system through this package:
   callables (``summary``, ``compare``, ``pareto``, ``reliability``,
   ``deadline-misses`` built in) behind the CLI's ``results report``;
 * :func:`stream_records` / :func:`run_to_store` — bounded-memory
-  streaming execution of large grids straight into a store.
+  streaming execution of large grids straight into a store;
+* :func:`fsck_store` / :class:`FsckReport` — verify/repair/compact a
+  store (re-index orphaned blobs, quarantine corrupt ones, rewrite a
+  clean ledger); the CLI face is ``repro results fsck``.
 
 See docs/RESULTS.md for the store layout, record schema, and analyzer
-how-to.
+how-to; docs/RESILIENCE.md for the fsck runbook.
 """
 
 from .record import (
@@ -38,6 +41,7 @@ from .analyzers import (
     analyzer_names,
     register_analyzer,
 )
+from .fsck import FsckReport, fsck_store
 from .stream import run_to_store, stream_records
 
 __all__ = [
@@ -58,4 +62,6 @@ __all__ = [
     "register_analyzer",
     "stream_records",
     "run_to_store",
+    "FsckReport",
+    "fsck_store",
 ]

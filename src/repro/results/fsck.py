@@ -1,0 +1,283 @@
+"""``repro results fsck`` — verify, repair, and compact a result store.
+
+The store's append protocol is crash-safe in one direction only: the
+blob always lands before its index line, so a crash can leave *orphaned
+blobs* (data with no ledger entry) and *torn ledger lines* (a partial
+entry at the tail), and bit-rot or an injected fault can leave *corrupt
+blobs* (a ledger entry pointing at garbage).  Readers already tolerate
+all three by skipping — this module is the repair path that gets the
+data back:
+
+* **verify** (the default) scans ledger and blobs and returns a counted
+  :class:`FsckReport` without touching anything;
+* **repair** additionally re-indexes orphaned blobs (their records
+  become loadable again), moves corrupt blobs into
+  ``<store>/quarantine/`` (never deleted — a human may still want the
+  bytes), drops ledger entries whose blob is gone, removes stale
+  ``*.tmp`` leftovers, and atomically rewrites a clean, compacted
+  ledger (torn fragments gone) under the store's appender lock.
+
+After a repair, ``store.load()`` sees exactly
+:attr:`FsckReport.loadable` records — the report *is* the recovery
+contract, and the two-writer torn-write test in
+``tests/test_results_fsck.py`` pins it.  Runbook: docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ResultError
+from ..obs import get_recorder
+from .record import RECORD_SCHEMA_VERSION, RunRecord
+from .store import ResultStore
+
+__all__ = ["FsckReport", "fsck_store"]
+
+_QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class FsckReport:
+    """Counted outcome of one fsck pass (JSON-safe via :meth:`as_dict`)."""
+
+    root: str
+    repaired: bool = False
+    entries_total: int = 0      # parseable ledger entries examined
+    entries_kept: int = 0       # entries in the clean ledger (incl. re-indexed)
+    torn_lines: int = 0         # unparsable ledger lines dropped
+    duplicate_entries: int = 0  # ledger entries re-naming an id (dropped)
+    missing_blobs: int = 0      # entries whose blob is gone (dropped)
+    corrupt_blobs: int = 0      # blobs quarantined (entries dropped)
+    orphan_blobs: int = 0       # blobs with no entry (re-indexed)
+    schema_mismatch: int = 0    # kept entries a current load() skips
+    stale_tmp: int = 0          # leftover .tmp files removed
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def loadable(self) -> int:
+        """How many records ``store.load()`` returns after this state."""
+        return self.entries_kept - self.schema_mismatch
+
+    def ok(self) -> bool:
+        """True when the store needed (or would need) no repair."""
+        return not (
+            self.torn_lines
+            or self.duplicate_entries
+            or self.missing_blobs
+            or self.corrupt_blobs
+            or self.orphan_blobs
+            or self.stale_tmp
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "ok": self.ok(),
+            "repaired": self.repaired,
+            "entries_total": self.entries_total,
+            "entries_kept": self.entries_kept,
+            "loadable": self.loadable,
+            "torn_lines": self.torn_lines,
+            "duplicate_entries": self.duplicate_entries,
+            "missing_blobs": self.missing_blobs,
+            "corrupt_blobs": self.corrupt_blobs,
+            "orphan_blobs": self.orphan_blobs,
+            "schema_mismatch": self.schema_mismatch,
+            "stale_tmp": self.stale_tmp,
+            "problems": list(self.problems),
+        }
+
+
+def _classify_blob(path: Path) -> Tuple[str, Optional[Dict[str, Any]]]:
+    """``("ok" | "schema" | "corrupt", payload)`` for one blob file.
+
+    ``"ok"`` parses as a current-schema :class:`RunRecord`; ``"schema"``
+    is a well-formed record written by another schema version (kept but
+    unloadable here); everything else is ``"corrupt"``.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return "corrupt", None
+    if not isinstance(payload, dict) or "spec_hash" not in payload:
+        return "corrupt", None
+    if payload.get("schema_version") != RECORD_SCHEMA_VERSION:
+        return "schema", payload
+    try:
+        RunRecord.from_dict(payload)
+    except ResultError:
+        return "corrupt", None
+    return "ok", payload
+
+
+def _entry_from_blob(record_id: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the ledger entry an orphaned blob should have had.
+
+    Mirrors the entry shape ``ResultStore._append_locked`` writes, built
+    defensively from the raw payload so foreign-schema blobs re-index
+    too.
+    """
+    row = payload.get("row") if isinstance(payload.get("row"), dict) else {}
+    return {
+        "id": record_id,
+        "spec_hash": str(payload.get("spec_hash", "")),
+        "flow": str(payload.get("flow", "")),
+        "suite": str(payload.get("suite", "")),
+        "scenario": str(payload.get("scenario", "")),
+        "schema_version": payload.get("schema_version"),
+        "benchmark": row.get("benchmark", ""),
+        "policy": row.get("policy", ""),
+        "meets_deadline": row.get("meets_deadline"),
+        "blob": f"records/{record_id}.json",
+    }
+
+
+def _quarantine_blob(root: Path, path: Path) -> None:
+    """Move *path* into ``<root>/quarantine/`` without clobbering."""
+    target_dir = root / _QUARANTINE_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / path.name
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = target_dir / f"{path.stem}.{serial}{path.suffix}"
+    os.replace(path, target)
+
+
+def fsck_store(
+    store: Union[ResultStore, str, Path], repair: bool = False
+) -> FsckReport:
+    """Check (and with ``repair=True``, fix) one result store.
+
+    Holds the store's appender lock for the whole pass so a concurrent
+    writer can neither observe a half-rewritten ledger nor append a line
+    the rewrite would drop.  Verify mode mutates nothing; repair mode
+    performs quarantine moves and the ledger rewrite atomically (tmp
+    file + rename), so a crash mid-fsck leaves the old ledger intact.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    root = store.root
+    report = FsckReport(root=str(root))
+    rec = get_recorder()
+    with rec.span("results.fsck", root=str(root), repair=repair):
+        with store._appender_lock():
+            _fsck_locked(store, repair, report)
+    if rec.enabled:
+        rec.counter("results.fsck.runs")
+        if not report.ok():
+            rec.counter("results.fsck.problem_stores")
+    return report
+
+
+def _fsck_locked(store: ResultStore, repair: bool, report: FsckReport) -> None:
+    root = store.root
+    blob_dir = root / "records"
+
+    # -- pass 1: the ledger -------------------------------------------
+    raw_lines: List[str] = []
+    if store.index_path.is_file():
+        raw_lines = [
+            line
+            for line in store.index_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+    kept_entries: List[Dict[str, Any]] = []
+    referenced: Dict[str, bool] = {}  # id -> kept (insertion-ordered)
+    for line in raw_lines:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            report.torn_lines += 1
+            report.problems.append(f"torn ledger line: {line[:60]!r}")
+            continue
+        if not isinstance(entry, dict) or "id" not in entry:
+            report.torn_lines += 1
+            report.problems.append(f"malformed ledger entry: {line[:60]!r}")
+            continue
+        report.entries_total += 1
+        record_id = str(entry["id"])
+        if record_id in referenced:
+            report.duplicate_entries += 1
+            report.problems.append(f"duplicate ledger entry {record_id}")
+            continue
+        blob_path = root / str(entry.get("blob", f"records/{record_id}.json"))
+        if not blob_path.is_file():
+            report.missing_blobs += 1
+            report.problems.append(f"entry {record_id}: blob missing")
+            referenced[record_id] = False
+            continue
+        verdict, _payload = _classify_blob(blob_path)
+        referenced[record_id] = verdict != "corrupt"
+        if verdict == "corrupt":
+            report.corrupt_blobs += 1
+            report.problems.append(f"entry {record_id}: blob corrupt")
+            if repair:
+                _quarantine_blob(root, blob_path)
+            continue
+        if verdict == "schema":
+            report.schema_mismatch += 1
+        kept_entries.append(entry)
+
+    # -- pass 2: the blob directory -----------------------------------
+    reindexed: List[Dict[str, Any]] = []
+    if blob_dir.is_dir():
+        for path in sorted(blob_dir.iterdir()):
+            if path.name.endswith(".tmp"):
+                report.stale_tmp += 1
+                report.problems.append(f"stale tmp file {path.name}")
+                if repair:
+                    path.unlink()
+                continue
+            if path.suffix != ".json":
+                continue
+            record_id = path.stem
+            if record_id in referenced:
+                continue
+            verdict, payload = _classify_blob(path)
+            if verdict == "corrupt":
+                report.corrupt_blobs += 1
+                report.problems.append(f"orphan blob {record_id}: corrupt")
+                if repair:
+                    _quarantine_blob(root, path)
+                continue
+            report.orphan_blobs += 1
+            report.problems.append(f"orphan blob {record_id}: re-indexed")
+            if verdict == "schema":
+                report.schema_mismatch += 1
+            assert payload is not None
+            reindexed.append(_entry_from_blob(record_id, payload))
+
+    # recovered records append after the surviving ledger, in id order —
+    # append order within the ledger stays the order of execution for
+    # everything that was never lost
+    reindexed.sort(key=lambda entry: str(entry["id"]))
+    clean = kept_entries + (reindexed if repair else [])
+    report.entries_kept = len(kept_entries) + len(reindexed)
+
+    if not repair:
+        return
+    report.repaired = True
+    root.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(root), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for entry in clean:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(tmp_name, store.index_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # the rewrite changed the ledger under the store's cached sequence
+    # counter; force a recount on its next append
+    store._next_seq = None
+    store._index_size = -1

@@ -40,7 +40,8 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-from ..errors import ResultError
+from ..errors import InjectedFaultError, ResultError
+from ..resilience.faults import check_fault
 from .record import RECORD_SCHEMA_VERSION, RunRecord
 from .runset import RunSet
 
@@ -167,12 +168,41 @@ class ResultStore:
             "meets_deadline": record.row.get("meets_deadline"),
             "blob": f"{_BLOB_DIR}/{record_id}.json",
         }
+        line = json.dumps(entry, sort_keys=True)
+        hit = check_fault("store.torn-index", record_id=record_id)
+        if hit is not None:
+            # chaos hook: die mid-write like a real crash would — half a
+            # line, no newline, blob already published (now orphaned)
+            with self.index_path.open("a", encoding="utf-8") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+            self._index_size = -1  # force a recount on the next append
+            raise InjectedFaultError("store.torn-index", hit.ordinal)
         with self.index_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            if self._tail_is_torn():
+                # a previous appender died mid-line: terminate the torn
+                # fragment so this entry starts on its own line instead
+                # of concatenating into the fragment (two records lost)
+                handle.write("\n")
+            handle.write(line + "\n")
             handle.flush()
             self._index_size = handle.tell()
         self._next_seq += 1
+        if check_fault("store.corrupt-blob", record_id=record_id) is not None:
+            # chaos hook: ledger fine, blob rotted — load() must skip and
+            # count it, fsck must quarantine it
+            with self.blob_path(record_id).open("w", encoding="utf-8") as handle:
+                handle.write('{"truncated": ')
         return record_id
+
+    def _tail_is_torn(self) -> bool:
+        """Whether the ledger ends mid-line (crashed appender's leftover)."""
+        try:
+            with self.index_path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty index: nothing to heal
 
     def extend(self, records: Iterable[RunRecord]) -> List[str]:
         """Append every record, in order; returns the assigned ids."""

@@ -27,6 +27,13 @@ provenance/timings/diagnostics channels that legitimately differ (see
 docs/SERVING.md).  Every served evaluation can be appended to a
 :class:`~repro.results.ResultStore` with ``served_by``/``request_id``
 provenance, so a store row always says which daemon worker produced it.
+
+Resilience (docs/RESILIENCE.md): the client absorbs 429/500/503 and
+connection resets under one bounded
+:class:`~repro.resilience.RetryPolicy` budget; the daemon breaks the
+circuit on repeatedly-failing spec families, reports an explicit
+``degraded`` health state, drains on shutdown, and never loses a
+request whose waiter timed out (``orphan_completed``).
 """
 
 from __future__ import annotations

@@ -1,31 +1,43 @@
 """:class:`ServeClient` — the python/CLI face of a running daemon.
 
 Plain stdlib ``urllib`` over the :mod:`~repro.serve.protocol` wire
-format.  The client owns the retry half of the backpressure contract:
-a 429 from the daemon carries a ``Retry-After`` drain estimate, and
-:meth:`ServeClient.submit` sleeps and retries (bounded times, capped
-wait) before giving up — so a burst of ``repro submit`` calls degrades
-into a queue, not a failure storm.  Every other error payload becomes a
-raised :class:`~repro.errors.ServeError` carrying the daemon's error
-kind and message.
+format.  The client owns the retry half of the resilience contract
+(docs/RESILIENCE.md): transient failures — a 429 with its
+``Retry-After`` drain estimate, a 500/503, a connection reset or
+refused socket — are absorbed under one bounded
+:class:`~repro.resilience.RetryPolicy` budget with jittered exponential
+backoff, so a burst of ``repro submit`` calls degrades into a spread of
+retries, not a synchronized failure storm.  Every other error payload
+becomes a raised :class:`~repro.errors.ServeError` carrying the
+daemon's error kind and message; transport-level failures raise the
+:class:`~repro.errors.ServeConnectionError` subclass so callers can
+distinguish "the daemon said no" from "nothing answered".
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import time
+import os
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional, Tuple
 
-from ..errors import ServeError
+from ..errors import ServeConnectionError, ServeError
 from ..flow.spec import FlowSpec
+from ..resilience.retry import RetryPolicy, sleep_for
 from . import protocol
 
 __all__ = ["ServeClient"]
 
 #: Upper bound on one backoff sleep, whatever Retry-After claims.
 _MAX_RETRY_WAIT_S = 30.0
+
+#: HTTP statuses :meth:`ServeClient.submit` treats as transient: the
+#: queue-full rejection plus the daemon-side failure modes a retry can
+#: realistically outlive (an internal hiccup, a draining/circuit-open
+#: 503).  422 is excluded on purpose — an invalid spec stays invalid.
+_RETRY_STATUSES = (429, 500, 503)
 
 
 class ServeClient:
@@ -40,8 +52,14 @@ class ServeClient:
         per-request budget — the daemon answers 504 on its timeout, so
         this one only trips when the daemon is unreachable or wedged.
     max_retries:
-        How many 429 rejections to absorb (sleep + retry) per submit
-        before surfacing the ``busy`` error.
+        How many transient failures (429/500/503 or a connection-level
+        error) to absorb per submit before surfacing the error.
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` shaping the backoff
+        between those attempts.  Defaults to a pid-seeded policy so two
+        clients hammering one busy daemon jitter apart instead of
+        stampeding in lockstep; ``max_attempts`` is always overridden by
+        ``max_retries`` (one budget, not two).
     """
 
     def __init__(
@@ -49,6 +67,7 @@ class ServeClient:
         url: str,
         timeout_s: float = 600.0,
         max_retries: int = 3,
+        retry: Optional[RetryPolicy] = None,
     ):
         if timeout_s <= 0:
             raise ServeError(f"timeout_s must be positive, got {timeout_s}")
@@ -57,6 +76,14 @@ class ServeClient:
         self.url = url.rstrip("/")
         self.timeout_s = timeout_s
         self.max_retries = max_retries
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay_s=0.2,
+            multiplier=2.0,
+            max_delay_s=_MAX_RETRY_WAIT_S,
+            jitter=0.5,
+            seed=os.getpid(),
+        )
 
     # -- transport -----------------------------------------------------
     def _request(
@@ -79,9 +106,15 @@ class ServeClient:
             raw = exc.read()
             status = exc.code
             headers = dict(exc.headers.items()) if exc.headers else {}
-        except urllib.error.URLError as exc:
-            raise ServeError(
-                f"cannot reach daemon at {self.url}: {exc.reason}"
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+        ) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ServeConnectionError(
+                f"cannot reach daemon at {self.url}: {reason}"
             ) from exc
         try:
             payload = json.loads(raw.decode("utf-8"))
@@ -116,10 +149,15 @@ class ServeClient:
         """Run *spec* on the daemon; return the full success payload.
 
         The payload carries ``record`` (the served ``RunRecord`` dict),
-        ``request_id``, ``served_by``, and ``timings``.  429 rejections
-        are retried up to ``max_retries`` times, honouring the daemon's
-        ``Retry-After`` estimate (capped); every other error raises
-        :class:`~repro.errors.ServeError`.
+        ``request_id``, ``served_by``, and ``timings``.  Transient
+        failures — 429/500/503 responses and connection-level errors
+        (reset, refused, mid-stream disconnect) — are retried up to
+        ``max_retries`` times with jittered exponential backoff; a 429's
+        ``Retry-After`` estimate raises the wait when it is longer
+        (capped at 30s).  Every other error raises
+        :class:`~repro.errors.ServeError`; a connection failure that
+        survives the whole budget raises
+        :class:`~repro.errors.ServeConnectionError`.
         """
         body = protocol.encode(
             {
@@ -130,16 +168,24 @@ class ServeClient:
             }
         )
         attempts = self.max_retries + 1
-        for attempt in range(attempts):
-            status, payload, headers = self._request("POST", "/run", body)
-            if status != 429:
+        for attempt in range(1, attempts + 1):
+            try:
+                status, payload, headers = self._request("POST", "/run", body)
+            except ServeConnectionError:
+                if attempt >= attempts:
+                    raise
+                sleep_for(self.retry.delay_s(attempt, key="connect"))
+                continue
+            if status not in _RETRY_STATUSES or attempt >= attempts:
                 break
-            if attempt + 1 < attempts:
-                try:
-                    wait = float(headers.get("Retry-After", 1.0))
-                except ValueError:
-                    wait = 1.0
-                time.sleep(min(max(wait, 0.05), _MAX_RETRY_WAIT_S))
+            wait = self.retry.delay_s(attempt, key=f"http-{status}")
+            try:
+                hinted = float(headers.get("Retry-After", ""))
+            except ValueError:
+                hinted = 0.0
+            # the daemon's drain estimate is better information than our
+            # blind backoff curve — but only ever stretches the wait
+            sleep_for(min(max(wait, hinted), _MAX_RETRY_WAIT_S))
         if not payload.get("ok"):
             self._raise_error(status, payload)
         return payload
@@ -179,7 +225,7 @@ class ServeClient:
                     )
                 return response.read().decode("utf-8")
         except urllib.error.URLError as exc:
-            raise ServeError(
+            raise ServeConnectionError(
                 f"cannot reach daemon at {self.url}: {exc.reason}"
             ) from exc
 
@@ -190,6 +236,24 @@ class ServeClient:
         except ServeError:
             return False
         return status == 200 and bool(payload.get("ok"))
+
+    def health_state(self) -> Tuple[str, Tuple[str, ...]]:
+        """The daemon's explicit health: ``(state, reasons)``.
+
+        ``("ok", ())`` for a healthy daemon; ``("degraded", reasons)``
+        when it is load-shedding (open circuits, saturated queue,
+        draining); ``("unreachable", (why,))`` when nothing answers.
+        """
+        try:
+            status, payload, _ = self._request("GET", "/healthz")
+        except ServeError as exc:
+            return "unreachable", (str(exc),)
+        if status != 200 or not payload.get("ok"):
+            return "unreachable", (f"HTTP {status}",)
+        return (
+            str(payload.get("state", "ok")),
+            tuple(str(reason) for reason in payload.get("reasons", ())),
+        )
 
     def __repr__(self) -> str:
         return f"ServeClient(url={self.url!r})"

@@ -14,7 +14,9 @@ Endpoints (see docs/SERVING.md for the operator view):
 * ``POST /run`` — body ``{"spec": {...}, "store": bool, "suite": str,
   "scenario": str}``; only ``spec`` is required;
 * ``GET /stats`` — cache hit rates, queue depth, latency percentiles;
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness probe; carries an explicit
+  ``ok``/``degraded`` state plus reasons (open circuits, saturated
+  queue, draining shutdown).
 
 This module is on the request handler path, so it must stay *thin*:
 parsing and envelope assembly only, never model construction or solves
@@ -25,7 +27,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional
 
 from ..errors import FlowSpecError, ServeError
 from ..flow.spec import FlowSpec
@@ -139,7 +141,10 @@ def error_payload(
     Kinds clients dispatch on: ``"bad-request"`` (unparsable body or
     invalid spec), ``"busy"`` (queue full — retry after the
     ``Retry-After`` header), ``"timeout"`` (the per-request wait budget
-    elapsed; the evaluation may still complete and be stored), a
+    elapsed; the evaluation may still complete and be stored),
+    ``"draining"`` (the daemon is shutting down — try another daemon or
+    retry later), ``"circuit-open"`` (this spec family keeps failing and
+    is cooling down — retry after the ``Retry-After`` header), a
     :mod:`repro.errors` class name (execution failed), or
     ``"internal"``.
     """
@@ -155,6 +160,18 @@ def stats_payload(stats: Mapping[str, Any]) -> Dict[str, Any]:
     return payload
 
 
-def health_payload() -> Dict[str, Any]:
-    """The ``GET /healthz`` body."""
-    return _envelope(True)
+def health_payload(
+    state: str = "ok", reasons: Iterable[str] = ()
+) -> Dict[str, Any]:
+    """The ``GET /healthz`` body.
+
+    ``state`` is ``"ok"`` or ``"degraded"`` — degraded means the daemon
+    still answers but something is impaired (open circuit breakers, a
+    saturated queue, a draining shutdown); ``reasons`` spells out why.
+    The envelope stays ``ok: True`` either way: a degraded daemon is
+    alive, and liveness probes must not kill it for load-shedding.
+    """
+    payload = _envelope(True)
+    payload["state"] = state
+    payload["reasons"] = list(reasons)
+    return payload

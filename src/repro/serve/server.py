@@ -14,9 +14,18 @@ wait — every evaluation runs on the :class:`~repro.serve.workers
 * ``429`` — queue full; ``Retry-After`` header carries the drain-time
   estimate (``busy``);
 * ``500`` — unexpected failure (``internal``);
+* ``503`` — load-shedding: the daemon is ``draining`` for shutdown, or
+  this spec-hash family's circuit breaker is ``circuit-open`` after
+  repeated failures (``Retry-After`` carries the cooldown);
 * ``504`` — the per-request wait budget elapsed (``timeout``).  The
-  evaluation keeps running on its worker and is still stored when
-  storing was requested — the *wait* timed out, not the work.
+  evaluation keeps running on its worker and is still stored (flagged
+  ``orphaned_wait``, counted ``orphan_completed``) when storing was
+  requested — the *wait* timed out, not the work.
+
+Degradation is explicit: ``GET /healthz`` answers ``state: "ok"`` or
+``state: "degraded"`` with reasons (open circuits, saturated queue,
+draining), and :meth:`ServeDaemon.shutdown` drains — new work is turned
+away while accepted requests finish.  See docs/RESILIENCE.md.
 
 ``GET /metrics`` exposes the live :mod:`repro.obs` registry as the
 Prometheus text exposition — request counters, queue-depth and
@@ -39,7 +48,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ServeError
+from ..flow.spec import spec_hash
 from ..obs import Counters, enable, get_recorder, set_recorder
+from ..resilience.faults import check_fault
+from ..resilience.retry import CircuitBreaker
 from . import protocol
 from .cache import DEFAULT_MAX_ENTRIES, EngineCache
 from .workers import QueueFullError, ServeJob, WorkerPool
@@ -103,7 +115,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         daemon = self.server.daemon_ref  # type: ignore[attr-defined]
         if self.path == "/healthz":
-            self._respond(200, protocol.health_payload())
+            state, reasons = daemon.health_state()
+            self._respond(200, protocol.health_payload(state, reasons))
         elif self.path == "/stats":
             self._respond(200, protocol.stats_payload(daemon.stats()))
         elif self.path == "/metrics":
@@ -131,6 +144,13 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         raw = self.rfile.read(length)
+        if check_fault("serve.connection-reset") is not None:
+            # chaos hook: slam the socket after reading the request —
+            # the client sees a reset/empty response mid-flight, exactly
+            # the failure its connection-retry path must absorb
+            self.close_connection = True
+            self.connection.close()
+            return
         status, payload, headers = daemon.handle_submit(raw)
         self._respond(status, payload, headers)
 
@@ -157,10 +177,17 @@ class ServeDaemon:
         store: Optional[Any] = None,
         request_timeout_s: float = 300.0,
         obs: bool = True,
+        circuit_threshold: int = 5,
+        circuit_cooldown_s: float = 30.0,
     ):
         if request_timeout_s <= 0:
             raise ServeError(
                 f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
+        if circuit_threshold < 0:
+            raise ServeError(
+                f"circuit_threshold must be >= 0 (0 disables), "
+                f"got {circuit_threshold}"
             )
         self._prev_recorder = None
         if obs and not get_recorder().enabled:
@@ -174,9 +201,22 @@ class ServeDaemon:
             cache=self.cache, workers=workers, queue_size=queue_size, store=store
         )
         self.request_timeout_s = request_timeout_s
+        # one breaker per spec-hash family: a spec that keeps failing
+        # stops consuming workers, everything else keeps being served
+        self._breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                threshold=circuit_threshold, cooldown_s=circuit_cooldown_s
+            )
+            if circuit_threshold > 0
+            else None
+        )
+        self._draining = False
         self._counter = itertools.count()
         self._lock = threading.Lock()
-        self._counters = Counters(("requests", "timeouts"), namespace="serve.http")
+        self._counters = Counters(
+            ("requests", "timeouts", "circuit_rejections", "drain_rejections"),
+            namespace="serve.http",
+        )
         self._http = _ServeHTTPServer((host, port), _Handler)
         self._http.daemon_ref = self
         self._serve_thread: Optional[threading.Thread] = None
@@ -210,10 +250,48 @@ class ServeDaemon:
         """Process one ``POST /run`` body → (status, payload, headers)."""
         with self._lock:
             self._counters.inc("requests")
+        if self._draining:
+            with self._lock:
+                self._counters.inc("drain_rejections")
+            return (
+                503,
+                protocol.error_payload(
+                    "draining",
+                    "daemon is draining for shutdown; "
+                    "in-flight work finishes, new work is refused",
+                ),
+                {},
+            )
         try:
             request = protocol.parse_submit(raw)
         except ServeError as exc:
             return 400, protocol.error_payload("bad-request", str(exc)), {}
+        hit = check_fault("serve.handler-exception")
+        if hit is not None:
+            # chaos hook: the handler blows up after parsing — clients
+            # must see a retryable 500, not a vanished connection
+            return (
+                500,
+                protocol.error_payload(
+                    "internal",
+                    f"injected fault at 'serve.handler-exception' "
+                    f"(ordinal {hit.ordinal})",
+                ),
+                {},
+            )
+        family = spec_hash(request.spec)
+        if self._breaker is not None and not self._breaker.allow(family):
+            with self._lock:
+                self._counters.inc("circuit_rejections")
+            return (
+                503,
+                protocol.error_payload(
+                    "circuit-open",
+                    f"spec family {family[:12]} keeps failing; "
+                    f"circuit is cooling down",
+                ),
+                {"Retry-After": str(int(self._breaker.cooldown_s) or 1)},
+            )
         job = ServeJob(
             request_id=self.next_request_id(),
             spec=request.spec,
@@ -230,22 +308,36 @@ class ServeDaemon:
                 {"Retry-After": str(exc.retry_after_s)},
             )
         if not job.done.wait(timeout=self.request_timeout_s):
-            with self._lock:
-                self._counters.inc("timeouts")
-            return (
-                504,
-                protocol.error_payload(
-                    "timeout",
-                    f"request not served within {self.request_timeout_s}s; "
-                    f"it keeps running and is stored if storing was requested",
-                    job.request_id,
-                ),
-                {},
-            )
+            # the abandon-vs-complete race resolves under the job's own
+            # lock: either the worker published in the nick of time (fall
+            # through below) or it now owes the store an orphaned record
+            with job.lock:
+                if not job.done.is_set():
+                    job.abandoned = True
+            if job.abandoned:
+                with self._lock:
+                    self._counters.inc("timeouts")
+                if self._breaker is not None:
+                    self._breaker.record_failure(family)
+                return (
+                    504,
+                    protocol.error_payload(
+                        "timeout",
+                        f"request not served within {self.request_timeout_s}s; "
+                        f"it keeps running and is stored if storing was "
+                        f"requested",
+                        job.request_id,
+                    ),
+                    {},
+                )
         if job.error is not None:
+            if self._breaker is not None:
+                self._breaker.record_failure(family)
             kind, message = job.error
             status = 500 if kind == "internal" else 422
             return status, protocol.error_payload(kind, message, job.request_id), {}
+        if self._breaker is not None:
+            self._breaker.record_success(family)
         return (
             200,
             protocol.success_payload(
@@ -254,15 +346,38 @@ class ServeDaemon:
             {},
         )
 
+    def health_state(self) -> Tuple[str, Tuple[str, ...]]:
+        """``("ok" | "degraded", reasons)`` for the ``/healthz`` body.
+
+        Degraded is explicit, not inferred from flapping requests: a
+        draining shutdown, any open circuit breaker, or a saturated
+        request queue each name themselves in ``reasons``.
+        """
+        reasons = []
+        if self._draining:
+            reasons.append("draining: shutting down, refusing new work")
+        if self._breaker is not None:
+            for key in self._breaker.open_keys():
+                reasons.append(f"circuit-open: spec family {key[:12]}")
+        depth = self.pool.queue_depth()
+        if depth >= self.pool.queue_size:
+            reasons.append(
+                f"queue-saturated: {depth}/{self.pool.queue_size} pending"
+            )
+        return ("degraded" if reasons else "ok"), tuple(reasons)
+
     def stats(self) -> Dict[str, Any]:
         """Daemon counters + pool/cache stats (the ``/stats`` body)."""
         with self._lock:
             counters = self._counters.as_dict()
-        return {
+        payload = {
             **counters,
             "request_timeout_s": self.request_timeout_s,
             **self.pool.stats(),
         }
+        if self._breaker is not None:
+            payload["circuits"] = self._breaker.snapshot()
+        return payload
 
     # counter properties: the pre-obs ints, kept as the public API
     @property
@@ -312,8 +427,30 @@ class ServeDaemon:
         LOGGER.info("serving on %s", self.url)
         self._http.serve_forever()
 
+    def begin_drain(self) -> None:
+        """Flip to draining: new submits get 503, in-flight work finishes.
+
+        Safe to call repeatedly and from signal handlers; ``/healthz``
+        reports ``degraded`` with a ``draining`` reason until the
+        process exits, so balancers stop routing before the socket dies.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether a draining shutdown is underway."""
+        return self._draining
+
     def shutdown(self) -> None:
-        """Stop accepting, drain the workers, release the socket."""
+        """Drain, stop accepting, finish in-flight work, free the socket.
+
+        Ordering matters: the drain flag turns new ``/run`` bodies away
+        first, the HTTP accept loop stops second, and the pool's
+        sentinel-based stop lets queued and running jobs finish (their
+        handler threads answer before their connections close) — a
+        shutdown never strands an accepted request.
+        """
+        self.begin_drain()
         self._http.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)

@@ -17,7 +17,11 @@ from queue depth and observed latency — clients retry later instead of
 piling onto an overloaded daemon.  Completed jobs append their record
 to the result store (when configured) with ``served_by``/``request_id``
 provenance before the waiting handler is woken, so a stored row always
-identifies the worker and request that produced it.
+identifies the worker and request that produced it.  A job whose waiter
+gave up at the 504 budget is not lost: completion and abandonment race
+under the job's own lock, the late record is stored with an
+``orphaned_wait`` provenance flag, and the pool counts it under
+``orphan_completed`` (docs/RESILIENCE.md).
 
 All timing here is monotonic :func:`repro.obs.now` deltas — durations
 only, never wall-clock timestamps (DET002 applies to the daemon too).
@@ -82,6 +86,14 @@ class ServeJob:
     enqueued_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Serializes the abandon-vs-complete race: the HTTP handler's
+    #: timeout path and the worker's completion path each hold this
+    #: while they check-and-update, so a job either answers its waiter
+    #: or is counted as an orphan — never a lost third state.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Set (under :attr:`lock`) by a handler whose wait budget elapsed;
+    #: the worker still finishes and stores, but flags the record.
+    abandoned: bool = False
 
     @property
     def queue_s(self) -> float:
@@ -154,7 +166,8 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._latencies: "deque[float]" = deque(maxlen=latency_window)
         self._counters = Counters(
-            ("completed", "failed", "rejected"), namespace="serve.jobs"
+            ("completed", "failed", "rejected", "orphan_completed"),
+            namespace="serve.jobs",
         )
         self._busy = 0
         self._store = None
@@ -235,33 +248,58 @@ class WorkerPool:
                 rec.emit(
                     "serve.queue", job.enqueued_at, job.started_at, worker=name
                 )
+            orphaned = False
             try:
                 result = flow.run(job.spec)
-                # served-by provenance rides the record into the store and
-                # back over the wire — a stored row always names its worker
-                result.provenance["served_by"] = name
-                result.provenance["request_id"] = job.request_id
-                record = result.as_record(suite=job.suite, scenario=job.scenario)
-                if job.store and self._store is not None:
-                    self._store.append(record)
-                job.record = record.to_dict()
+                # publish under job.lock so the handler's 504 path sees
+                # either "done" or "not done", never a half-filled job
+                with job.lock:
+                    orphaned = job.abandoned
+                    if orphaned:
+                        # the waiter already answered 504; the work still
+                        # lands, flagged, so stored provenance tells the
+                        # truth about who (didn't) receive it
+                        result.provenance["orphaned_wait"] = True
+                    # served-by provenance rides the record into the store
+                    # and over the wire — a stored row always names its
+                    # worker
+                    result.provenance["served_by"] = name
+                    result.provenance["request_id"] = job.request_id
+                    record = result.as_record(
+                        suite=job.suite, scenario=job.scenario
+                    )
+                    if job.store and self._store is not None:
+                        self._store.append(record)
+                    job.record = record.to_dict()
+                    job.finished_at = now()
+                    job.done.set()
                 ok = True
             except ReproError as exc:
-                job.error = (type(exc).__name__, str(exc))
                 ok = False
+                with job.lock:
+                    orphaned = job.abandoned
+                    job.error = (type(exc).__name__, str(exc))
+                    job.finished_at = now()
+                    job.done.set()
             except Exception as exc:  # repro: noqa[EXC001] -- a daemon worker must survive any request; the failure is reported to the waiting client, not swallowed
-                job.error = ("internal", f"{type(exc).__name__}: {exc}")
                 ok = False
-        job.finished_at = now()
+                with job.lock:
+                    orphaned = job.abandoned
+                    job.error = ("internal", f"{type(exc).__name__}: {exc}")
+                    job.finished_at = now()
+                    job.done.set()
         if rec.enabled:
             rec.observe("serve.request.latency_s", job.finished_at - job.enqueued_at)
             rec.observe("serve.request.queue_s", job.queue_s)
             rec.observe("serve.request.run_s", job.run_s)
         with self._lock:
             self._counters.inc("completed" if ok else "failed")
+            if orphaned:
+                # satellite fix: a 504'd request whose work completed
+                # later used to vanish from the books entirely
+                self._counters.inc("orphan_completed")
             self._latencies.append(job.finished_at - job.enqueued_at)
             self._busy -= 1
-        job.done.set()
 
     # -- introspection -------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -300,6 +338,11 @@ class WorkerPool:
     @property
     def rejected(self) -> int:
         return self._counters["rejected"]
+
+    @property
+    def orphan_completed(self) -> int:
+        """Jobs that finished after their waiter's 504 (work kept)."""
+        return self._counters["orphan_completed"]
 
     def queue_depth(self) -> int:
         """Current number of pending requests."""

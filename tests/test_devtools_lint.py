@@ -464,6 +464,107 @@ class TestOBS001ObsInstrumentation:
         assert report.ok
 
 
+class TestRES001RetryDiscipline:
+    def test_raw_time_sleep_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/waiter.py":
+                "import time\n"
+                "def poll():\n"
+                "    time.sleep(0.5)\n",
+        }, rules=["RES001"])
+        assert one_violation(report, "RES001").line == 3
+
+    def test_aliased_sleep_import_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/serve/napper.py":
+                "from time import sleep as zzz\n"
+                "def wait():\n"
+                "    zzz(1)\n",
+        }, rules=["RES001"])
+        assert one_violation(report, "RES001").line == 3
+
+    def test_unbounded_retry_loop_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/results/poller.py":
+                "def fetch(get):\n"
+                "    while True:\n"
+                "        try:\n"
+                "            return get()\n"
+                "        except OSError:\n"
+                "            continue\n",
+        }, rules=["RES001"])
+        # anchored at the handler that loops, not the while itself
+        assert one_violation(report, "RES001").line == 5
+
+    def test_bounded_loop_and_exiting_handler_allowed(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/bounded.py":
+                "def fetch(get):\n"
+                "    for attempt in range(3):\n"
+                "        try:\n"
+                "            return get()\n"
+                "        except OSError:\n"
+                "            continue\n"
+                "    raise RuntimeError('budget exhausted')\n"
+                "def drain(q):\n"
+                "    while True:\n"
+                "        try:\n"
+                "            item = q.get()\n"
+                "        except KeyError:\n"
+                "            break\n"
+                "        if item is None:\n"
+                "            return\n",
+        }, rules=["RES001"])
+        assert report.ok
+
+    def test_inner_loop_continue_not_confused_with_retry(self, tmp_path):
+        # the continue belongs to the nested for, not the while True
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/nested.py":
+                "def pump(batches, q):\n"
+                "    while True:\n"
+                "        batch = q.get()\n"
+                "        if batch is None:\n"
+                "            return\n"
+                "        try:\n"
+                "            handle(batch)\n"
+                "        except ValueError:\n"
+                "            for item in batch:\n"
+                "                if not item:\n"
+                "                    continue\n"
+                "                drop(item)\n",
+        }, rules=["RES001"])
+        assert report.ok
+
+    def test_resilience_package_is_exempt(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/resilience/retry.py":
+                "import time\n"
+                "def sleep_for(seconds):\n"
+                "    time.sleep(seconds)\n",
+        }, rules=["RES001"])
+        assert report.ok
+
+    def test_tests_and_benchmarks_are_out_of_scope(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "tests/test_waiting.py":
+                "import time\n"
+                "def test_x():\n"
+                "    time.sleep(0.01)\n",
+        }, rules=["RES001"])
+        assert report.ok
+
+    def test_noqa_with_justification_suppresses(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "src/repro/flow/paced.py":
+                "import time\n"
+                "def pace():\n"
+                "    time.sleep(0.1)  # repro: noqa[RES001] -- fixture:"
+                " deliberate pacing outside any retry path\n",
+        }, rules=["RES001"])
+        assert report.ok
+
+
 class TestEngineMechanics:
     def test_parse_error_reported_as_parse001(self, tmp_path):
         report = lint_tree(tmp_path, {
@@ -492,7 +593,7 @@ class TestEngineMechanics:
     def test_builtin_rules_registered(self):
         for rule_id in ("DET001", "DET002", "DET003", "SPEC001", "PERF001",
                         "SRV001", "DSE001", "POOL001", "REG001", "LOG001",
-                        "EXC001"):
+                        "EXC001", "RES001"):
             assert rule_id in LINT_RULES
         assert rule_names() == tuple(LINT_RULES.names())
 

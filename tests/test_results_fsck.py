@@ -1,0 +1,259 @@
+"""``repro results fsck``: verify, repair, and compact a damaged store.
+
+The recovery contract pinned here: after ``fsck_store(..., repair=True)``
+the store loads exactly ``report.loadable`` records, and every blob that
+was ever *published* (the blob write precedes the index write) comes
+back — including blobs orphaned by torn index writes from two writer
+processes crashing concurrently.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.flow import platform_spec, run_many
+from repro.resilience import FaultPlan, FaultSpec, inject
+from repro.results import FsckReport, ResultStore, RunRecord, fsck_store
+
+
+@pytest.fixture(scope="module")
+def records():
+    specs = [
+        platform_spec(bench, policy=policy)
+        for bench in ("Bm1", "Bm2")
+        for policy in ("heuristic3", "thermal")
+    ]
+    return [r.as_record(suite="suite-a") for r in run_many(specs)]
+
+
+@pytest.fixture()
+def store(tmp_path, records):
+    store = ResultStore(tmp_path / "store")
+    store.extend(records)
+    return store
+
+
+class TestVerify:
+    def test_clean_store_is_clean(self, store):
+        report = fsck_store(store)
+        assert report.ok()
+        assert not report.repaired
+        assert report.entries_kept == 4
+        assert report.loadable == 4
+        assert report.problems == []
+
+    def test_verify_counts_damage_without_touching_it(self, store, records):
+        # orphan a blob by dropping its ledger line, corrupt another
+        lines = store.index_path.read_text(encoding="utf-8").splitlines()
+        entry = json.loads(lines[0])
+        store.index_path.write_text(
+            "\n".join(lines[1:]) + "\n" + '{"to', encoding="utf-8"
+        )
+        corrupt_path = store.root / json.loads(lines[1])["blob"]
+        corrupt_path.write_text('{"truncated": ', encoding="utf-8")
+        before = store.index_path.read_text(encoding="utf-8")
+
+        report = fsck_store(store)
+        assert not report.ok()
+        assert report.orphan_blobs == 1
+        assert report.corrupt_blobs == 1
+        assert report.torn_lines == 1
+        assert store.index_path.read_text(encoding="utf-8") == before
+        assert corrupt_path.is_file()  # verify never quarantines
+        assert (store.root / json.loads(lines[0])["blob"]).is_file()
+        assert entry["id"] in " ".join(report.problems)
+
+
+class TestRepair:
+    def test_torn_tail_is_compacted_away(self, store):
+        with store.index_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"id": "r9999')
+        report = fsck_store(store, repair=True)
+        assert report.repaired
+        assert report.torn_lines == 1
+        assert report.entries_kept == 4
+        tail = store.index_path.read_text(encoding="utf-8")
+        assert tail.endswith("\n") and '"r9999' not in tail
+        assert fsck_store(store).ok()
+
+    def test_orphan_blob_is_reindexed_and_loads(self, store):
+        lines = store.index_path.read_text(encoding="utf-8").splitlines()
+        dropped = json.loads(lines[-1])
+        store.index_path.write_text(
+            "\n".join(lines[:-1]) + "\n", encoding="utf-8"
+        )
+        assert len(ResultStore(store.root).load()) == 3
+
+        report = fsck_store(store.root, repair=True)
+        assert report.orphan_blobs == 1
+        assert report.loadable == 4
+        runs = ResultStore(store.root).load()
+        assert len(runs) == report.loadable
+        assert dropped["spec_hash"] in {r.spec_hash for r in runs}
+
+    def test_corrupt_blob_is_quarantined_not_deleted(self, store):
+        entry = json.loads(
+            store.index_path.read_text(encoding="utf-8").splitlines()[0]
+        )
+        blob = store.root / entry["blob"]
+        blob.write_text("not json at all", encoding="utf-8")
+
+        report = fsck_store(store, repair=True)
+        assert report.corrupt_blobs == 1
+        assert report.loadable == 3
+        assert not blob.exists()
+        quarantined = store.root / "quarantine" / blob.name
+        assert quarantined.read_text(encoding="utf-8") == "not json at all"
+        assert len(ResultStore(store.root).load()) == report.loadable
+        assert fsck_store(store.root).ok()
+
+    def test_missing_blob_entry_and_stale_tmp_are_dropped(self, store):
+        entry = json.loads(
+            store.index_path.read_text(encoding="utf-8").splitlines()[2]
+        )
+        (store.root / entry["blob"]).unlink()
+        stale = store.root / "records" / "r123456-deadbeef.json.tmp"
+        stale.write_text("{", encoding="utf-8")
+
+        report = fsck_store(store, repair=True)
+        assert report.missing_blobs == 1
+        assert report.stale_tmp == 1
+        assert report.loadable == 3
+        assert not stale.exists()
+        assert len(ResultStore(store.root).load()) == 3
+
+    def test_foreign_schema_blob_is_kept_but_not_loadable(self, store, records):
+        foreign = records[0].to_dict()
+        foreign["schema_version"] = 999
+        blob = store.root / "records" / "r777777-cafecafe.json"
+        blob.write_text(json.dumps(foreign), encoding="utf-8")
+
+        report = fsck_store(store, repair=True)
+        assert report.orphan_blobs == 1
+        assert report.schema_mismatch == 1
+        assert report.entries_kept == 5
+        assert report.loadable == 4
+        assert blob.exists()  # kept: data, just not ours to parse
+        assert len(ResultStore(store.root).load()) == report.loadable
+
+    def test_repair_of_a_clean_store_changes_nothing(self, store):
+        before = store.index_path.read_text(encoding="utf-8")
+        report = fsck_store(store, repair=True)
+        assert report.ok()
+        assert store.index_path.read_text(encoding="utf-8") == before
+
+    def test_injected_torn_write_round_trip(self, tmp_path, records):
+        """The single-process version of the chaos pin: a torn-index
+        fault orphans the blob, fsck re-indexes it."""
+        store = ResultStore(tmp_path / "torn")
+        plan = FaultPlan(faults=(
+            FaultSpec(site="store.torn-index", ordinal=1),
+        ))
+        with inject(plan):
+            store.append(records[0])
+            with pytest.raises(InjectedFaultError):
+                store.append(records[1])
+            store.append(records[2])
+        assert len(ResultStore(store.root).load()) == 2
+
+        report = fsck_store(store.root, repair=True)
+        assert report.torn_lines == 1
+        assert report.orphan_blobs == 1
+        assert report.loadable == 3
+        runs = ResultStore(store.root).load()
+        assert len(runs) == report.loadable
+        assert {r.spec_hash for r in runs} == {
+            r.spec_hash for r in records[:3]
+        }
+
+
+def _append_with_torn_faults(store_root, record_dict, n, torn_ordinals,
+                             barrier):
+    """Child-process writer that crashes mid-index-write on schedule.
+
+    Module-level so spawn/fork both pickle it.  Fault plans are
+    process-global, so each child arms its own; the barrier lines both
+    writers up before the first append so the torn fragments interleave
+    under real contention.
+    """
+    from repro.errors import InjectedFaultError
+    from repro.resilience import FaultPlan, FaultSpec, inject
+    from repro.results import ResultStore, RunRecord
+
+    store = ResultStore(store_root)
+    record = RunRecord.from_dict(record_dict)
+    plan = FaultPlan(faults=tuple(
+        FaultSpec(site="store.torn-index", ordinal=o) for o in torn_ordinals
+    ))
+    barrier.wait(timeout=30)
+    with inject(plan):
+        for _ in range(n):
+            try:
+                store.append(record)
+            except InjectedFaultError:
+                pass  # blob published, ledger line torn — fsck's problem
+
+
+class TestTwoWriterCorruption:
+    def test_fsck_recovers_every_committed_blob(self, tmp_path, records):
+        """Two writer processes, each tearing two index writes under
+        contention: every *published* blob (blob-before-index makes that
+        all of them) must come back after repair, and ``load()`` must
+        agree with the report's ``loadable`` count."""
+        ctx = multiprocessing.get_context()
+        store_root = tmp_path / "contended"
+        ResultStore(store_root)  # create the directory up front
+        n = 12
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(
+                target=_append_with_torn_faults,
+                args=(store_root, record.to_dict(), n, ordinals, barrier),
+            )
+            for record, ordinals in zip(records[:2], ((2, 7), (0, 9)))
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        # before repair: 4 torn appends → 4 unreachable records
+        damaged = ResultStore(store_root).load()
+        assert len(damaged) == 2 * n - 4
+
+        report = fsck_store(store_root, repair=True)
+        assert report.repaired
+        assert report.orphan_blobs == 4
+        assert report.corrupt_blobs == 0
+        assert report.entries_kept == 2 * n
+        assert report.loadable == 2 * n
+
+        store = ResultStore(store_root)
+        runs = store.load()
+        assert len(runs) == report.loadable
+        assert runs.skipped == 0
+        by_hash = {}
+        for run in runs:
+            by_hash[run.spec_hash] = by_hash.get(run.spec_hash, 0) + 1
+        assert by_hash == {
+            records[0].spec_hash: n, records[1].spec_hash: n,
+        }
+        # the repaired ledger is append-ready: ids never collide
+        ids = [e["id"] for e in store.index()]
+        assert len(ids) == len(set(ids)) == 2 * n
+        store.append(records[2])
+        assert len(ResultStore(store_root).load()) == 2 * n + 1
+        assert fsck_store(store_root).ok()
+
+
+class TestReportShape:
+    def test_report_is_json_safe_and_counts_cohere(self, store):
+        report = fsck_store(store)
+        payload = report.as_dict()
+        json.dumps(payload)  # must not need a default= hook
+        assert payload["ok"] is True
+        assert payload["loadable"] == payload["entries_kept"]
+        assert isinstance(report, FsckReport)
